@@ -1,0 +1,203 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, 1/5 scale
+//	experiments -run fig8 -scale paper   # one figure at full 4800 CPUs
+//	experiments -run fig5,fig6 -seed 7
+//
+// Available targets: table1, table2, fig4, fig5, fig6, fig7, fig8,
+// fig9, fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iscope/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated targets (table1,table2,fig4..fig10,all)")
+		scale   = flag.String("scale", "default", "experiment scale: quick, default, paper")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		procs   = flag.Int("procs", 0, "override fleet size")
+		jobs    = flag.Int("jobs", 0, "override job count")
+		csvDir  = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+		plotDir = flag.String("plotdir", "", "also write gnuplot bundles (.dat + .gp) into this directory")
+	)
+	flag.Parse()
+
+	var opt experiments.Options
+	switch *scale {
+	case "quick":
+		opt = experiments.QuickOptions(*seed)
+	case "default":
+		opt = experiments.DefaultOptions(*seed)
+	case "paper":
+		opt = experiments.PaperOptions(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *procs > 0 {
+		opt.NumProcs = *procs
+	}
+	if *jobs > 0 {
+		opt.NumJobs = *jobs
+	}
+
+	targets := strings.Split(*run, ",")
+	if *run == "all" {
+		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore"}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, tgt := range targets {
+		if err := runOne(strings.TrimSpace(tgt), opt, *csvDir, *plotDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// csvWriter is implemented by every figure result with a CSV dump.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// writeCSV dumps a result to <dir>/<target>.csv when dir is set.
+func writeCSV(dir, target string, r csvWriter) error {
+	if dir == "" || r == nil {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, target+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}
+
+// plotter is implemented by figure results with a gnuplot bundle.
+type plotter interface {
+	WriteGnuplot(dir string) error
+}
+
+func writePlot(dir string, r plotter) error {
+	if dir == "" || r == nil {
+		return nil
+	}
+	return r.WriteGnuplot(dir)
+}
+
+func runOne(target string, opt experiments.Options, csvDir, plotDir string) error {
+	start := time.Now()
+	fmt.Printf("==== %s (procs=%d jobs=%d seed=%d) ====\n", target, opt.NumProcs, opt.NumJobs, opt.Seed)
+	var err error
+	switch target {
+	case "table1":
+		err = experiments.WriteTable1(os.Stdout)
+	case "table2":
+		err = experiments.WriteTable2(os.Stdout)
+	case "fig4":
+		var r *experiments.Fig4Result
+		if r, err = experiments.Fig4(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig4", r)
+			}
+		}
+	case "fig5":
+		var r *experiments.Fig5Result
+		if r, err = experiments.Fig5(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig5", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "fig6":
+		var r *experiments.Fig6Result
+		if r, err = experiments.Fig6(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig6", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "fig7":
+		var r *experiments.Fig7Result
+		if r, err = experiments.Fig7(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig7", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "fig8":
+		var r *experiments.Fig8Result
+		if r, err = experiments.Fig8(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig8", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "fig9":
+		var r *experiments.Fig9Result
+		if r, err = experiments.Fig9(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig9", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "fig10":
+		var r *experiments.Fig10Result
+		if r, err = experiments.Fig10(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "fig10", r)
+			}
+			if err == nil {
+				err = writePlot(plotDir, r)
+			}
+		}
+	case "ablations":
+		var r *experiments.AblationResult
+		if r, err = experiments.Ablations(opt); err == nil {
+			err = r.WriteText(os.Stdout)
+		}
+	case "online":
+		var r *experiments.OnlineStudyResult
+		if r, err = experiments.OnlineStudy(opt); err == nil {
+			err = r.WriteText(os.Stdout)
+		}
+	case "percore":
+		var r *experiments.PerCoreStudyResult
+		if r, err = experiments.PerCoreStudy(opt); err == nil {
+			err = r.WriteText(os.Stdout)
+		}
+	default:
+		return fmt.Errorf("unknown target (want table1, table2, fig4..fig10, ablations, online, percore, all)")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("---- %s done in %v ----\n\n", target, time.Since(start).Round(time.Millisecond))
+	return nil
+}

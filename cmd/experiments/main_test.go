@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iscope/internal/experiments"
+)
+
+func TestRunOneAllTargets(t *testing.T) {
+	opt := experiments.QuickOptions(3)
+	dir := t.TempDir()
+	for _, tgt := range []string{"table1", "table2", "fig4", "fig10", "percore"} {
+		if err := runOne(tgt, opt, dir, dir); err != nil {
+			t.Fatalf("%s: %v", tgt, err)
+		}
+	}
+	if err := runOne("fig8", opt, dir, dir); err != nil {
+		t.Fatalf("fig8: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
+		t.Fatalf("fig8 CSV not written: %v", err)
+	}
+}
+
+func TestRunOneUnknownTarget(t *testing.T) {
+	if err := runOne("fig99", experiments.QuickOptions(1), "", ""); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestPlotBundleWritten(t *testing.T) {
+	dir := t.TempDir()
+	if err := runOne("fig9", experiments.QuickOptions(4), "", dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig9.dat", "fig9.gp"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command iscope runs one green-datacenter simulation and prints the
+// energy, cost and balance summary.
+//
+// Usage:
+//
+//	iscope -scheme ScanFair -procs 960 -jobs 1200 -hu 0.3 -wind
+//	iscope -scheme BinRan -procs 4800 -jobs 4000 -rate 3
+//	iscope -swf thunder.swf -scheme ScanEffi -wind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"iscope"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "ScanFair", "scheduling scheme (BinRan, BinEffi, ScanRan, ScanEffi, ScanFair, BinFair)")
+		procs      = flag.Int("procs", 960, "number of processors")
+		jobs       = flag.Int("jobs", 1200, "number of synthesized jobs")
+		spanDays   = flag.Float64("span", 2, "workload arrival window in days")
+		hu         = flag.Float64("hu", 0.3, "fraction of high-urgency jobs")
+		rate       = flag.Float64("rate", 1, "arrival-rate factor (5 = submit times compressed to 20%)")
+		useWind    = flag.Bool("wind", false, "power the datacenter with wind + utility (default utility-only)")
+		windScale  = flag.Float64("windscale", 1, "wind strength multiplier (SWP factor)")
+		seed       = flag.Uint64("seed", 42, "master random seed")
+		swfPath    = flag.String("swf", "", "load jobs from an SWF trace file instead of synthesizing")
+		trace      = flag.Bool("trace", false, "sample the power trace every 350 s and print it")
+		online     = flag.Bool("online", false, "profile opportunistically during the run instead of pre-scanning")
+	)
+	flag.Parse()
+
+	if err := run(*schemeName, *procs, *jobs, *spanDays, *hu, *rate, *useWind, *windScale, *seed, *swfPath, *trace, *online); err != nil {
+		fmt.Fprintf(os.Stderr, "iscope: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeName string, procs, jobs int, spanDays, hu, rate float64, useWind bool, windScale float64, seed uint64, swfPath string, trace, online bool) error {
+	scheme, ok := iscope.SchemeByName(schemeName)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	start := time.Now()
+	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(seed, procs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d processors built and scanned in %v (scan energy %s)\n",
+		procs, time.Since(start).Round(time.Millisecond), fleet.ScanReport.Energy)
+
+	var tr *iscope.WorkloadTrace
+	if swfPath != "" {
+		f, err := os.Open(swfPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = iscope.ReadSWF(f, true, jobs)
+		if err != nil {
+			return err
+		}
+		if err := iscope.AssignDeadlines(tr, seed+1, hu); err != nil {
+			return err
+		}
+	} else {
+		maxW := procs / 2
+		if maxW < 1 {
+			maxW = 1
+		}
+		tr, err = iscope.SynthesizeWorkload(seed, jobs, maxW, spanDays, hu)
+		if err != nil {
+			return err
+		}
+	}
+	if rate != 1 {
+		if err := tr.ScaleArrival(rate); err != nil {
+			return err
+		}
+	}
+
+	cfg := iscope.RunConfig{Seed: seed, Jobs: tr}
+	if useWind {
+		w, err := iscope.GenerateWind(seed+2, spanDays*2+2)
+		if err != nil {
+			return err
+		}
+		cfg.Wind = w.Scale(windScale * float64(procs) / 4800.0)
+	}
+	if trace {
+		cfg.SampleInterval = 350
+	}
+	if online {
+		cfg.Online = &iscope.OnlineProfiling{}
+	}
+
+	res, err := iscope.Run(fleet, scheme, cfg)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scheme\t%s\n", res.Scheme)
+	fmt.Fprintf(tw, "jobs completed\t%d (%d deadline violations)\n", res.JobsCompleted, res.DeadlineViolations)
+	fmt.Fprintf(tw, "makespan\t%s\n", res.Makespan)
+	fmt.Fprintf(tw, "utility energy\t%s\n", res.UtilityEnergy)
+	fmt.Fprintf(tw, "wind energy\t%s of %s offered (%.1f%% utilized)\n",
+		res.WindEnergy, res.WindAvailable, 100*res.WindUtilization)
+	fmt.Fprintf(tw, "energy cost\t%s (utility share %s)\n", res.Cost, res.UtilityCost)
+	fmt.Fprintf(tw, "utilization variance\t%.2f h^2\n", res.UtilVariance)
+	if res.ProfiledChips > 0 {
+		fmt.Fprintf(tw, "online profiling\t%d chips scanned in-run, %s test energy\n",
+			res.ProfiledChips, res.ProfilingEnergy)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if trace {
+		fmt.Println("\npower trace (350 s sampling):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "t\twind\tdemand\tutility")
+		for _, p := range res.Trace {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Time, p.Wind, p.Demand, p.Utility)
+		}
+		return tw.Flush()
+	}
+	return nil
+}

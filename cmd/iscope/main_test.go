@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	// A tiny end-to-end run through the CLI path: synthesize, simulate,
+	// print. Covers flag-plumbing regressions.
+	if err := run("ScanFair", 24, 40, 0.5, 0.3, 1, true, 1, 7, "", false, false); err != nil {
+		t.Fatalf("wind run failed: %v", err)
+	}
+	if err := run("BinEffi", 16, 30, 0.5, 0.3, 1, false, 1, 7, "", true, false); err != nil {
+		t.Fatalf("traced utility run failed: %v", err)
+	}
+	if err := run("ScanEffi", 16, 30, 0.5, 0.3, 1, true, 1, 7, "", false, true); err != nil {
+		t.Fatalf("online-profiling run failed: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	if err := run("NoSuchScheme", 8, 10, 0.5, 0.3, 1, false, 1, 7, "", false, false); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunRejectsMissingSWF(t *testing.T) {
+	if err := run("ScanFair", 8, 10, 0.5, 0.3, 1, false, 1, 7, "/nonexistent.swf", false, false); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

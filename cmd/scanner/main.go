@@ -1,0 +1,113 @@
+// Command scanner demonstrates the iScope scanner: it generates a
+// fleet, runs the master/slave descending-voltage scan, and prints each
+// chip's measured minimum voltages against its factory bin voltage,
+// plus the scan's energy/cost overhead.
+//
+// Usage:
+//
+//	scanner -chips 16
+//	scanner -chips 4800 -test functional -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"iscope/internal/binning"
+	"iscope/internal/metrics"
+	"iscope/internal/power"
+	"iscope/internal/profiling"
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/variation"
+)
+
+type vt struct{ *power.Table }
+
+func (t vt) VnomAt(l int) units.Volts { return t.Levels[l].Vnom }
+
+func main() {
+	var (
+		chips    = flag.Int("chips", 16, "number of chips to scan")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		testKind = flag.String("test", "stress", "stability test: stress (10 min/point) or functional (29 s/point)")
+		noise    = flag.Float64("noise", 0, "measurement noise sigma in volts")
+		gpu      = flag.Bool("gpu", false, "profile with the integrated GPU enabled")
+		summary  = flag.Bool("summary", false, "print only the aggregate summary")
+	)
+	flag.Parse()
+
+	if err := run(*chips, *seed, *testKind, *noise, *gpu, *summary); err != nil {
+		fmt.Fprintf(os.Stderr, "scanner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed uint64, testKind string, noise float64, gpu, summary bool) error {
+	model, err := variation.NewModel(variation.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	fleet := model.GenerateFleet(n)
+	tbl := power.DefaultTable()
+
+	cfg := profiling.DefaultConfig()
+	switch testKind {
+	case "stress":
+		cfg.Kind = profiling.Stress
+	case "functional":
+		cfg.Kind = profiling.Functional
+	default:
+		return fmt.Errorf("unknown test kind %q", testKind)
+	}
+	cfg.GPUOn = gpu
+
+	tester := profiling.NewTester(fleet, vt{tbl}, noise, rng.Named(seed, "scanner-cli"))
+	db := profiling.NewDB(n, tbl.NumLevels())
+	sc, err := profiling.NewScanner(cfg, tester, vt{tbl}, db)
+	if err != nil {
+		return err
+	}
+
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	rep := sc.ScanFleet(ids, 0)
+
+	bins, err := binning.Assign(fleet, tbl, binning.DefaultBins, binning.DefaultFactoryGuard)
+	if err != nil {
+		return err
+	}
+
+	if !summary {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "chip\tbin")
+		for l := 0; l < tbl.NumLevels(); l++ {
+			fmt.Fprintf(tw, "\t%s scan/bin (V)", tbl.Levels[l].Freq)
+		}
+		fmt.Fprintln(tw)
+		for id := 0; id < n; id++ {
+			fmt.Fprintf(tw, "%d\t%d", id, bins.BinOf(id))
+			for l := 0; l < tbl.NumLevels(); l++ {
+				v, _ := db.Lookup(id, l)
+				fmt.Fprintf(tw, "\t%.3f/%.3f", float64(v), float64(bins.Vdd(id, l)))
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	prices := metrics.DefaultPrices()
+	fmt.Printf("\nscanned %d chips, %d configuration points (%s test)\n", rep.Chips, rep.Points, cfg.Kind)
+	fmt.Printf("scan energy %s — %s on renewable, %s on utility power\n",
+		rep.Energy, rep.Cost(prices.Wind), rep.Cost(prices.Utility))
+	full := sc.OverheadEstimate(n)
+	fmt.Printf("exhaustive (all-point) estimate: %s — %s renewable / %s utility\n",
+		full.Energy, full.Cost(prices.Wind), full.Cost(prices.Utility))
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestScannerRunSmoke(t *testing.T) {
+	if err := run(8, 7, "stress", 0, false, false); err != nil {
+		t.Fatalf("stress scan: %v", err)
+	}
+	if err := run(8, 7, "functional", 0.002, true, true); err != nil {
+		t.Fatalf("functional GPU-on summary scan: %v", err)
+	}
+}
+
+func TestScannerRejectsUnknownTest(t *testing.T) {
+	if err := run(4, 7, "quantum", 0, false, false); err == nil {
+		t.Fatal("unknown test kind accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command workgen synthesizes an LLNL-Thunder-like workload trace and
+// writes it in Standard Workload Format, printing summary statistics.
+//
+// Usage:
+//
+//	workgen -jobs 4000 -days 3 -out thunder-like.swf
+//	workgen -jobs 500 -maxprocs 512 -stats-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+func main() {
+	var (
+		jobs      = flag.Int("jobs", 4000, "number of jobs")
+		days      = flag.Float64("days", 3, "arrival window in days")
+		maxProcs  = flag.Int("maxprocs", 4096, "maximum requested CPUs per job")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		out       = flag.String("out", "", "output SWF path (default stdout)")
+		statsOnly = flag.Bool("stats-only", false, "print statistics without the trace")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultSynthConfig(*seed, *jobs)
+	cfg.Span = units.Days(*days)
+	cfg.MaxProcs = *maxProcs
+	tr, err := workload.Synthesize(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := tr.ComputeStats()
+	fmt.Fprintf(os.Stderr, "workgen: %d jobs over %s, mean runtime %s, max width %d CPUs, total work %s CPU-time\n",
+		st.Jobs, st.Span, st.MeanRuntime, st.MaxProcs, st.TotalWork)
+
+	if *statsOnly {
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	header := fmt.Sprintf("Synthetic LLNL-Thunder-like trace\njobs: %d, span: %g days, seed: %d", *jobs, *days, *seed)
+	if err := workload.WriteSWF(w, tr, header); err != nil {
+		fmt.Fprintf(os.Stderr, "workgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package iscope_test
+
+import (
+	"fmt"
+	"strings"
+
+	"iscope"
+)
+
+// ExampleSchemes lists the paper's Table 2 schemes.
+func ExampleSchemes() {
+	for _, s := range iscope.Schemes() {
+		fmt.Println(s.Name)
+	}
+	// Output:
+	// BinRan
+	// BinEffi
+	// ScanRan
+	// ScanEffi
+	// ScanFair
+}
+
+// ExampleRun shows the minimal simulation flow: build a fleet, make a
+// workload, run a scheme.
+func ExampleRun() {
+	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(1, 32))
+	if err != nil {
+		panic(err)
+	}
+	jobs, err := iscope.SynthesizeWorkload(2, 60, 16, 1, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	scheme, _ := iscope.SchemeByName("ScanFair")
+	res, err := iscope.Run(fleet, scheme, iscope.RunConfig{Seed: 3, Jobs: jobs})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scheme, res.JobsCompleted)
+	// Output: ScanFair 60
+}
+
+// ExampleReadSWF ingests a Parallel Workloads Archive trace.
+func ExampleReadSWF() {
+	const swf = `; excerpt
+1 0 0 600 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 60 0 300 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := iscope.ReadSWF(strings.NewReader(swf), true, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(tr.Jobs), tr.Jobs[0].Procs)
+	// Output: 2 8
+}
+
+// ExampleGenerateWind synthesizes an NREL-style renewable trace.
+func ExampleGenerateWind() {
+	tr, err := iscope.GenerateWind(42, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Len(), tr.Interval)
+	// Output: 144 10.0 min
+}
+
+// ExampleHybridSupply mixes wind and solar into one budget.
+func ExampleHybridSupply() {
+	w, _ := iscope.GenerateWind(1, 1)
+	s, _ := iscope.GenerateSolar(2, 1)
+	h, err := iscope.HybridSupply(w, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(h.Len())
+	// Output: 144
+}

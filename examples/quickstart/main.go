@@ -1,0 +1,50 @@
+// Quickstart: build a small green datacenter, run the conventional
+// baseline (BinRan) and iScope's default scheme (ScanFair) on the same
+// workload and wind, and compare the energy bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iscope"
+)
+
+func main() {
+	// A 200-processor fleet: chips are generated with process variation,
+	// binned as the factory would, and fully profiled by the scanner.
+	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(42, 200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet scanned: %d chips, %d V/F points, scan energy %s\n",
+		fleet.ScanReport.Chips, fleet.ScanReport.Points, fleet.ScanReport.Energy)
+
+	// A day of LLNL-Thunder-like jobs, 30% high-urgency.
+	jobs, err := iscope.SynthesizeWorkload(7, 400, 100, 1.0, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wind sized for this fleet (the default trace feeds 4800 CPUs).
+	wind, err := iscope.GenerateWind(11, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wind = wind.Scale(200.0 / 4800.0)
+
+	for _, name := range []string{"BinRan", "ScanFair"} {
+		scheme, _ := iscope.SchemeByName(name)
+		res, err := iscope.Run(fleet, scheme, iscope.RunConfig{
+			Seed: 1, Jobs: jobs, Wind: wind,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s cost %s (grid %s), wind utilization %.0f%%, %d/%d deadlines missed\n",
+			res.Scheme, res.Cost, res.UtilityCost, 100*res.WindUtilization,
+			res.DeadlineViolations, res.JobsCompleted)
+	}
+}

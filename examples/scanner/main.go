@@ -1,0 +1,69 @@
+// Scanner walkthrough: what iScope's in-cloud profiling actually buys.
+// The program builds a fleet, inspects the scan database against the
+// factory bin voltages, reports the average voltage margin the scanner
+// recovered, prices the scan, and then shows the end-to-end effect by
+// running BinEffi vs ScanEffi on the same workload — the paper's ~9%
+// (Figure 8).
+//
+//	go run ./examples/scanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iscope"
+)
+
+func main() {
+	const procs = 240
+	spec := iscope.DefaultFleetSpec(21, procs)
+	fleet, err := iscope.BuildFleet(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the scanner's measured minimum voltages with the factory
+	// bin voltages, per DVFS level.
+	levels := fleet.PM.Table.NumLevels()
+	fmt.Println("voltage margin recovered by scanning (bin voltage -> scanned voltage):")
+	for l := 0; l < levels; l++ {
+		var scanSum, binSum float64
+		for id := range fleet.Chips {
+			v, ok := fleet.DB.Lookup(id, l)
+			if !ok {
+				log.Fatalf("chip %d level %d not profiled", id, l)
+			}
+			scanSum += float64(v)
+			binSum += float64(fleet.Binning.Vdd(id, l))
+		}
+		scanMean := scanSum / float64(procs)
+		binMean := binSum / float64(procs)
+		fmt.Printf("  level %d (%v): %.3f V -> %.3f V  (%.1f%% shed)\n",
+			l, fleet.PM.Table.Levels[l].Freq, binMean, scanMean, 100*(1-scanMean/binMean))
+	}
+
+	prices := iscope.DefaultPrices()
+	fmt.Printf("\nscan overhead: %d V/F points, %s — %s on wind power (%s on grid)\n",
+		fleet.ScanReport.Points, fleet.ScanReport.Energy,
+		fleet.ScanReport.Cost(prices.Wind), fleet.ScanReport.Cost(prices.Utility))
+
+	// End to end: the same efficiency-seeking scheduler with and without
+	// the profile.
+	jobs, err := iscope.SynthesizeWorkload(23, 500, 128, 1, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cost [2]iscope.USD
+	for i, name := range []string{"BinEffi", "ScanEffi"} {
+		scheme, _ := iscope.SchemeByName(name)
+		res, err := iscope.Run(fleet, scheme, iscope.RunConfig{Seed: 4, Jobs: jobs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost[i] = res.Cost
+		fmt.Printf("%-8s energy %s, bill %s\n", res.Scheme, res.TotalEnergy, res.Cost)
+	}
+	fmt.Printf("profiling pays for itself: %.1f%% cheaper (scan cost %s, amortized in one run)\n",
+		100*(1-float64(cost[1])/float64(cost[0])), fleet.ScanReport.Cost(prices.Wind))
+}

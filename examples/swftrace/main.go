@@ -1,0 +1,91 @@
+// SWF ingestion: run iScope on a real Parallel Workloads Archive trace.
+// The program reads a Standard Workload Format file (pass one with
+// -trace; the LLNL Thunder log the paper evaluates works directly), or
+// writes and re-reads a synthetic Thunder-like SWF file when no trace
+// is given — demonstrating the full archive round trip.
+//
+//	go run ./examples/swftrace [-trace thunder.swf] [-jobs 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"iscope"
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "SWF trace file (empty: generate a synthetic one)")
+	maxJobs := flag.Int("jobs", 500, "maximum jobs to simulate")
+	flag.Parse()
+
+	path := *tracePath
+	if path == "" {
+		path = filepath.Join(os.TempDir(), "iscope-synthetic.swf")
+		if err := writeSynthetic(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no -trace given; wrote synthetic Thunder-like SWF to %s\n", path)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := iscope.ReadSWF(f, true, *maxJobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := iscope.AssignDeadlines(jobs, 61, 0.3); err != nil {
+		log.Fatal(err)
+	}
+	st := jobs.ComputeStats()
+	fmt.Printf("trace: %d jobs, span %v, widest job %d CPUs, %v of CPU work\n",
+		st.Jobs, st.Span, st.MaxProcs, st.TotalWork)
+
+	// Size the fleet to the trace: room for the widest gang and ~2.5x
+	// headroom over the mean parallelism so deadlines are realistic.
+	meanParallel := int(float64(st.TotalWork) / float64(st.Span))
+	procs := meanParallel * 5 / 2
+	if procs < st.MaxProcs*3/2 {
+		procs = st.MaxProcs * 3 / 2
+	}
+	if procs < 64 {
+		procs = 64
+	}
+	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(63, procs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"BinEffi", "ScanEffi"} {
+		scheme, _ := iscope.SchemeByName(name)
+		res, err := iscope.Run(fleet, scheme, iscope.RunConfig{Seed: 65, Jobs: jobs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s on %d CPUs: %s, bill %s, %d deadline misses\n",
+			name, procs, res.TotalEnergy, res.Cost, res.DeadlineViolations)
+	}
+}
+
+func writeSynthetic(path string) error {
+	cfg := workload.DefaultSynthConfig(59, 300)
+	cfg.MaxProcs = 64
+	cfg.Span = units.Days(1)
+	tr, err := workload.Synthesize(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return workload.WriteSWF(f, tr, "synthetic LLNL-Thunder-like trace for examples/swftrace")
+}

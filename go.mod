@@ -1,0 +1,3 @@
+module iscope
+
+go 1.22

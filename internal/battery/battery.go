@@ -1,0 +1,135 @@
+// Package battery models on-site electrical energy storage. The paper
+// notes that "heavily relying on the utility power grid and large-
+// scale onsite battery to complement RES has been shown to be
+// inefficient and costly" (Section II.A) — this package exists to let
+// the experiments *quantify* that claim: a battery buffers surplus
+// wind and serves deficits before the grid, at the cost of round-trip
+// losses and capital.
+package battery
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// Spec sizes a battery installation.
+type Spec struct {
+	// Capacity is the usable energy capacity.
+	Capacity units.Joules
+	// MaxCharge and MaxDischarge bound the power in each direction.
+	MaxCharge    units.Watts
+	MaxDischarge units.Watts
+	// ChargeEff and DischargeEff are one-way efficiencies in (0,1];
+	// their product is the round-trip efficiency (~0.8 for Li-ion).
+	ChargeEff    float64
+	DischargeEff float64
+	// InitialSoC is the starting state of charge as a fraction of
+	// Capacity, in [0,1].
+	InitialSoC float64
+	// CapitalPerKWh prices the installation for cost analyses
+	// (USD per kWh of capacity).
+	CapitalPerKWh units.USD
+}
+
+// DefaultSpec returns a lithium-ion-like battery sized for a given
+// capacity, with a C/2 power rating and 90%/90% one-way efficiencies.
+func DefaultSpec(capacity units.Joules) Spec {
+	halfC := units.Watts(float64(capacity) / (2 * 3600))
+	return Spec{
+		Capacity:      capacity,
+		MaxCharge:     halfC,
+		MaxDischarge:  halfC,
+		ChargeEff:     0.9,
+		DischargeEff:  0.9,
+		InitialSoC:    0.5,
+		CapitalPerKWh: 300,
+	}
+}
+
+// Validate reports sizing errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Capacity <= 0:
+		return fmt.Errorf("battery: capacity must be positive")
+	case s.MaxCharge <= 0 || s.MaxDischarge <= 0:
+		return fmt.Errorf("battery: power ratings must be positive")
+	case s.ChargeEff <= 0 || s.ChargeEff > 1 || s.DischargeEff <= 0 || s.DischargeEff > 1:
+		return fmt.Errorf("battery: efficiencies must be in (0,1]")
+	case s.InitialSoC < 0 || s.InitialSoC > 1:
+		return fmt.Errorf("battery: initial SoC must be in [0,1]")
+	}
+	return nil
+}
+
+// CapitalCost prices the installation.
+func (s Spec) CapitalCost() units.USD {
+	return units.USD(s.Capacity.KWh() * float64(s.CapitalPerKWh))
+}
+
+// Battery is a stateful store.
+type Battery struct {
+	spec Spec
+	soc  units.Joules // stored energy
+}
+
+// New builds a battery at its initial state of charge.
+func New(spec Spec) (*Battery, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Battery{spec: spec, soc: units.Joules(float64(spec.Capacity) * spec.InitialSoC)}, nil
+}
+
+// Spec returns the battery's sizing.
+func (b *Battery) Spec() Spec { return b.spec }
+
+// SoC returns the current stored energy.
+func (b *Battery) SoC() units.Joules { return b.soc }
+
+// SoCFraction returns the state of charge in [0,1].
+func (b *Battery) SoCFraction() float64 { return float64(b.soc) / float64(b.spec.Capacity) }
+
+// Charge absorbs surplus power for dt, honoring the charge-rate and
+// capacity limits. It returns the grid-side energy actually absorbed
+// (before the charging loss); the stored amount is that times
+// ChargeEff.
+func (b *Battery) Charge(surplus units.Watts, dt units.Seconds) units.Joules {
+	if surplus <= 0 || dt <= 0 {
+		return 0
+	}
+	p := surplus
+	if p > b.spec.MaxCharge {
+		p = b.spec.MaxCharge
+	}
+	in := p.Over(dt)
+	stored := units.Joules(float64(in) * b.spec.ChargeEff)
+	room := b.spec.Capacity - b.soc
+	if stored > room {
+		stored = room
+		in = units.Joules(float64(stored) / b.spec.ChargeEff)
+	}
+	b.soc += stored
+	return in
+}
+
+// Discharge serves a deficit for dt, honoring the discharge-rate and
+// state-of-charge limits. It returns the load-side energy actually
+// delivered (after the discharging loss).
+func (b *Battery) Discharge(deficit units.Watts, dt units.Seconds) units.Joules {
+	if deficit <= 0 || dt <= 0 {
+		return 0
+	}
+	p := deficit
+	if p > b.spec.MaxDischarge {
+		p = b.spec.MaxDischarge
+	}
+	want := p.Over(dt) // load-side energy wanted
+	drawn := units.Joules(float64(want) / b.spec.DischargeEff)
+	if drawn > b.soc {
+		drawn = b.soc
+		want = units.Joules(float64(drawn) * b.spec.DischargeEff)
+	}
+	b.soc -= drawn
+	return want
+}

@@ -1,0 +1,178 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iscope/internal/units"
+)
+
+func newBatt(t *testing.T, capKWh float64) *Battery {
+	t.Helper()
+	b, err := New(DefaultSpec(units.FromKWh(capKWh)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSpecValidation(t *testing.T) {
+	good := DefaultSpec(units.FromKWh(100))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	muts := []func(*Spec){
+		func(s *Spec) { s.Capacity = 0 },
+		func(s *Spec) { s.MaxCharge = 0 },
+		func(s *Spec) { s.MaxDischarge = -1 },
+		func(s *Spec) { s.ChargeEff = 0 },
+		func(s *Spec) { s.ChargeEff = 1.5 },
+		func(s *Spec) { s.DischargeEff = 0 },
+		func(s *Spec) { s.InitialSoC = 1.1 },
+	}
+	for i, mut := range muts {
+		s := DefaultSpec(units.FromKWh(100))
+		mut(&s)
+		if _, err := New(s); err == nil {
+			t.Errorf("spec %d: expected error", i)
+		}
+	}
+}
+
+func TestInitialSoC(t *testing.T) {
+	b := newBatt(t, 100)
+	if math.Abs(b.SoCFraction()-0.5) > 1e-12 {
+		t.Fatalf("initial SoC = %v, want 0.5", b.SoCFraction())
+	}
+}
+
+func TestChargeStoresWithLoss(t *testing.T) {
+	b := newBatt(t, 100)
+	before := b.SoC()
+	// 10 kW surplus for 1 h: within the 50 kW C/2 rating.
+	in := b.Charge(10000, units.Hours(1))
+	if math.Abs(in.KWh()-10) > 1e-9 {
+		t.Fatalf("absorbed %v kWh, want 10", in.KWh())
+	}
+	stored := b.SoC() - before
+	if math.Abs(stored.KWh()-9) > 1e-9 { // 90% one-way efficiency
+		t.Fatalf("stored %v kWh, want 9", stored.KWh())
+	}
+}
+
+func TestChargeRateLimited(t *testing.T) {
+	b := newBatt(t, 100) // C/2 = 50 kW
+	in := b.Charge(500000, units.Hours(1))
+	if math.Abs(in.KWh()-50) > 1e-9 {
+		t.Fatalf("absorbed %v kWh, want rate-limited 50", in.KWh())
+	}
+}
+
+func TestChargeCapacityLimited(t *testing.T) {
+	spec := DefaultSpec(units.FromKWh(10))
+	spec.InitialSoC = 0.95
+	b, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Charge(5000, units.Hours(10))
+	// Room is 0.5 kWh stored -> 0.5/0.9 kWh grid-side.
+	if math.Abs(in.KWh()-0.5/0.9) > 1e-9 {
+		t.Fatalf("absorbed %v kWh, want %v", in.KWh(), 0.5/0.9)
+	}
+	if math.Abs(b.SoCFraction()-1) > 1e-9 {
+		t.Fatalf("SoC = %v, want full", b.SoCFraction())
+	}
+	if b.Charge(5000, units.Hours(1)) != 0 {
+		t.Fatal("full battery accepted charge")
+	}
+}
+
+func TestDischargeDeliversWithLoss(t *testing.T) {
+	b := newBatt(t, 100) // 50 kWh stored
+	out := b.Discharge(9000, units.Hours(1))
+	if math.Abs(out.KWh()-9) > 1e-9 {
+		t.Fatalf("delivered %v kWh, want 9", out.KWh())
+	}
+	// Drawn from the store: 9/0.9 = 10 kWh.
+	if math.Abs(b.SoC().KWh()-40) > 1e-9 {
+		t.Fatalf("SoC = %v kWh, want 40", b.SoC().KWh())
+	}
+}
+
+func TestDischargeSoCLimited(t *testing.T) {
+	spec := DefaultSpec(units.FromKWh(10))
+	spec.InitialSoC = 0.1 // 1 kWh stored
+	b, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.Discharge(5000, units.Hours(10))
+	if math.Abs(out.KWh()-0.9) > 1e-9 { // 1 kWh * 0.9
+		t.Fatalf("delivered %v kWh, want 0.9", out.KWh())
+	}
+	if b.SoC() > 1e-9 {
+		t.Fatalf("SoC = %v, want empty", b.SoC())
+	}
+	if b.Discharge(5000, units.Hours(1)) != 0 {
+		t.Fatal("empty battery delivered energy")
+	}
+}
+
+func TestZeroAndNegativeFlows(t *testing.T) {
+	b := newBatt(t, 100)
+	if b.Charge(-5, 100) != 0 || b.Charge(5, -100) != 0 {
+		t.Fatal("degenerate charge accepted")
+	}
+	if b.Discharge(-5, 100) != 0 || b.Discharge(5, 0) != 0 {
+		t.Fatal("degenerate discharge accepted")
+	}
+}
+
+func TestRoundTripEfficiency(t *testing.T) {
+	spec := DefaultSpec(units.FromKWh(1000))
+	spec.InitialSoC = 0
+	b, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Charge(10000, units.Hours(10)) // 100 kWh in
+	var out units.Joules
+	for i := 0; i < 100; i++ {
+		out += b.Discharge(10000, units.Hours(1))
+	}
+	rt := float64(out) / float64(in)
+	if math.Abs(rt-0.81) > 1e-9 { // 0.9 * 0.9
+		t.Fatalf("round-trip efficiency = %v, want 0.81", rt)
+	}
+}
+
+func TestSoCInvariantProperty(t *testing.T) {
+	b := newBatt(t, 50)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			p := units.Watts(uint32(op) * 3)
+			dt := units.Seconds(1 + op%1800)
+			if op%2 == 0 {
+				b.Charge(p, dt)
+			} else {
+				b.Discharge(p, dt)
+			}
+			if b.SoC() < -1e-9 || b.SoC() > b.Spec().Capacity+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapitalCost(t *testing.T) {
+	spec := DefaultSpec(units.FromKWh(100))
+	if got := float64(spec.CapitalCost()); math.Abs(got-30000) > 1e-6 {
+		t.Fatalf("capital cost = %v, want $30000", got)
+	}
+}

@@ -1,0 +1,194 @@
+package binning
+
+import (
+	"testing"
+
+	"iscope/internal/power"
+	"iscope/internal/variation"
+)
+
+func fleet(t *testing.T, n int, seed uint64) []*variation.Chip {
+	t.Helper()
+	m, err := variation.NewModel(variation.DefaultConfig(seed))
+	if err != nil {
+		t.Fatalf("variation model: %v", err)
+	}
+	return m.GenerateFleet(n)
+}
+
+func TestAssignPartition(t *testing.T) {
+	chips := fleet(t, 100, 1)
+	b, err := Assign(chips, power.DefaultTable(), 3, DefaultFactoryGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBins() != 3 {
+		t.Fatalf("bins = %d, want 3", b.NumBins())
+	}
+	seen := make([]bool, len(chips))
+	total := 0
+	for _, bin := range b.Bins {
+		total += len(bin.Members)
+		for _, id := range bin.Members {
+			if seen[id] {
+				t.Fatalf("chip %d appears in multiple bins", id)
+			}
+			seen[id] = true
+			if b.BinOf(id) != bin.Index {
+				t.Fatalf("ChipBin inconsistent for chip %d", id)
+			}
+		}
+	}
+	if total != len(chips) {
+		t.Fatalf("bins cover %d chips, want %d", total, len(chips))
+	}
+}
+
+func TestBinsOrderedByEfficiency(t *testing.T) {
+	chips := fleet(t, 300, 2)
+	tbl := power.DefaultTable()
+	b, err := Assign(chips, tbl, 3, DefaultFactoryGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmax := float64(tbl.Fmax())
+	for i := 1; i < len(b.Bins); i++ {
+		if b.Bins[i].WorstNominalPower < b.Bins[i-1].WorstNominalPower {
+			t.Fatalf("bin %d worst power below bin %d", i, i-1)
+		}
+	}
+	// Every member of bin 0 must be at most as power-hungry as every
+	// member of the last bin.
+	max0, minLast := 0.0, 1e18
+	for _, id := range b.Bins[0].Members {
+		if p := chips[id].NominalPower(fmax); p > max0 {
+			max0 = p
+		}
+	}
+	for _, id := range b.Bins[len(b.Bins)-1].Members {
+		if p := chips[id].NominalPower(fmax); p < minLast {
+			minLast = p
+		}
+	}
+	if max0 > minLast {
+		t.Fatalf("bin 0 contains a chip (%.2f W) hungrier than last bin's best (%.2f W)", max0, minLast)
+	}
+}
+
+func TestBinVddCoversWorstMember(t *testing.T) {
+	chips := fleet(t, 200, 3)
+	tbl := power.DefaultTable()
+	b, err := Assign(chips, tbl, 3, DefaultFactoryGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range b.Bins {
+		for l := range bin.VddPerLevel {
+			vnom := float64(tbl.Levels[l].Vnom)
+			for _, id := range bin.Members {
+				min := chips[id].MinVdd(l, vnom, false)
+				binV := float64(bin.VddPerLevel[l])
+				// The bin voltage must be safe for every member (or
+				// capped at nominal, which is safe by construction).
+				if binV < min && binV < vnom {
+					t.Fatalf("bin %d level %d: voltage %.4f below member %d MinVdd %.4f", bin.Index, l, binV, id, min)
+				}
+				if binV > vnom+1e-12 {
+					t.Fatalf("bin voltage %.4f above nominal %.4f", binV, vnom)
+				}
+			}
+		}
+	}
+}
+
+func TestBinVddAtLeastScannedVdd(t *testing.T) {
+	// The whole premise of the paper: binned voltage >= a chip's own
+	// MinVdd, so scanning can only save power.
+	chips := fleet(t, 200, 4)
+	tbl := power.DefaultTable()
+	b, err := Assign(chips, tbl, 3, DefaultFactoryGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, ch := range chips {
+		for l := 0; l < tbl.NumLevels(); l++ {
+			own := ch.MinVdd(l, float64(tbl.Levels[l].Vnom), false)
+			if float64(b.Vdd(id, l)) < own-1e-12 {
+				t.Fatalf("chip %d level %d: bin voltage below own MinVdd", id, l)
+			}
+		}
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	chips := fleet(t, 10, 5)
+	tbl := power.DefaultTable()
+	if _, err := Assign(chips, tbl, 0, 0.04); err == nil {
+		t.Error("expected error for nbins=0")
+	}
+	if _, err := Assign(nil, tbl, 3, 0.04); err == nil {
+		t.Error("expected error for empty fleet")
+	}
+	if _, err := Assign(chips, tbl, 3, -0.1); err == nil {
+		t.Error("expected error for negative guard")
+	}
+}
+
+func TestMoreBinsThanChips(t *testing.T) {
+	chips := fleet(t, 2, 6)
+	b, err := Assign(chips, power.DefaultTable(), 10, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBins() != 2 {
+		t.Fatalf("bins = %d, want clamped to 2", b.NumBins())
+	}
+}
+
+func TestSingleBinDegeneratesToUniform(t *testing.T) {
+	chips := fleet(t, 50, 7)
+	b, err := Assign(chips, power.DefaultTable(), 1, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range chips {
+		if b.BinOf(id) != 0 {
+			t.Fatalf("chip %d not in bin 0", id)
+		}
+	}
+}
+
+func TestOpteronTable1(t *testing.T) {
+	bins := Opteron6300Bins()
+	if len(bins) != 3 {
+		t.Fatalf("Table 1 has %d bins, want 3", len(bins))
+	}
+	wantClocks := []float64{2.3, 2.4, 2.5}
+	wantPrices := []int{703, 876, 1088}
+	for i, b := range bins {
+		if b.NominalGHz != wantClocks[i] {
+			t.Errorf("bin %s nominal clock %v, want %v", b.Model, b.NominalGHz, wantClocks[i])
+		}
+		if b.PriceUSD != wantPrices[i] {
+			t.Errorf("bin %s price %v, want %v", b.Model, b.PriceUSD, wantPrices[i])
+		}
+		if diff := b.MaxGHz - (b.NominalGHz + 0.9); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bin %s max clock %v inconsistent with Table 1", b.Model, b.MaxGHz)
+		}
+		if b.Cores != 16 || b.CacheMB != 16 || b.MaxTDPWatts != 115 {
+			t.Errorf("bin %s core/cache/TDP mismatch", b.Model)
+		}
+	}
+}
+
+func TestDeterministicAssignment(t *testing.T) {
+	chips := fleet(t, 100, 8)
+	tbl := power.DefaultTable()
+	a, _ := Assign(chips, tbl, 3, 0.04)
+	b, _ := Assign(chips, tbl, 3, 0.04)
+	for id := range chips {
+		if a.BinOf(id) != b.BinOf(id) {
+			t.Fatalf("assignment not deterministic for chip %d", id)
+		}
+	}
+}

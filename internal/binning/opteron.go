@@ -1,0 +1,24 @@
+package binning
+
+// OpteronBin is one row of the paper's Table 1: the three retail bins of
+// the AMD Opteron 6300 series CPU, the real-world example of factory
+// speed binning the evaluation's bin model is patterned on.
+type OpteronBin struct {
+	Model       string
+	Cores       int
+	CacheMB     int
+	NominalGHz  float64
+	MaxGHz      float64
+	PriceUSD    int
+	MaxTDPWatts int // series maximum TDP, used for profiling-cost accounting
+}
+
+// Opteron6300Bins reproduces Table 1. The 115 W TDP is the series
+// maximum used in Section VI.E's profiling-overhead estimate.
+func Opteron6300Bins() []OpteronBin {
+	return []OpteronBin{
+		{Model: "6376", Cores: 16, CacheMB: 16, NominalGHz: 2.3, MaxGHz: 3.2, PriceUSD: 703, MaxTDPWatts: 115},
+		{Model: "6378", Cores: 16, CacheMB: 16, NominalGHz: 2.4, MaxGHz: 3.3, PriceUSD: 876, MaxTDPWatts: 115},
+		{Model: "6380", Cores: 16, CacheMB: 16, NominalGHz: 2.5, MaxGHz: 3.4, PriceUSD: 1088, MaxTDPWatts: 115},
+	}
+}

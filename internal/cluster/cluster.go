@@ -1,0 +1,481 @@
+// Package cluster models the datacenter: a fleet of processors (the
+// schedulable "CPUs" of the paper), per-processor FIFO task queues,
+// task-slice execution with DVFS-aware progress tracking, utilization
+// accounting for the lifetime-balancing study, and incremental
+// aggregate power bookkeeping.
+//
+// A job requesting N CPUs becomes N parallel slices, one per chosen
+// processor; each slice carries the job's runtime (at the top DVFS
+// level), CPU-boundness and deadline. A processor executes its slices
+// FIFO. Power-matching may change a running slice's DVFS level mid-
+// flight; progress is tracked as a remaining-work fraction so level
+// changes re-time the completion correctly.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"iscope/internal/power"
+	"iscope/internal/units"
+	"iscope/internal/variation"
+	"iscope/internal/workload"
+)
+
+// VoltageFn returns the supply voltage a processor is operated at for a
+// DVFS level. It encodes the knowledge regime: factory bin voltage for
+// Bin schemes, scanned MinVdd plus guardband for Scan schemes.
+type VoltageFn func(procID, level int) units.Volts
+
+// Slice is one processor's share of a gang job.
+type Slice struct {
+	Job    *workload.Job
+	ProcID int
+	// AssignedLevel is the DVFS level the scheduler chose; power
+	// matching may run the slice below it temporarily, never above.
+	AssignedLevel int
+	// Level is the current operating level while running.
+	Level int
+
+	remaining  float64 // fraction of work left, 1 -> 0
+	lastUpdate units.Seconds
+	running    bool
+	done       bool
+
+	// Finish is the estimated completion time while running.
+	Finish units.Seconds
+	// Gen invalidates stale completion events after a level change.
+	Gen int
+
+	// draw is the power the slice is booked at in the aggregate demand
+	// while running. It is captured at start/level-change time so that
+	// knowledge updates mid-run (online profiling) cannot unbalance the
+	// incremental bookkeeping.
+	draw units.Watts
+}
+
+// Running reports whether the slice is currently executing.
+func (s *Slice) Running() bool { return s.running }
+
+// Done reports whether the slice has completed.
+func (s *Slice) Done() bool { return s.done }
+
+// Remaining returns the fraction of work left.
+func (s *Slice) Remaining() float64 { return s.remaining }
+
+// Processor is one schedulable CPU.
+type Processor struct {
+	ID   int
+	Chip *variation.Chip
+
+	queue   []*Slice
+	current *Slice
+
+	// UtilTime accumulates busy time — the lifetime-wear proxy of the
+	// paper's Figure 9.
+	UtilTime  units.Seconds
+	busySince units.Seconds
+
+	// backlog is the summed full durations of queued (not yet started)
+	// slices at their assigned levels — the queue-drain estimate.
+	backlog units.Seconds
+
+	// offline marks the processor isolated from service (being
+	// profiled); offlineDraw is its power draw while isolated.
+	offline     bool
+	offlineDraw units.Watts
+}
+
+// Offline reports whether the processor is isolated from service.
+func (p *Processor) Offline() bool { return p.offline }
+
+// Current returns the running slice, nil when idle.
+func (p *Processor) Current() *Slice { return p.current }
+
+// QueueLen returns the number of waiting slices.
+func (p *Processor) QueueLen() int { return len(p.queue) }
+
+// Datacenter is the simulated facility.
+type Datacenter struct {
+	Procs []*Processor
+
+	pm   *power.Model
+	volt VoltageFn
+	cops []float64 // per-processor cooling coefficient
+
+	demand units.Watts // aggregate draw including cooling
+}
+
+// New builds a datacenter of len(chips) processors with a uniform
+// cooling coefficient.
+func New(chips []*variation.Chip, pm *power.Model, volt VoltageFn, cop float64) (*Datacenter, error) {
+	if cop <= 0 {
+		return nil, fmt.Errorf("cluster: COP must be positive, got %v", cop)
+	}
+	cops := make([]float64, len(chips))
+	for i := range cops {
+		cops[i] = cop
+	}
+	return NewWithCOPs(chips, pm, volt, cops)
+}
+
+// NewWithCOPs builds a datacenter with per-processor cooling
+// coefficients — cold-aisle and hot-aisle nodes cool at different
+// efficiency, the COP spread Greenberg et al. measured across real
+// facilities (Section IV.A: "COP follows normal distribution between
+// [0.6, 3.5]").
+func NewWithCOPs(chips []*variation.Chip, pm *power.Model, volt VoltageFn, cops []float64) (*Datacenter, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("cluster: empty fleet")
+	}
+	if volt == nil {
+		return nil, fmt.Errorf("cluster: nil voltage function")
+	}
+	if len(cops) != len(chips) {
+		return nil, fmt.Errorf("cluster: %d COPs for %d chips", len(cops), len(chips))
+	}
+	for i, c := range cops {
+		if c <= 0 {
+			return nil, fmt.Errorf("cluster: processor %d has non-positive COP %v", i, c)
+		}
+	}
+	dc := &Datacenter{
+		Procs: make([]*Processor, len(chips)),
+		pm:    pm,
+		volt:  volt,
+		cops:  append([]float64(nil), cops...),
+	}
+	for i, ch := range chips {
+		dc.Procs[i] = &Processor{ID: i, Chip: ch}
+	}
+	return dc, nil
+}
+
+// Demand returns the current aggregate power draw including cooling.
+func (dc *Datacenter) Demand() units.Watts { return dc.demand }
+
+// PowerModel returns the datacenter's power model.
+func (dc *Datacenter) PowerModel() *power.Model { return dc.pm }
+
+// ProcPower returns the total draw (with cooling) of processor id
+// running at the given level under the datacenter's voltage regime.
+func (dc *Datacenter) ProcPower(id, level int) units.Watts {
+	ch := dc.Procs[id].Chip
+	cpu := dc.pm.CPUPower(ch.Alpha, ch.Beta, level, dc.volt(id, level))
+	return power.WithCooling(cpu, dc.cops[id])
+}
+
+// SliceDuration returns the slice's full execution time at level l.
+func (dc *Datacenter) SliceDuration(s *Slice, l int) units.Seconds {
+	return dc.pm.ExecTime(s.Job.Runtime, s.Job.Boundness, l)
+}
+
+// AvailableAt estimates when processor id can start a new slice: now if
+// idle, otherwise the running slice's estimated finish plus the queued
+// backlog. Offline (profiling) processors report +Inf. The estimate
+// assumes current DVFS levels persist; power matching can shift it,
+// which is exactly the estimation error a real scheduler lives with.
+func (dc *Datacenter) AvailableAt(id int, now units.Seconds) units.Seconds {
+	p := dc.Procs[id]
+	if p.offline {
+		return units.Seconds(math.Inf(1))
+	}
+	if p.current == nil {
+		return now
+	}
+	return p.current.Finish + p.backlog
+}
+
+// SetOffline isolates an idle, queue-free processor from service for
+// profiling, drawing the given test power meanwhile. It reports an
+// error if the processor is busy, queued-up or already offline —
+// opportunistic profiling must only take truly idle nodes (Section
+// III.C).
+func (dc *Datacenter) SetOffline(id int, draw units.Watts) error {
+	p := dc.Procs[id]
+	if p.offline {
+		return fmt.Errorf("cluster: processor %d already offline", id)
+	}
+	if p.current != nil || len(p.queue) > 0 {
+		return fmt.Errorf("cluster: processor %d is not idle", id)
+	}
+	if draw < 0 {
+		return fmt.Errorf("cluster: negative profiling draw")
+	}
+	p.offline = true
+	p.offlineDraw = draw
+	dc.demand += draw
+	return nil
+}
+
+// SetOnline returns a profiled processor to service and starts the
+// first queued slice if any arrived meanwhile (the returned slice's
+// completion must then be scheduled by the caller).
+func (dc *Datacenter) SetOnline(id int, now units.Seconds) *Slice {
+	p := dc.Procs[id]
+	if !p.offline {
+		return nil
+	}
+	p.offline = false
+	dc.demand -= p.offlineDraw
+	p.offlineDraw = 0
+	if p.current != nil || len(p.queue) == 0 {
+		return nil
+	}
+	next := p.queue[0]
+	p.queue = p.queue[1:]
+	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
+	if p.backlog < 0 {
+		p.backlog = 0
+	}
+	dc.start(p, next, now)
+	return next
+}
+
+// Unqueue removes a not-yet-started slice from its processor's queue
+// so it can be migrated elsewhere ("load migration between nodes" —
+// one of the green-datacenter levers the paper's Section I lists). It
+// reports whether the slice was found; running or completed slices
+// cannot be unqueued.
+func (dc *Datacenter) Unqueue(s *Slice) bool {
+	if s.running || s.done {
+		return false
+	}
+	p := dc.Procs[s.ProcID]
+	for i, q := range p.queue {
+		if q == s {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.backlog -= dc.SliceDuration(s, s.AssignedLevel)
+			if p.backlog < 0 {
+				p.backlog = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedSlices appends every waiting (not started) slice across the
+// fleet to dst and returns it.
+func (dc *Datacenter) QueuedSlices(dst []*Slice) []*Slice {
+	dst = dst[:0]
+	for _, p := range dc.Procs {
+		dst = append(dst, p.queue...)
+	}
+	return dst
+}
+
+// Migrate moves a queued slice to another processor at a (possibly
+// new) assigned DVFS level, starting it immediately if that processor
+// is idle (the returned slice is then non-nil and its completion must
+// be scheduled).
+func (dc *Datacenter) Migrate(s *Slice, toProc, level int, now units.Seconds) (*Slice, error) {
+	if !dc.Unqueue(s) {
+		return nil, fmt.Errorf("cluster: slice of job %d is not queued", s.Job.ID)
+	}
+	s.ProcID = toProc
+	s.AssignedLevel = level
+	s.Level = level
+	return dc.Enqueue(s, now), nil
+}
+
+// QueueEstimates calls fn for every queued slice with its estimated
+// start time under the current DVFS levels. Slices queued behind a
+// profiling session (offline processor) get a +Inf estimate.
+func (dc *Datacenter) QueueEstimates(fn func(s *Slice, estStart units.Seconds)) {
+	for _, p := range dc.Procs {
+		if len(p.queue) == 0 {
+			continue
+		}
+		t := units.Seconds(math.Inf(1))
+		if p.current != nil {
+			t = p.current.Finish
+		}
+		for _, q := range p.queue {
+			fn(q, t)
+			t += dc.SliceDuration(q, q.AssignedLevel)
+		}
+	}
+}
+
+// OfflineCount returns the number of processors currently isolated.
+func (dc *Datacenter) OfflineCount() int {
+	n := 0
+	for _, p := range dc.Procs {
+		if p.offline {
+			n++
+		}
+	}
+	return n
+}
+
+// NewSlice creates an unstarted slice of job j on processor procID at
+// the given assigned level.
+func NewSlice(j *workload.Job, procID, level int) *Slice {
+	return &Slice{
+		Job:           j,
+		ProcID:        procID,
+		AssignedLevel: level,
+		Level:         level,
+		remaining:     1,
+	}
+}
+
+// Enqueue appends the slice to its processor's queue. If the processor
+// is idle the slice starts immediately and is returned (its completion
+// must then be scheduled by the caller); otherwise nil is returned.
+func (dc *Datacenter) Enqueue(s *Slice, now units.Seconds) *Slice {
+	p := dc.Procs[s.ProcID]
+	if p.current == nil && !p.offline {
+		dc.start(p, s, now)
+		return s
+	}
+	p.queue = append(p.queue, s)
+	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
+	return nil
+}
+
+func (dc *Datacenter) start(p *Processor, s *Slice, now units.Seconds) {
+	p.current = s
+	p.busySince = now
+	s.running = true
+	s.lastUpdate = now
+	s.Level = s.AssignedLevel
+	s.Finish = now + units.Seconds(s.remaining*float64(dc.SliceDuration(s, s.Level)))
+	s.draw = dc.ProcPower(p.ID, s.Level)
+	dc.demand += s.draw
+}
+
+// Complete finishes processor id's running slice and starts the next
+// queued one, if any. It returns the newly started slice (nil when the
+// queue is empty). The caller is responsible for only invoking this at
+// the slice's current Finish time with a matching generation.
+func (dc *Datacenter) Complete(id int, now units.Seconds) *Slice {
+	p := dc.Procs[id]
+	s := p.current
+	if s == nil {
+		return nil
+	}
+	dc.demand -= s.draw
+	s.draw = 0
+	s.running = false
+	s.done = true
+	s.remaining = 0
+	p.UtilTime += now - p.busySince
+	p.current = nil
+	if len(p.queue) == 0 {
+		return nil
+	}
+	next := p.queue[0]
+	p.queue = p.queue[1:]
+	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
+	if p.backlog < 0 {
+		p.backlog = 0
+	}
+	dc.start(p, next, now)
+	return next
+}
+
+// SetLevel changes a running slice's DVFS level at time now, updating
+// remaining work, finish estimate, generation and aggregate demand. It
+// is a no-op if the slice is not running or already at the level.
+func (dc *Datacenter) SetLevel(s *Slice, level int, now units.Seconds) {
+	if !s.running || level == s.Level {
+		return
+	}
+	p := dc.Procs[s.ProcID]
+	dc.demand -= s.draw
+	dc.progress(s, now)
+	s.Level = level
+	s.Gen++
+	s.Finish = now + units.Seconds(s.remaining*float64(dc.SliceDuration(s, level)))
+	s.draw = dc.ProcPower(p.ID, level)
+	dc.demand += s.draw
+}
+
+// FinishAtLevel predicts the slice's completion time if switched to the
+// given level at time now (without applying the change).
+func (dc *Datacenter) FinishAtLevel(s *Slice, level int, now units.Seconds) units.Seconds {
+	rem := s.remaining
+	if s.running {
+		dur := float64(dc.SliceDuration(s, s.Level))
+		if dur > 0 {
+			rem -= float64(now-s.lastUpdate) / dur
+		}
+		if rem < 0 {
+			rem = 0
+		}
+	}
+	return now + units.Seconds(rem*float64(dc.SliceDuration(s, level)))
+}
+
+// progress advances the slice's remaining-work fraction to time now.
+func (dc *Datacenter) progress(s *Slice, now units.Seconds) {
+	dur := float64(dc.SliceDuration(s, s.Level))
+	if dur > 0 {
+		s.remaining -= float64(now-s.lastUpdate) / dur
+	}
+	if s.remaining < 0 {
+		s.remaining = 0
+	}
+	s.lastUpdate = now
+}
+
+// QueueSlack returns the minimum deadline slack among processor id's
+// queued (not yet started) slices, given the current estimated drain
+// order: how much the running slice's completion may be delayed before
+// some queued slice's estimated completion crosses its deadline.
+// +Inf when the queue is empty or deadline-free.
+func (dc *Datacenter) QueueSlack(id int, now units.Seconds) units.Seconds {
+	p := dc.Procs[id]
+	slackMin := units.Seconds(math.Inf(1))
+	if p.current == nil {
+		return slackMin
+	}
+	t := p.current.Finish
+	for _, q := range p.queue {
+		t += dc.SliceDuration(q, q.AssignedLevel)
+		if q.Job.Deadline > 0 {
+			if s := q.Job.Deadline - t; s < slackMin {
+				slackMin = s
+			}
+		}
+	}
+	return slackMin
+}
+
+// RunningSlices appends every currently executing slice to dst and
+// returns it, avoiding per-tick allocation in the matching loop.
+func (dc *Datacenter) RunningSlices(dst []*Slice) []*Slice {
+	dst = dst[:0]
+	for _, p := range dc.Procs {
+		if p.current != nil {
+			dst = append(dst, p.current)
+		}
+	}
+	return dst
+}
+
+// UtilTimes returns each processor's accumulated busy time, adding the
+// in-flight busy span for processors currently running.
+func (dc *Datacenter) UtilTimes(now units.Seconds) []units.Seconds {
+	out := make([]units.Seconds, len(dc.Procs))
+	for i, p := range dc.Procs {
+		out[i] = p.UtilTime
+		if p.current != nil {
+			out[i] += now - p.busySince
+		}
+	}
+	return out
+}
+
+// BusyCount returns the number of processors currently running a slice.
+func (dc *Datacenter) BusyCount() int {
+	n := 0
+	for _, p := range dc.Procs {
+		if p.current != nil {
+			n++
+		}
+	}
+	return n
+}

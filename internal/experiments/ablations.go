@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iscope/internal/battery"
+	"iscope/internal/profiling"
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+)
+
+// This file implements the ablations DESIGN.md calls out: each isolates
+// one design choice of iScope and quantifies its contribution.
+
+// AblationResult collects every ablation's rows.
+type AblationResult struct {
+	Guardband []GuardbandRow
+	FairTheta []FairThetaRow
+	BinCount  []BinCountRow
+	Matching  MatchingRow
+	Rebalance RebalanceRow
+	Battery   []BatteryRow
+	Oracle    OracleRow
+	Aging     *profiling.AgingResult
+}
+
+// GuardbandRow: in-cloud guardband width vs ScanEffi energy. Wider
+// guards are safer under measurement noise and aging but surrender
+// recovered margin.
+type GuardbandRow struct {
+	Guard     units.Volts
+	TotalKWh  float64
+	CostUSD   units.USD
+	VsDefault float64 // fractional energy change vs the default guard
+}
+
+// FairThetaRow: ScanFair's wind-abundance threshold vs its outcomes.
+type FairThetaRow struct {
+	Theta        float64
+	UtilityCost  units.USD
+	TotalCost    units.USD
+	UtilVariance float64
+}
+
+// BinCountRow: factory bin granularity vs BinEffi energy — how much of
+// the Scan benefit finer binning could recover.
+type BinCountRow struct {
+	Bins     int
+	TotalKWh float64
+	// GapToScan is BinEffi's remaining energy excess over ScanEffi.
+	GapToScan float64
+}
+
+// MatchingRow: the DVFS supply-tracking loop on vs off.
+type MatchingRow struct {
+	UtilityKWhOn  float64
+	UtilityKWhOff float64
+	Saving        float64
+}
+
+// RebalanceRow: deadline-threatened queue migration on vs off.
+type RebalanceRow struct {
+	ViolationsOff int
+	ViolationsOn  int
+}
+
+// BatteryRow: storage capacity vs the utility bill, including capital.
+type BatteryRow struct {
+	CapacityKWh   float64
+	UtilityCost   units.USD
+	EnergyCost    units.USD // wind + utility
+	CapitalCost   units.USD
+	RoundTripLoss units.Joules
+	DeliveredKWh  float64
+}
+
+// OracleRow: the perfect-knowledge lower bound against ScanEffi.
+type OracleRow struct {
+	ScanKWh   float64
+	OracleKWh float64
+	// ResidualGap is the energy fraction the scanner's guardband still
+	// leaves on the table relative to perfect knowledge.
+	ResidualGap float64
+}
+
+// Ablations runs the full suite at the given scale.
+func Ablations(o Options) (*AblationResult, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	wtr, err := buildWind(o, fleet, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{}
+
+	scanEffi, _ := scheduler.SchemeByName("ScanEffi")
+	scanFair, _ := scheduler.SchemeByName("ScanFair")
+	oracleEffi, _ := scheduler.SchemeByName("OracleEffi")
+	binEffi, _ := scheduler.SchemeByName("BinEffi")
+
+	// Guardband sweep (utility-only isolates the voltage effect).
+	guards := []units.Volts{0.005, scheduler.DefaultScanGuard, 0.025, 0.05, 0.1}
+	var base float64
+	for i, g := range guards {
+		res, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, ScanGuard: g})
+		if err != nil {
+			return nil, err
+		}
+		kwh := res.TotalEnergy.KWh()
+		if i == 0 {
+			base = kwh
+		}
+		if g == scheduler.DefaultScanGuard {
+			base = kwh
+		}
+		out.Guardband = append(out.Guardband, GuardbandRow{
+			Guard: g, TotalKWh: kwh, CostUSD: res.Cost,
+		})
+	}
+	for i := range out.Guardband {
+		out.Guardband[i].VsDefault = out.Guardband[i].TotalKWh/base - 1
+	}
+
+	// FairTheta sweep.
+	for _, theta := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+		res, err := scheduler.Run(fleet, scanFair, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, Wind: wtr, FairTheta: theta})
+		if err != nil {
+			return nil, err
+		}
+		out.FairTheta = append(out.FairTheta, FairThetaRow{
+			Theta: theta, UtilityCost: res.UtilityCost, TotalCost: res.Cost,
+			UtilVariance: res.UtilVariance,
+		})
+	}
+
+	// Bin-count sweep: rebuild the binning at each granularity. The
+	// chips and scan DB stay identical; only the factory knowledge
+	// changes.
+	scanRes, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	for _, bins := range []int{1, 2, 3, 6, 12, 24} {
+		spec := scheduler.DefaultFleetSpec(o.Seed, o.NumProcs)
+		spec.Bins = bins
+		binFleet, err := scheduler.BuildFleet(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := scheduler.Run(binFleet, binEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs})
+		if err != nil {
+			return nil, err
+		}
+		out.BinCount = append(out.BinCount, BinCountRow{
+			Bins:      bins,
+			TotalKWh:  res.TotalEnergy.KWh(),
+			GapToScan: res.TotalEnergy.KWh()/scanRes.TotalEnergy.KWh() - 1,
+		})
+	}
+
+	// Matching on/off.
+	on, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, Wind: wtr})
+	if err != nil {
+		return nil, err
+	}
+	off, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, Wind: wtr, DisableMatching: true})
+	if err != nil {
+		return nil, err
+	}
+	out.Matching = MatchingRow{
+		UtilityKWhOn:  on.UtilityEnergy.KWh(),
+		UtilityKWhOff: off.UtilityEnergy.KWh(),
+		Saving:        1 - on.UtilityEnergy.KWh()/off.UtilityEnergy.KWh(),
+	}
+
+	// Queue rebalancing on/off under wind (matching stretches queues).
+	reb, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, Wind: wtr, EnableRebalance: true})
+	if err != nil {
+		return nil, err
+	}
+	out.Rebalance = RebalanceRow{
+		ViolationsOff: on.DeadlineViolations,
+		ViolationsOn:  reb.DeadlineViolations,
+	}
+
+	// Battery sweep, sized relative to the wind farm's hourly output.
+	hourly := float64(wtr.Mean()) * 3600 // J per mean-wind hour
+	for _, hours := range []float64{0, 1, 4, 12} {
+		cfg := scheduler.RunConfig{Seed: o.Seed, Jobs: jobs, Wind: wtr}
+		var spec battery.Spec
+		if hours > 0 {
+			spec = battery.DefaultSpec(units.Joules(hourly * hours))
+			cfg.Battery = &spec
+		}
+		res, err := scheduler.Run(fleet, scanFair, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := BatteryRow{
+			UtilityCost:  res.UtilityCost,
+			EnergyCost:   res.Cost,
+			DeliveredKWh: res.BatteryDelivered.KWh(),
+		}
+		if hours > 0 {
+			row.CapacityKWh = spec.Capacity.KWh()
+			row.CapitalCost = spec.CapitalCost()
+			row.RoundTripLoss = res.BatteryCharged - res.BatteryDelivered - res.BatteryFinalSoC +
+				units.Joules(float64(spec.Capacity)*spec.InitialSoC)
+		}
+		out.Battery = append(out.Battery, row)
+	}
+
+	// Oracle bound.
+	oracleRes, err := scheduler.Run(fleet, oracleEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	out.Oracle = OracleRow{
+		ScanKWh:     scanRes.TotalEnergy.KWh(),
+		OracleKWh:   oracleRes.TotalEnergy.KWh(),
+		ResidualGap: scanRes.TotalEnergy.KWh()/oracleRes.TotalEnergy.KWh() - 1,
+	}
+
+	// Aging / re-scan policy study.
+	out.Aging, err = profiling.RunAgingStudy(profiling.DefaultAgingConfig(o.Seed, o.NumProcs))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteText renders the ablation suite.
+func (r *AblationResult) WriteText(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "-- guardband sweep (ScanEffi, utility-only) --")
+	fmt.Fprintln(tw, "guard (mV)\tenergy (kWh)\tcost\tvs default")
+	for _, g := range r.Guardband {
+		fmt.Fprintf(tw, "%.1f\t%.1f\t%s\t%+.2f%%\n",
+			1000*float64(g.Guard), g.TotalKWh, g.CostUSD, 100*g.VsDefault)
+	}
+	fmt.Fprintln(tw, "\n-- ScanFair theta sweep (wind) --")
+	fmt.Fprintln(tw, "theta\tutility cost\ttotal cost\tutil variance (h^2)")
+	for _, f := range r.FairTheta {
+		fmt.Fprintf(tw, "%.2f\t%s\t%s\t%.2f\n", f.Theta, f.UtilityCost, f.TotalCost, f.UtilVariance)
+	}
+	fmt.Fprintln(tw, "\n-- factory bin granularity (BinEffi, utility-only) --")
+	fmt.Fprintln(tw, "bins\tenergy (kWh)\texcess over ScanEffi")
+	for _, b := range r.BinCount {
+		fmt.Fprintf(tw, "%d\t%.1f\t%+.1f%%\n", b.Bins, b.TotalKWh, 100*b.GapToScan)
+	}
+	fmt.Fprintf(tw, "\n-- power matching (ScanEffi, wind) --\nutility kWh on/off\t%.1f / %.1f\tsaving %.1f%%\n",
+		r.Matching.UtilityKWhOn, r.Matching.UtilityKWhOff, 100*r.Matching.Saving)
+	fmt.Fprintf(tw, "\n-- queue rebalancing (ScanEffi, wind) --\ndeadline misses off/on\t%d / %d\n",
+		r.Rebalance.ViolationsOff, r.Rebalance.ViolationsOn)
+	fmt.Fprintln(tw, "\n-- battery sizing (ScanFair, wind) --")
+	fmt.Fprintln(tw, "capacity (kWh)\tutility cost\tenergy cost\tcapital\tdelivered (kWh)")
+	for _, b := range r.Battery {
+		fmt.Fprintf(tw, "%.0f\t%s\t%s\t%s\t%.1f\n",
+			b.CapacityKWh, b.UtilityCost, b.EnergyCost, b.CapitalCost, b.DeliveredKWh)
+	}
+	fmt.Fprintf(tw, "\n-- oracle bound (utility-only) --\nScanEffi %.1f kWh vs Oracle %.1f kWh\tresidual gap %.2f%%\n",
+		r.Oracle.ScanKWh, r.Oracle.OracleKWh, 100*r.Oracle.ResidualGap)
+	fmt.Fprintln(tw, "\n-- aging / re-scan policy (functional test) --")
+	fmt.Fprintln(tw, "period\tguard (mV)\tunsafe frac\twasted (mV)\tannual cost")
+	for _, a := range r.Aging.Rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%.1f\t%s\n",
+			a.Period, 1000*float64(a.Guard), a.UnsafeFrac, 1000*float64(a.MeanWasted), a.AnnualCost)
+	}
+	if best, ok := r.Aging.SafePolicy(0); ok {
+		fmt.Fprintf(tw, "cheapest safe policy\trescan every %s with %.1f mV guard (%s/yr)\n",
+			best.Period, 1000*float64(best.Guard), best.AnnualCost)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationSuite(t *testing.T) {
+	r, err := Ablations(QuickOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Guardband: energy must grow monotonically with the guard.
+	if len(r.Guardband) < 3 {
+		t.Fatal("guardband sweep too small")
+	}
+	for i := 1; i < len(r.Guardband); i++ {
+		if r.Guardband[i].TotalKWh < r.Guardband[i-1].TotalKWh {
+			t.Errorf("energy fell with larger guard: %.1f -> %.1f kWh at %v",
+				r.Guardband[i-1].TotalKWh, r.Guardband[i].TotalKWh, r.Guardband[i].Guard)
+		}
+	}
+
+	// FairTheta: higher theta (rarely abundant) pushes ScanFair toward
+	// ScanEffi — utility cost should not increase with theta overall.
+	first, last := r.FairTheta[0], r.FairTheta[len(r.FairTheta)-1]
+	if last.UtilityCost > first.UtilityCost {
+		t.Errorf("utility cost rose with theta: %v -> %v", first.UtilityCost, last.UtilityCost)
+	}
+
+	// BinCount: finer binning narrows the gap to Scan; one bin is worst.
+	if r.BinCount[0].Bins != 1 {
+		t.Fatal("bin sweep should start at 1")
+	}
+	lastBin := r.BinCount[len(r.BinCount)-1]
+	if lastBin.TotalKWh >= r.BinCount[0].TotalKWh {
+		t.Errorf("24 bins (%v kWh) not below 1 bin (%v kWh)",
+			lastBin.TotalKWh, r.BinCount[0].TotalKWh)
+	}
+	for _, row := range r.BinCount {
+		if row.GapToScan < -0.02 {
+			t.Errorf("%d bins beat ScanEffi by %.1f%%: binning cannot out-know the scanner",
+				row.Bins, -100*row.GapToScan)
+		}
+	}
+
+	// Matching saves utility energy.
+	if r.Matching.Saving < 0 {
+		t.Errorf("power matching increased utility energy: %+v", r.Matching)
+	}
+
+	// Rebalancing populated (direction is workload-dependent; the
+	// dedicated scheduler test asserts aggregate improvement).
+	if r.Rebalance.ViolationsOn < 0 || r.Rebalance.ViolationsOff < 0 {
+		t.Errorf("rebalance row unpopulated: %+v", r.Rebalance)
+	}
+
+	// Battery: capacity reduces utility cost monotonically; the zero row
+	// must have zero flows.
+	if r.Battery[0].CapacityKWh != 0 || r.Battery[0].DeliveredKWh != 0 {
+		t.Fatalf("battery baseline row not empty: %+v", r.Battery[0])
+	}
+	for i := 1; i < len(r.Battery); i++ {
+		if r.Battery[i].UtilityCost > r.Battery[i-1].UtilityCost {
+			t.Errorf("utility cost rose with battery capacity: %v -> %v",
+				r.Battery[i-1].UtilityCost, r.Battery[i].UtilityCost)
+		}
+		if r.Battery[i].RoundTripLoss < -1 {
+			t.Errorf("battery %d created energy: loss %v", i, r.Battery[i].RoundTripLoss)
+		}
+	}
+
+	// Oracle: a true lower bound with a small residual gap.
+	if r.Oracle.OracleKWh > r.Oracle.ScanKWh {
+		t.Errorf("oracle energy above scan: %+v", r.Oracle)
+	}
+	if r.Oracle.ResidualGap < 0 || r.Oracle.ResidualGap > 0.10 {
+		t.Errorf("oracle residual gap = %.2f%%, want small positive", 100*r.Oracle.ResidualGap)
+	}
+
+	// Aging grid present with a safe policy.
+	if r.Aging == nil || len(r.Aging.Rows) == 0 {
+		t.Fatal("aging study missing")
+	}
+	if _, ok := r.Aging.SafePolicy(0); !ok {
+		t.Error("no safe re-scan policy in the default grid")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"guardband sweep", "theta sweep", "bin granularity",
+		"power matching", "queue rebalancing", "battery sizing", "oracle bound", "re-scan policy"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered ablations missing %q section", want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iscope/internal/scheduler"
+)
+
+// CSV export: every figure result can be dumped as a machine-readable
+// table for external plotting (gnuplot, matplotlib, R).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteCSV dumps the Figure 4 per-core series.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.GPUOff))
+	for i := range r.GPUOff {
+		rows = append(rows, []string{
+			fmt.Sprintf("chip%d/core%d", i/4, i%4),
+			f4(float64(r.GPUOff[i])),
+			f4(float64(r.GPUOn[i])),
+		})
+	}
+	return writeCSV(w, []string{"core", "minvdd_gpu_off_v", "minvdd_gpu_on_v"}, rows)
+}
+
+func sweepCSV(w io.Writer, rows []SweepRow, xName string, withWind bool) error {
+	header := []string{xName, "series"}
+	for _, s := range scheduler.Schemes() {
+		header = append(header, s.Name)
+	}
+	var out [][]string
+	emit := func(series string, get func(SweepRow) map[string]float64) {
+		for _, row := range rows {
+			rec := []string{strconv.FormatFloat(row.X, 'g', -1, 64), series}
+			for _, s := range scheduler.Schemes() {
+				rec = append(rec, f1(get(row)[s.Name]))
+			}
+			out = append(out, rec)
+		}
+	}
+	emit("utility_kwh", func(r SweepRow) map[string]float64 { return r.Utility })
+	if withWind {
+		emit("wind_kwh", func(r SweepRow) map[string]float64 { return r.Wind })
+	}
+	return writeCSV(w, header, out)
+}
+
+// WriteCSV dumps both Figure 5 sweeps (column 1 distinguishes them).
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	if err := sweepCSV(w, r.HU, "hu_frac", false); err != nil {
+		return err
+	}
+	return sweepCSV(w, r.Rate, "arrival_rate", false)
+}
+
+// WriteCSV dumps both Figure 6 sweeps.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	if err := sweepCSV(w, r.HU, "hu_frac", true); err != nil {
+		return err
+	}
+	return sweepCSV(w, r.Rate, "arrival_rate", true)
+}
+
+// WriteCSV dumps the Figure 7 traces in long form.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, name := range Fig7Schemes {
+		for _, p := range r.Traces[name] {
+			rows = append(rows, []string{
+				name,
+				strconv.FormatFloat(float64(p.Time), 'f', 0, 64),
+				f1(float64(p.Wind)),
+				f1(float64(p.Demand)),
+				f1(float64(p.Utility)),
+			})
+		}
+	}
+	return writeCSV(w, []string{"scheme", "time_s", "wind_w", "demand_w", "utility_w"}, rows)
+}
+
+// WriteCSV dumps the Figure 8 cost table.
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, s := range scheduler.Schemes() {
+		rows = append(rows, []string{
+			s.Name,
+			f1(float64(r.NoWindCost[s.Name])),
+			f1(float64(r.WindUtilityCost[s.Name])),
+			f1(float64(r.WindTotalCost[s.Name])),
+		})
+	}
+	return writeCSV(w, []string{"scheme", "no_wind_cost_usd", "wind_utility_cost_usd", "wind_total_cost_usd"}, rows)
+}
+
+// WriteCSV dumps the Figure 9 variance grid.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	header := []string{"swp"}
+	for _, s := range scheduler.Schemes() {
+		header = append(header, s.Name)
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rec := []string{strconv.FormatFloat(row.SWP, 'g', -1, 64)}
+		for _, s := range scheduler.Schemes() {
+			rec = append(rec, strconv.FormatFloat(row.Variance[s.Name], 'f', 2, 64))
+		}
+		rows = append(rows, rec)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV dumps the Figure 10 required-node profile.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, req := range r.Profile.Required {
+		rows = append(rows, []string{
+			strconv.FormatFloat(float64(i)*float64(r.Profile.Interval), 'f', 0, 64),
+			strconv.FormatFloat(req, 'f', 4, 64),
+		})
+	}
+	return writeCSV(w, []string{"time_s", "required_frac"}, rows)
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	// Multiple sweeps may be concatenated; parse each block separately
+	// by splitting on header lines is overkill — just parse the first
+	// block up to a second header.
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		// Concatenated blocks have differing field counts; fall back to
+		// line-based checks.
+		return nil
+	}
+	return recs
+}
+
+func TestFig4CSV(t *testing.T) {
+	r, err := Fig4(QuickOptions(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 17 { // header + 16 cores
+		t.Fatalf("rows = %d, want 17", len(recs))
+	}
+	if recs[0][0] != "core" {
+		t.Fatalf("header = %v", recs[0])
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	r, err := Fig8(QuickOptions(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 6 { // header + 5 schemes
+		t.Fatalf("rows = %d, want 6", len(recs))
+	}
+	for _, rec := range recs[1:] {
+		if len(rec) != 4 {
+			t.Fatalf("bad record %v", rec)
+		}
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	r, err := Fig9(QuickOptions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != len(SWPSweep)+1 {
+		t.Fatalf("rows = %d, want %d", len(recs), len(SWPSweep)+1)
+	}
+}
+
+func TestFig5And7And10CSVNonEmpty(t *testing.T) {
+	o := QuickOptions(33)
+	r5, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b5 bytes.Buffer
+	if err := r5.WriteCSV(&b5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b5.String(), "hu_frac") || !strings.Contains(b5.String(), "arrival_rate") {
+		t.Error("Fig5 CSV missing sweeps")
+	}
+
+	r7, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b7 bytes.Buffer
+	if err := r7.WriteCSV(&b7); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b7.String())
+	if len(recs) < 10 {
+		t.Errorf("Fig7 CSV has %d rows", len(recs))
+	}
+
+	r10, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b10 bytes.Buffer
+	if err := r10.WriteCSV(&b10); err != nil {
+		t.Fatal(err)
+	}
+	recs = parseCSV(t, b10.String())
+	if len(recs) != 1441 { // header + one day of minutes
+		t.Errorf("Fig10 CSV has %d rows, want 1441", len(recs))
+	}
+}
+
+func TestGnuplotBundles(t *testing.T) {
+	dir := t.TempDir()
+	o := QuickOptions(34)
+
+	r5, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r5.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r6, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r6.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r7, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r7.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r8.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r9, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r9.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r10.WriteGnuplot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fig := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		for _, ext := range []string{".dat", ".gp"} {
+			p := filepath.Join(dir, fig+ext)
+			info, err := os.Stat(p)
+			if err != nil {
+				t.Fatalf("%s missing: %v", p, err)
+			}
+			if info.Size() == 0 {
+				t.Fatalf("%s empty", p)
+			}
+		}
+		gp, err := os.ReadFile(filepath.Join(dir, fig+".gp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(gp), "set output") || !strings.Contains(string(gp), fig+".dat") {
+			t.Fatalf("%s.gp script malformed", fig)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VI). Each FigN function is a
+// self-contained driver: it builds the fleet, synthesizes the workload
+// and wind traces, runs the relevant schemes — parameter sweeps fan out
+// over a worker pool — and returns a structured result that renders as
+// the paper's rows/series.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+	"iscope/internal/workload"
+)
+
+// Options scales the experiments. The paper's full setup (4800 CPUs)
+// runs in minutes; the quick setup keeps unit tests and benchmarks
+// snappy while preserving every qualitative shape.
+type Options struct {
+	Seed uint64
+	// NumProcs is the fleet size (the paper models 4800 CPUs).
+	NumProcs int
+	// NumJobs is the number of synthesized jobs per run.
+	NumJobs int
+	// SpanDays is the arrival window of the workload.
+	SpanDays float64
+	// Parallelism bounds concurrent simulation runs; 0 = GOMAXPROCS.
+	Parallelism int
+	// WindScale multiplies the default wind trace after it has been
+	// auto-scaled to the workload's mean demand (see WindToDemandRatio).
+	WindScale float64
+	// TargetUtil calibrates the workload: the job count is adjusted so
+	// total CPU work (with the typical DVFS stretch) fills this fraction
+	// of the fleet's capacity over the arrival span. 0 disables
+	// calibration and uses NumJobs verbatim.
+	TargetUtil float64
+	// WindRatio overrides WindToDemandRatio when positive.
+	WindRatio float64
+}
+
+// Job counts are tuned so the datacenter runs at a realistic mean
+// utilization (~40-60%, like the LLNL Thunder machine), putting wind
+// supply and power demand in genuine tension.
+
+// PaperOptions is the full 4800-CPU configuration of Section V.C.
+func PaperOptions(seed uint64) Options {
+	return Options{Seed: seed, NumProcs: 4800, NumJobs: 8000, SpanDays: 3, WindScale: 1, TargetUtil: 0.45}
+}
+
+// DefaultOptions is a 1/5-scale configuration that preserves all
+// qualitative results and runs each figure in seconds.
+func DefaultOptions(seed uint64) Options {
+	return Options{Seed: seed, NumProcs: 960, NumJobs: 2400, SpanDays: 2, WindScale: 1, TargetUtil: 0.45}
+}
+
+// QuickOptions is the test/bench scale.
+func QuickOptions(seed uint64) Options {
+	return Options{Seed: seed, NumProcs: 96, NumJobs: 320, SpanDays: 1, WindScale: 1, TargetUtil: 0.45}
+}
+
+func (o Options) validate() error {
+	if o.NumProcs <= 0 || o.NumJobs <= 0 || o.SpanDays <= 0 {
+		return fmt.Errorf("experiments: NumProcs, NumJobs and SpanDays must be positive")
+	}
+	return nil
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// buildFleet constructs the shared hardware population.
+func buildFleet(o Options) (*scheduler.Fleet, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return scheduler.BuildFleet(scheduler.DefaultFleetSpec(o.Seed, o.NumProcs))
+}
+
+// maxJobWidth scales the Thunder trace's 4096-of-4800 width cap to the
+// configured fleet: the largest power of two at or below 85% of it.
+func maxJobWidth(numProcs int) int {
+	limit := numProcs * 4096 / 4800
+	w := 1
+	for w*2 <= limit {
+		w *= 2
+	}
+	return w
+}
+
+// dvfsStretch is the typical Eq-3 slowdown at the energy-optimal
+// sub-top DVFS levels, used by the utilization and wind sizing
+// estimates.
+const dvfsStretch = 1.45
+
+// buildJobs synthesizes a deadline-assigned workload at the given HU
+// fraction and arrival-rate factor. With TargetUtil set, the job count
+// is iteratively adjusted until total stretched CPU work fills that
+// fraction of fleet capacity over the span, so every experiment scale
+// runs in the same load regime.
+func buildJobs(o Options, huFrac, rate float64) (*workload.Trace, error) {
+	n := o.NumJobs
+	capacity := float64(o.NumProcs) * float64(units.Days(o.SpanDays))
+	var tr *workload.Trace
+	for iter := 0; ; iter++ {
+		cfg := workload.DefaultSynthConfig(o.Seed, n)
+		cfg.Span = units.Days(o.SpanDays)
+		cfg.MaxProcs = maxJobWidth(o.NumProcs)
+		var err error
+		tr, err = workload.Synthesize(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if o.TargetUtil <= 0 || iter >= 3 {
+			break
+		}
+		util := float64(tr.ComputeStats().TotalWork) * dvfsStretch / capacity
+		if util > 0.9*o.TargetUtil && util < 1.1*o.TargetUtil {
+			break
+		}
+		next := int(float64(n) * o.TargetUtil / util)
+		if next < 1 {
+			next = 1
+		}
+		if next == n {
+			break
+		}
+		n = next
+	}
+	if err := tr.AssignDeadlines(workload.DefaultDeadlines(o.Seed+1, huFrac)); err != nil {
+		return nil, err
+	}
+	if rate != 1 {
+		if err := tr.ScaleArrival(rate); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// WindToDemandRatio sets the renewable sizing: the wind trace is scaled
+// so its mean covers this multiple of the workload's estimated mean
+// power demand. The paper scales the NREL trace to 3.5% of the original
+// farm, which in its Figure 7 puts the wind budget above demand during
+// good generation and below it during lulls — the same regime this
+// ratio reproduces at any experiment scale.
+const WindToDemandRatio = 1.4
+
+// buildWind generates the renewable trace, auto-scaled to the
+// workload's expected demand (see WindToDemandRatio), then multiplied
+// by WindScale (Figure 9's SWP factor).
+func buildWind(o Options, fleet *scheduler.Fleet, jobs *workload.Trace) (*wind.Trace, error) {
+	days := o.SpanDays*2 + 2 // cover queue drain past the arrival window
+	tr, err := wind.Generate(wind.DefaultConfig(o.Seed+2, units.Days(days)))
+	if err != nil {
+		return nil, err
+	}
+	scale := o.WindScale
+	if scale == 0 {
+		scale = 1
+	}
+	ratio := o.WindRatio
+	if ratio <= 0 {
+		ratio = WindToDemandRatio
+	}
+	mean := meanDemandEstimate(fleet, jobs)
+	return tr.Scale(scale * ratio * mean / float64(tr.Mean())), nil
+}
+
+// meanDemandEstimate predicts the workload's average power draw: total
+// CPU-work stretched by the typical sub-top DVFS slowdown, spread over
+// the arrival span plus a drain tail, at a mid-fleet per-processor
+// power (with cooling).
+func meanDemandEstimate(fleet *scheduler.Fleet, jobs *workload.Trace) float64 {
+	st := jobs.ComputeStats()
+	if st.Jobs == 0 || st.Span <= 0 {
+		return 1
+	}
+	const stretch = dvfsStretch
+	horizon := float64(st.Span) * 1.25
+	top := fleet.PM.Table.Top()
+	var perProc float64
+	for _, ch := range fleet.Chips {
+		perProc += float64(fleet.PM.NominalCPUPower(ch.Alpha, ch.Beta, top))
+	}
+	perProc = perProc / float64(len(fleet.Chips)) * 1.4 * 0.85     // cooling, sub-top voltage/level discount
+	return float64(st.TotalWork) * stretch / horizon * perProc / 1 // W
+}
+
+// runJob is one (scheme, sweep-point) simulation in a grid.
+type runJob struct {
+	key    string
+	scheme scheduler.Scheme
+	cfg    scheduler.RunConfig
+}
+
+// runGrid executes jobs concurrently and returns results keyed by
+// runJob.key, preserving error of the first failed run.
+func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*scheduler.Result, error) {
+	results := make(map[string]*scheduler.Result, len(jobs))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	ch := make(chan runJob)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res, err := scheduler.Run(fleet, j.scheme, j.cfg)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: run %s: %w", j.key, err)
+					}
+				} else {
+					results[j.key] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func key(scheme string, x float64) string { return fmt.Sprintf("%s@%g", scheme, x) }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"iscope/internal/metrics"
+	"iscope/internal/power"
+	"iscope/internal/profiling"
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/variation"
+)
+
+// Fig10Procs is the fleet size of the paper's Figure 10 service-demand
+// study ("total available processor is 1024").
+const Fig10Procs = 1024
+
+// Fig10OverheadProcs is the fleet size of the Section VI.E profiling
+// energy estimate.
+const Fig10OverheadProcs = 4800
+
+// OverheadRow is one row of the Section VI.E profiling-cost table.
+type OverheadRow struct {
+	Test          profiling.TestKind
+	Points        int           // configuration points across the fleet
+	Energy        units.Joules  // total test energy
+	RenewableCost units.USD     // at the wind tariff
+	UtilityCost   units.USD     // at the grid tariff
+	PerChipTime   units.Seconds // serial scan time per processor
+}
+
+// Fig10Result reproduces Figure 10 and the Section VI.E overhead
+// analysis: the required-node profile over one day, the fraction of
+// time the datacenter needs fewer than 30% of its processors, the
+// profiling windows that fraction opens, and the fleet-wide profiling
+// energy cost for both test kinds.
+type Fig10Result struct {
+	Profile       *metrics.NodeProfile
+	FracBelow30   float64
+	Windows       []profiling.Window
+	WindowTotal   units.Seconds
+	ChipsScanable int // chips one day's windows can profile (stress test, domain = idle fleet share)
+	Overhead      []OverheadRow
+}
+
+// Fig10 computes the service-demand profile from a one-day workload on
+// a 1024-processor fleet (demand = requested CPUs of in-flight jobs)
+// and prices the fleet-wide scan.
+func Fig10(o Options) (*Fig10Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	// One-minute sampling over one day, as in the paper.
+	prof, err := metrics.NewNodeProfile(units.Days(1), units.Minutes(1))
+	if err != nil {
+		return nil, err
+	}
+	// The service-demand study always models the paper's 1024-processor
+	// day, independent of the experiment scale. The job count is
+	// calibrated so the diurnal demand swings cross the 30% line the
+	// way Figure 10's do (~27% of the day below it). TargetUtil exceeds
+	// 1 because the node profile counts raw requested CPUs with no DVFS
+	// stretch, and the paper's machine runs near saturation at peak.
+	dayOpts := Options{
+		Seed:       o.Seed + 10,
+		NumProcs:   Fig10Procs,
+		NumJobs:    1500,
+		SpanDays:   1,
+		TargetUtil: 1.25,
+	}
+	tr, err := buildJobs(dayOpts, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range tr.Jobs {
+		prof.AddJob(j.Submit, j.Submit+j.Runtime, float64(j.Procs)/Fig10Procs)
+	}
+	res := &Fig10Result{
+		Profile:     prof,
+		FracBelow30: prof.FractionBelow(0.3),
+	}
+
+	// Profiling windows: the sub-30% intervals.
+	planner := &profiling.Planner{UtilThreshold: 0.3}
+	times := make([]units.Seconds, len(prof.Required))
+	for i := range times {
+		times[i] = units.Seconds(i) * prof.Interval
+	}
+	res.Windows, err = planner.Windows(times, prof.Required, nil)
+	if err != nil {
+		return nil, err
+	}
+	// A full-chip functional-failing-test scan (all 50 points at 29 s)
+	// takes ~24 minutes; during a sub-30% window at least 70% of the
+	// fleet is idle and can be scanned in parallel rounds.
+	scanDur := units.Seconds(float64(profiling.Functional.Duration()) * float64(power.DefaultTable().NumLevels()) * 10)
+	for _, w := range res.Windows {
+		res.WindowTotal += w.Len()
+		res.ChipsScanable += profiling.ChipsPerWindow(w, scanDur, Fig10Procs*7/10)
+	}
+
+	// Section VI.E overhead: full-fleet, all-configuration-point scans.
+	tbl := power.DefaultTable()
+	model, err := variation.NewModel(variation.DefaultConfig(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	chip := model.GenerateChip(0)
+	for _, kind := range []profiling.TestKind{profiling.Stress, profiling.Functional} {
+		pcfg := profiling.DefaultConfig()
+		pcfg.Kind = kind
+		tester := profiling.NewTester([]*variation.Chip{chip}, scanVT{tbl}, 0, rng.Named(o.Seed, "fig10"))
+		sc, err := profiling.NewScanner(pcfg, tester, scanVT{tbl}, profiling.NewDB(1, tbl.NumLevels()))
+		if err != nil {
+			return nil, err
+		}
+		rep := sc.OverheadEstimate(Fig10OverheadProcs)
+		prices := metrics.DefaultPrices()
+		res.Overhead = append(res.Overhead, OverheadRow{
+			Test:          kind,
+			Points:        rep.Points,
+			Energy:        rep.Energy,
+			RenewableCost: rep.Cost(prices.Wind),
+			UtilityCost:   rep.Cost(prices.Utility),
+			PerChipTime:   units.Seconds(float64(kind.Duration()) * float64(tbl.NumLevels()*pcfg.VoltagePoints)),
+		})
+	}
+	return res, nil
+}
+
+// scanVT adapts power.Table to profiling.VoltageTable.
+type scanVT struct{ *power.Table }
+
+func (t scanVT) VnomAt(l int) units.Volts { return t.Levels[l].Vnom }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"iscope/internal/profiling"
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/variation"
+)
+
+// Fig4Result reproduces Figure 4: measured minimum Vdd of 16 A10-5800K
+// cores (4 quad-core chips) at the nominal 3.8 GHz / 1.375 V point,
+// with the integrated GPU disabled (A) and enabled (B).
+type Fig4Result struct {
+	GPUOff, GPUOn   []units.Volts // per-core measured MinVdd, chip-major order
+	MeanOff, MeanOn units.Volts
+	MinOff, MaxOff  units.Volts
+	MinOn, MaxOn    units.Volts
+	ScanPoints      int // configuration points tested by the scanner
+}
+
+// a10Table is the single-point V/F table of the hardware profiling
+// experiment: nominal 3.8 GHz at 1.375 V.
+type a10Table struct{}
+
+func (a10Table) NumLevels() int         { return 1 }
+func (a10Table) VnomAt(int) units.Volts { return variation.A10NominalVdd }
+
+// Fig4 generates the calibrated A10 population and profiles every core
+// with the iScope scanner (each core is scanned as its own profiling
+// target, as the paper's per-core stress-test procedure does).
+func Fig4(o Options) (*Fig4Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	model, err := variation.NewModel(variation.A10Config(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	chips := model.GenerateFleet(4)
+
+	// Re-wrap each core as a single-core scan target so the chip-level
+	// scanner measures per-core MinVdd exactly like the paper's setup.
+	var cores []*variation.Chip
+	for _, ch := range chips {
+		for c := range ch.Cores {
+			cores = append(cores, &variation.Chip{
+				ID:    len(cores),
+				Alpha: ch.Alpha,
+				Beta:  ch.Beta,
+				Cores: []variation.Core{ch.Cores[c]},
+			})
+		}
+	}
+
+	res := &Fig4Result{}
+	for _, gpuOn := range []bool{false, true} {
+		cfg := profiling.DefaultConfig()
+		cfg.GPUOn = gpuOn
+		// Cover the full calibrated margin range (down to 1.375 V * 0.86)
+		// at fine granularity.
+		cfg.VoltageStep = 0.004
+		cfg.VoltagePoints = 50
+		tester := profiling.NewTester(cores, a10Table{}, 0, rng.Named(o.Seed, "fig4"))
+		db := profiling.NewDB(len(cores), 1)
+		sc, err := profiling.NewScanner(cfg, tester, a10Table{}, db)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]units.Volts, len(cores))
+		for id := range cores {
+			rep := sc.ScanChip(id, 0)
+			vals[id] = rep.MinVdd[0]
+			res.ScanPoints += rep.Points
+		}
+		mean, lo, hi := voltStats(vals)
+		if gpuOn {
+			res.GPUOn = vals
+			res.MeanOn, res.MinOn, res.MaxOn = mean, lo, hi
+		} else {
+			res.GPUOff = vals
+			res.MeanOff, res.MinOff, res.MaxOff = mean, lo, hi
+		}
+	}
+	return res, nil
+}
+
+func voltStats(vs []units.Volts) (mean, lo, hi units.Volts) {
+	if len(vs) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = vs[0], vs[0]
+	var sum float64
+	for _, v := range vs {
+		sum += float64(v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return units.Volts(sum / float64(len(vs))), lo, hi
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"iscope/internal/scheduler"
+	"iscope/internal/wind"
+)
+
+// SweepRow is one x-axis point of an energy sweep: per-scheme utility
+// and wind energy in kWh.
+type SweepRow struct {
+	X       float64
+	Utility map[string]float64
+	Wind    map[string]float64
+}
+
+// HUSweep and RateSweep are the paper's x-axes: Figures 5(A)/6(A)(C)
+// vary the high-urgency fraction; 5(B)/6(B)(D) vary the job arrival
+// rate ("5X" compresses submit times to 20%).
+var (
+	HUSweep   = []float64{0, 0.25, 0.5, 0.75, 1.0}
+	RateSweep = []float64{1, 2, 3, 4, 5}
+)
+
+// FixedHUForRateSweep is the HU fraction held constant while the
+// arrival rate is swept.
+const FixedHUForRateSweep = 0.3
+
+// Fig5Result reproduces Figure 5: utility energy of the five schemes in
+// a utility-power-only datacenter.
+type Fig5Result struct {
+	HU   []SweepRow // Figure 5(A)
+	Rate []SweepRow // Figure 5(B)
+}
+
+// Fig5 runs the utility-only sweeps.
+func Fig5(o Options) (*Fig5Result, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	hu, err := energySweep(o, fleet, nil, HUSweep, true)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := energySweep(o, fleet, nil, RateSweep, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{HU: hu, Rate: rate}, nil
+}
+
+// Fig6Result reproduces Figure 6: utility and wind energy of the five
+// schemes in the wind+utility datacenter.
+type Fig6Result struct {
+	HU   []SweepRow // Figures 6(A) utility / 6(C) wind
+	Rate []SweepRow // Figures 6(B) utility / 6(D) wind
+}
+
+// Fig6 runs the wind+utility sweeps.
+func Fig6(o Options) (*Fig6Result, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	wtr, err := buildWind(o, fleet, ref)
+	if err != nil {
+		return nil, err
+	}
+	hu, err := energySweep(o, fleet, wtr, HUSweep, true)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := energySweep(o, fleet, wtr, RateSweep, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{HU: hu, Rate: rate}, nil
+}
+
+// energySweep runs all five schemes across the sweep values. When
+// sweepIsHU the values are HU fractions at rate 1; otherwise they are
+// arrival rates at the fixed HU fraction.
+func energySweep(o Options, fleet *scheduler.Fleet, wtr *wind.Trace, xs []float64, sweepIsHU bool) ([]SweepRow, error) {
+	var jobs []runJob
+	for _, x := range xs {
+		hu, rate := x, 1.0
+		if !sweepIsHU {
+			hu, rate = FixedHUForRateSweep, x
+		}
+		tr, err := buildJobs(o, hu, rate)
+		if err != nil {
+			return nil, err
+		}
+		for _, sch := range scheduler.Schemes() {
+			jobs = append(jobs, runJob{
+				key:    key(sch.Name, x),
+				scheme: sch,
+				cfg:    scheduler.RunConfig{Seed: o.Seed, Jobs: tr, Wind: wtr},
+			})
+		}
+	}
+	results, err := runGrid(fleet, jobs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, 0, len(xs))
+	for _, x := range xs {
+		row := SweepRow{X: x, Utility: map[string]float64{}, Wind: map[string]float64{}}
+		for _, sch := range scheduler.Schemes() {
+			r := results[key(sch.Name, x)]
+			row.Utility[sch.Name] = r.UtilityEnergy.KWh()
+			row.Wind[sch.Name] = r.WindEnergy.KWh()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

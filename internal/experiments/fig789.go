@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"iscope/internal/metrics"
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+)
+
+// Fig7Result reproduces Figure 7: real-time power traces of the three
+// Scan schemes, sampled every 350 seconds, against the wind budget.
+type Fig7Result struct {
+	Traces map[string][]metrics.TracePoint // ScanRan / ScanEffi / ScanFair
+}
+
+// Fig7Schemes are the schemes the paper traces.
+var Fig7Schemes = []string{"ScanRan", "ScanEffi", "ScanFair"}
+
+// Fig7 runs the traced simulations.
+func Fig7(o Options) (*Fig7Result, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	wtr, err := buildWind(o, fleet, tr)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []runJob
+	for _, name := range Fig7Schemes {
+		sch, _ := scheduler.SchemeByName(name)
+		jobs = append(jobs, runJob{
+			key:    name,
+			scheme: sch,
+			cfg: scheduler.RunConfig{
+				Seed: o.Seed, Jobs: tr, Wind: wtr,
+				SampleInterval: metrics.DefaultSampleInterval,
+			},
+		})
+	}
+	results, err := runGrid(fleet, jobs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{Traces: map[string][]metrics.TracePoint{}}
+	for _, name := range Fig7Schemes {
+		out.Traces[name] = results[name].Trace
+	}
+	return out, nil
+}
+
+// Fig8Result reproduces Figure 8: energy cost per scheme without and
+// with wind, plus the paper's headline savings ratios.
+type Fig8Result struct {
+	// NoWindCost is the total (all-utility) cost per scheme.
+	NoWindCost map[string]units.USD
+	// WindUtilityCost / WindTotalCost split the wind-case bill.
+	WindUtilityCost map[string]units.USD
+	WindTotalCost   map[string]units.USD
+
+	// Headline ratios (fractional savings):
+	// ScanEffi vs BinEffi with no wind ("9%"),
+	// ScanFair vs BinRan on utility cost with wind ("54%"),
+	// ScanFair vs BinRan on total cost with wind ("30.7%").
+	ScanEffiVsBinEffiNoWind float64
+	ScanFairVsBinRanUtility float64
+	ScanFairVsBinRanTotal   float64
+}
+
+// Fig8 runs the cost comparison.
+func Fig8(o Options) (*Fig8Result, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	wtr, err := buildWind(o, fleet, tr)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []runJob
+	for _, sch := range scheduler.Schemes() {
+		jobs = append(jobs,
+			runJob{key: sch.Name + "/dry", scheme: sch, cfg: scheduler.RunConfig{Seed: o.Seed, Jobs: tr}},
+			runJob{key: sch.Name + "/wet", scheme: sch, cfg: scheduler.RunConfig{Seed: o.Seed, Jobs: tr, Wind: wtr}},
+		)
+	}
+	results, err := runGrid(fleet, jobs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{
+		NoWindCost:      map[string]units.USD{},
+		WindUtilityCost: map[string]units.USD{},
+		WindTotalCost:   map[string]units.USD{},
+	}
+	for _, sch := range scheduler.Schemes() {
+		out.NoWindCost[sch.Name] = results[sch.Name+"/dry"].Cost
+		out.WindUtilityCost[sch.Name] = results[sch.Name+"/wet"].UtilityCost
+		out.WindTotalCost[sch.Name] = results[sch.Name+"/wet"].Cost
+	}
+	out.ScanEffiVsBinEffiNoWind = saving(out.NoWindCost["ScanEffi"], out.NoWindCost["BinEffi"])
+	out.ScanFairVsBinRanUtility = saving(out.WindUtilityCost["ScanFair"], out.WindUtilityCost["BinRan"])
+	out.ScanFairVsBinRanTotal = saving(out.WindTotalCost["ScanFair"], out.WindTotalCost["BinRan"])
+	return out, nil
+}
+
+func saving(ours, base units.USD) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(ours)/float64(base)
+}
+
+// SWPSweep is Figure 9's wind-strength axis: multiples of the standard
+// wind power generation.
+var SWPSweep = []float64{1.0, 1.2, 1.4, 1.6, 1.8}
+
+// Fig9Result reproduces Figure 9: the variance of processor utilization
+// time (hours^2) per scheme across wind strengths.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9Row is one SWP point.
+type Fig9Row struct {
+	SWP      float64
+	Variance map[string]float64 // scheme -> variance in hours^2
+}
+
+// Fig9 runs the lifetime-balance sweep.
+func Fig9(o Options) (*Fig9Result, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	base, err := buildWind(o, fleet, tr)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []runJob
+	for _, swp := range SWPSweep {
+		wtr := base.Scale(swp)
+		for _, sch := range scheduler.Schemes() {
+			jobs = append(jobs, runJob{
+				key:    key(sch.Name, swp),
+				scheme: sch,
+				cfg:    scheduler.RunConfig{Seed: o.Seed, Jobs: tr, Wind: wtr},
+			})
+		}
+	}
+	results, err := runGrid(fleet, jobs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+	for _, swp := range SWPSweep {
+		row := Fig9Row{SWP: swp, Variance: map[string]float64{}}
+		for _, sch := range scheduler.Schemes() {
+			row.Variance[sch.Name] = results[key(sch.Name, swp)].UtilVariance
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+)
+
+// OnlineStudyResult quantifies the Section III.C deployment story: a
+// freshly installed datacenter starts on factory-bin knowledge, and
+// the opportunistic scanner converges it to scan knowledge during
+// normal operation.
+type OnlineStudyResult struct {
+	// The three-way comparison on identical silicon and workload.
+	BinKWh     float64 // BinEffi: never profiled
+	OnlineKWh  float64 // ScanEffi with in-run opportunistic profiling (incl. test energy)
+	PreScanKWh float64 // ScanEffi with the fleet profiled up front
+
+	// OnlineWorkKWh is the online run's energy with the one-time
+	// profiling energy removed — the steady-state operating point.
+	OnlineWorkKWh float64
+	// CapturedFrac is how much of the Bin->PreScan energy gap the
+	// online run's work energy captured despite starting cold.
+	CapturedFrac float64
+	// PaybackDays is how many days of the Bin->Scan saving it takes to
+	// amortize the one-time profiling energy.
+	PaybackDays float64
+
+	ProfiledChips   int
+	TotalChips      int
+	ProfilingEnergy units.Joules
+	ProfilingShare  float64 // profiling energy / online total
+
+	// QoS impact of in-run profiling.
+	OnlineViolations  int
+	PreScanViolations int
+}
+
+// OnlineStudy runs the comparison at the given scale. The workload is
+// utility-only so the knowledge effect is isolated from wind variance;
+// profiling is allowed whenever utilization permits.
+func OnlineStudy(o Options) (*OnlineStudyResult, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	binEffi, _ := scheduler.SchemeByName("BinEffi")
+	scanEffi, _ := scheduler.SchemeByName("ScanEffi")
+
+	bin, err := scheduler.Run(fleet, binEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	pre, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{Seed: o.Seed, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	online, err := scheduler.Run(fleet, scanEffi, scheduler.RunConfig{
+		Seed: o.Seed, Jobs: jobs,
+		Online: &scheduler.OnlineProfiling{RequireWind: false},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OnlineStudyResult{
+		BinKWh:            bin.TotalEnergy.KWh(),
+		OnlineKWh:         online.TotalEnergy.KWh(),
+		PreScanKWh:        pre.TotalEnergy.KWh(),
+		ProfiledChips:     online.ProfiledChips,
+		TotalChips:        o.NumProcs,
+		ProfilingEnergy:   online.ProfilingEnergy,
+		OnlineViolations:  online.DeadlineViolations,
+		PreScanViolations: pre.DeadlineViolations,
+	}
+	if online.TotalEnergy > 0 {
+		res.ProfilingShare = float64(online.ProfilingEnergy) / float64(online.TotalEnergy)
+	}
+	res.OnlineWorkKWh = res.OnlineKWh - online.ProfilingEnergy.KWh()
+	if gap := res.BinKWh - res.PreScanKWh; gap > 0 {
+		res.CapturedFrac = (res.BinKWh - res.OnlineWorkKWh) / gap
+		res.PaybackDays = online.ProfilingEnergy.KWh() / (gap / o.SpanDays)
+	}
+	return res, nil
+}
+
+// WriteText renders the study.
+func (r *OnlineStudyResult) WriteText(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "configuration\tenergy (kWh)\tdeadline misses")
+	fmt.Fprintf(tw, "BinEffi (never profiled)\t%.1f\t-\n", r.BinKWh)
+	fmt.Fprintf(tw, "ScanEffi (online profiling)\t%.1f\t%d\n", r.OnlineKWh, r.OnlineViolations)
+	fmt.Fprintf(tw, "ScanEffi (pre-scanned)\t%.1f\t%d\n", r.PreScanKWh, r.PreScanViolations)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "profiled %d/%d chips during the run; test energy %s (%.2f%% of the bill)\n",
+		r.ProfiledChips, r.TotalChips, r.ProfilingEnergy, 100*r.ProfilingShare)
+	fmt.Fprintf(w, "work energy (profiling excluded): %.1f kWh -> captured %.0f%% of the Bin->Scan gap while bootstrapping cold\n",
+		r.OnlineWorkKWh, 100*r.CapturedFrac)
+	fmt.Fprintf(w, "the one-time scan amortizes in %.1f days of operation\n", r.PaybackDays)
+	return nil
+}

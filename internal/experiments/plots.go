@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iscope/internal/scheduler"
+)
+
+// Gnuplot emission: each figure writes a .dat file (its CSV) plus a
+// self-contained .gp script, so `gnuplot figN.gp` regenerates the
+// paper's plot from this repo's data:
+//
+//	go run ./cmd/experiments -run fig9 -plotdir plots
+//	gnuplot plots/fig9.gp    # -> plots/fig9.png
+
+func writePlotFiles(dir, name, script string, writeDat func(f *os.File) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dat, err := os.Create(filepath.Join(dir, name+".dat"))
+	if err != nil {
+		return err
+	}
+	if err := writeDat(dat); err != nil {
+		dat.Close()
+		return err
+	}
+	if err := dat.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".gp"), []byte(script), 0o644)
+}
+
+func schemeColumns(firstDataCol int) string {
+	var b strings.Builder
+	for i, s := range scheduler.Schemes() {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "datafile using 1:%d with linespoints title '%s'", firstDataCol+i, s.Name)
+	}
+	return b.String()
+}
+
+const gpHeader = `set datafile separator ','
+set key outside
+set key autotitle columnhead
+set grid
+set term pngcairo size 900,540
+`
+
+// WriteGnuplot emits Figure 5's plot bundle (two panels in one image).
+func (r *Fig5Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig5.png'
+datafile = '%s/fig5.dat'
+set ylabel 'utility energy (kWh)'
+set xlabel 'HU fraction / arrival rate'
+set title 'Figure 5: utility-only energy (both sweeps concatenated)'
+plot %s
+`, dir, dir, schemeColumns(3))
+	return writePlotFiles(dir, "fig5", script, func(f *os.File) error { return r.WriteCSV(f) })
+}
+
+// WriteGnuplot emits Figure 6's plot bundle.
+func (r *Fig6Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig6.png'
+datafile = '%s/fig6.dat'
+set ylabel 'energy (kWh)'
+set xlabel 'HU fraction / arrival rate'
+set title 'Figure 6: wind + utility energy (series column selects panel)'
+plot %s
+`, dir, dir, schemeColumns(3))
+	return writePlotFiles(dir, "fig6", script, func(f *os.File) error { return r.WriteCSV(f) })
+}
+
+// WriteGnuplot emits Figure 7's time-series plot bundle.
+func (r *Fig7Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig7.png'
+datafile = '%s/fig7.dat'
+set ylabel 'power (W)'
+set xlabel 'time (s)'
+set title 'Figure 7: power traces (350 s sampling)'
+plot datafile using 2:(strcol(1) eq 'ScanFair' ? $3 : 1/0) with lines title 'wind budget', \
+     datafile using 2:(strcol(1) eq 'ScanRan'  ? $4 : 1/0) with lines title 'ScanRan demand', \
+     datafile using 2:(strcol(1) eq 'ScanEffi' ? $4 : 1/0) with lines title 'ScanEffi demand', \
+     datafile using 2:(strcol(1) eq 'ScanFair' ? $4 : 1/0) with lines title 'ScanFair demand'
+`, dir, dir)
+	return writePlotFiles(dir, "fig7", script, func(f *os.File) error { return r.WriteCSV(f) })
+}
+
+// WriteGnuplot emits Figure 8's bar-chart bundle.
+func (r *Fig8Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig8.png'
+datafile = '%s/fig8.dat'
+set style data histograms
+set style fill solid 0.8
+set ylabel 'energy cost (USD)'
+set title 'Figure 8: energy cost per scheme'
+plot datafile using 2:xtic(1) title 'no wind', \
+     datafile using 3 title 'wind: utility share', \
+     datafile using 4 title 'wind: total'
+`, dir, dir)
+	return writePlotFiles(dir, "fig8", script, func(f *os.File) error { return r.WriteCSV(f) })
+}
+
+// WriteGnuplot emits Figure 9's variance plot bundle.
+func (r *Fig9Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig9.png'
+datafile = '%s/fig9.dat'
+set ylabel 'variance of processor utilization (h^2)'
+set xlabel 'wind strength (x SWP)'
+set logscale y
+set title 'Figure 9: lifetime balance vs wind strength'
+plot %s
+`, dir, dir, schemeColumns(2))
+	return writePlotFiles(dir, "fig9", script, func(f *os.File) error { return r.WriteCSV(f) })
+}
+
+// WriteGnuplot emits Figure 10's required-node profile bundle.
+func (r *Fig10Result) WriteGnuplot(dir string) error {
+	script := gpHeader + fmt.Sprintf(`set output '%s/fig10.png'
+datafile = '%s/fig10.dat'
+set ylabel 'required fraction of processors'
+set xlabel 'time of day (s)'
+set title 'Figure 10: service demand over one day'
+plot datafile using 1:2 with lines title 'required nodes', 0.3 with lines dashtype 2 title '30%% threshold'
+`, dir, dir)
+	return writePlotFiles(dir, "fig10", script, func(f *os.File) error { return r.WriteCSV(f) })
+}

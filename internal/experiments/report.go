@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"iscope/internal/binning"
+	"iscope/internal/scheduler"
+)
+
+// Table1 returns the paper's Table 1 (AMD Opteron 6300 bins).
+func Table1() []binning.OpteronBin { return binning.Opteron6300Bins() }
+
+// Table2 returns the paper's Table 2 (the evaluated schemes).
+func Table2() []scheduler.Scheme { return scheduler.Schemes() }
+
+func newTW(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Process\tCore/Cache(MB)\tNominal(GHz)\tMax(GHz)\tPrice($)")
+	for _, b := range Table1() {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%.1f\t%.1f\t%d\n", b.Model, b.Cores, b.CacheMB, b.NominalGHz, b.MaxGHz, b.PriceUSD)
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Name\tProfiling\tScheduling")
+	desc := map[scheduler.PolicyKind]string{
+		scheduler.Random:     "Random",
+		scheduler.Efficiency: "Minimize Energy",
+		scheduler.FairPolicy: "Minimize Energy + Balance Utilization",
+	}
+	for _, s := range Table2() {
+		prof := "No"
+		if s.Profiled() {
+			prof = "Dynamic"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", s.Name, prof, desc[s.Policy])
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Figure 4 as a table.
+func (r *Fig4Result) WriteText(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "core\tMinVdd GPU-off (V)\tMinVdd GPU-on (V)")
+	for i := range r.GPUOff {
+		fmt.Fprintf(tw, "chip%d/core%d\t%.4f\t%.4f\n", i/4, i%4, float64(r.GPUOff[i]), float64(r.GPUOn[i]))
+	}
+	fmt.Fprintf(tw, "mean\t%.4f\t%.4f\n", float64(r.MeanOff), float64(r.MeanOn))
+	fmt.Fprintf(tw, "range\t[%.4f, %.4f]\t[%.4f, %.4f]\n",
+		float64(r.MinOff), float64(r.MaxOff), float64(r.MinOn), float64(r.MaxOn))
+	fmt.Fprintf(tw, "paper\tmean 1.219, range [1.19, 1.25]\tmean 1.232, range [1.206, 1.2506]\n")
+	return tw.Flush()
+}
+
+func writeSweep(w io.Writer, rows []SweepRow, xLabel string, withWind bool) error {
+	tw := newTW(w)
+	fmt.Fprintf(tw, "%s", xLabel)
+	for _, s := range scheduler.Schemes() {
+		fmt.Fprintf(tw, "\t%s", s.Name)
+	}
+	fmt.Fprintln(tw)
+	emit := func(get func(SweepRow) map[string]float64, tag string) {
+		for _, row := range rows {
+			fmt.Fprintf(tw, "%g%s", row.X, tag)
+			for _, s := range scheduler.Schemes() {
+				fmt.Fprintf(tw, "\t%.1f", get(row)[s.Name])
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	emit(func(r SweepRow) map[string]float64 { return r.Utility }, " (utility kWh)")
+	if withWind {
+		emit(func(r SweepRow) map[string]float64 { return r.Wind }, " (wind kWh)")
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Figure 5's two sweeps.
+func (r *Fig5Result) WriteText(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5(A): utility energy vs %HU (utility-only)")
+	if err := writeSweep(w, r.HU, "HU frac", false); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nFigure 5(B): utility energy vs arrival rate (utility-only)")
+	return writeSweep(w, r.Rate, "rate", false)
+}
+
+// WriteText renders Figure 6's four panels.
+func (r *Fig6Result) WriteText(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 6(A)(C): utility & wind energy vs %HU")
+	if err := writeSweep(w, r.HU, "HU frac", true); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nFigure 6(B)(D): utility & wind energy vs arrival rate")
+	return writeSweep(w, r.Rate, "rate", true)
+}
+
+// WriteText renders Figure 7's sampled power traces.
+func (r *Fig7Result) WriteText(w io.Writer) error {
+	for _, name := range Fig7Schemes {
+		pts := r.Traces[name]
+		fmt.Fprintf(w, "Figure 7: %s power trace (%d samples @350s)\n", name, len(pts))
+		tw := newTW(w)
+		fmt.Fprintln(tw, "t(s)\twind(kW)\tdemand(kW)\tutility(kW)")
+		stride := len(pts)/24 + 1
+		for i := 0; i < len(pts); i += stride {
+			p := pts[i]
+			fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\n",
+				float64(p.Time), float64(p.Wind)/1e3, float64(p.Demand)/1e3, float64(p.Utility)/1e3)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteText renders Figure 8's cost table and headline ratios.
+func (r *Fig8Result) WriteText(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "scheme\tno-wind cost\twind: utility cost\twind: total cost")
+	for _, s := range scheduler.Schemes() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", s.Name,
+			r.NoWindCost[s.Name], r.WindUtilityCost[s.Name], r.WindTotalCost[s.Name])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ScanEffi vs BinEffi (no wind):      %.1f%% savings (paper: 9%%)\n", 100*r.ScanEffiVsBinEffiNoWind)
+	fmt.Fprintf(w, "ScanFair vs BinRan (utility, wind): %.1f%% savings (paper: up to 54%%)\n", 100*r.ScanFairVsBinRanUtility)
+	fmt.Fprintf(w, "ScanFair vs BinRan (total, wind):   %.1f%% savings (paper: 30.7%%)\n", 100*r.ScanFairVsBinRanTotal)
+	return nil
+}
+
+// WriteText renders Figure 9's variance table.
+func (r *Fig9Result) WriteText(w io.Writer) error {
+	tw := newTW(w)
+	fmt.Fprint(tw, "SWP")
+	for _, s := range scheduler.Schemes() {
+		fmt.Fprintf(tw, "\t%s", s.Name)
+	}
+	fmt.Fprintln(tw, "\t(variance of proc utilization, h^2)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.1f", row.SWP)
+		for _, s := range scheduler.Schemes() {
+			fmt.Fprintf(tw, "\t%.2f", row.Variance[s.Name])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Figure 10 and the profiling-overhead table.
+func (r *Fig10Result) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "Figure 10: required nodes < 30%% for %.1f%% of the day (paper: 27.2%%)\n",
+		100*r.FracBelow30)
+	fmt.Fprintf(w, "profiling windows: %d totaling %s; enough to stress-scan %d chips/day\n",
+		len(r.Windows), r.WindowTotal, r.ChipsScanable)
+	tw := newTW(w)
+	fmt.Fprintln(tw, "test\tper-chip time\tfleet energy\trenewable cost\tutility cost")
+	for _, row := range r.Overhead {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			row.Test, row.PerChipTime, row.Energy, row.RenewableCost, row.UtilityCost)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "paper: stress $230/$598, functional $11.2/$28.9 (renewable/utility)")
+	return nil
+}

@@ -1,0 +1,165 @@
+package profiling
+
+import (
+	"fmt"
+
+	"iscope/internal/rng"
+	"iscope/internal/units"
+)
+
+// The paper's Section III.C argues that datacenters "should perform the
+// profiling periodically" because aggressive power tuning wears
+// processors unevenly and "can redistribute the variations among
+// chips". This file quantifies that claim: given a population whose
+// voltage margins drift downward with age, how often must the scanner
+// re-run, and how much guardband must it keep, for stale profiles to
+// stay safe — and what does that policy cost per year?
+
+// AgingConfig parametrizes the re-scan study.
+type AgingConfig struct {
+	Seed  uint64
+	Chips int
+	// Vnom is the operating voltage the margins are relative to.
+	Vnom units.Volts
+	// Margin0Mean/Sigma describe the fresh population's margin.
+	Margin0Mean, Margin0Sigma float64
+	// DriftMean/Sigma describe per-chip margin loss per year of
+	// operation (NBTI/HCI-style wear), as a fraction of Vnom. Drift is
+	// truncated at zero (margins never improve with age).
+	DriftMean, DriftSigma float64
+	// RescanPeriods and Guards are the policy grid to evaluate.
+	RescanPeriods []units.Seconds
+	Guards        []units.Volts
+	// Test prices the re-scan (duration x TestPower per config point).
+	Test          TestKind
+	TestPower     units.Watts
+	PointsPerChip int
+	// EnergyPrice prices the scan energy (renewable tariff).
+	EnergyPrice units.USD
+}
+
+// DefaultAgingConfig returns a 3-year-wear study over the functional
+// failing test.
+func DefaultAgingConfig(seed uint64, chips int) AgingConfig {
+	return AgingConfig{
+		Seed:          seed,
+		Chips:         chips,
+		Vnom:          1.3,
+		Margin0Mean:   0.060,
+		Margin0Sigma:  0.013,
+		DriftMean:     0.010, // 1% of Vnom per year
+		DriftSigma:    0.004,
+		RescanPeriods: []units.Seconds{units.Days(7), units.Days(30), units.Days(90), units.Days(365)},
+		Guards:        []units.Volts{0.005, 0.0125, 0.025, 0.05},
+		Test:          Functional,
+		TestPower:     115,
+		PointsPerChip: 50,
+		EnergyPrice:   0.05,
+	}
+}
+
+// Validate reports configuration errors.
+func (c AgingConfig) Validate() error {
+	switch {
+	case c.Chips <= 0:
+		return fmt.Errorf("profiling: aging study needs chips")
+	case c.Vnom <= 0:
+		return fmt.Errorf("profiling: Vnom must be positive")
+	case c.Margin0Mean <= 0 || c.Margin0Sigma < 0:
+		return fmt.Errorf("profiling: fresh margin parameters invalid")
+	case c.DriftMean < 0 || c.DriftSigma < 0:
+		return fmt.Errorf("profiling: drift parameters invalid")
+	case len(c.RescanPeriods) == 0 || len(c.Guards) == 0:
+		return fmt.Errorf("profiling: empty policy grid")
+	case c.PointsPerChip <= 0 || c.TestPower <= 0:
+		return fmt.Errorf("profiling: scan pricing parameters invalid")
+	}
+	return nil
+}
+
+// AgingRow is one (re-scan period, guardband) policy point.
+type AgingRow struct {
+	Period units.Seconds
+	Guard  units.Volts
+	// UnsafeFrac is the fraction of chips whose true MinVdd rises above
+	// the applied voltage (stale measurement + guard) before the next
+	// scan — the failure probability of the policy.
+	UnsafeFrac float64
+	// MeanWasted is the average voltage left unharvested by the policy:
+	// the guardband plus the mean staleness drift.
+	MeanWasted units.Volts
+	// AnnualCost prices one year of re-scans for the whole population.
+	AnnualCost units.USD
+}
+
+// AgingResult is the policy grid.
+type AgingResult struct {
+	Rows []AgingRow
+}
+
+// RunAgingStudy evaluates the re-scan policy grid. A chip with drift
+// rate r scanned every period P is unsafe iff r*P exceeds the guard:
+// immediately after a scan the applied voltage sits guard above the
+// true minimum, and the minimum then rises by r*P before the next scan
+// refreshes the profile.
+func RunAgingStudy(cfg AgingConfig) (*AgingResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.Named(cfg.Seed, "aging")
+	drift := make([]float64, cfg.Chips) // margin fraction lost per second
+	const yearSec = 365.25 * 86400
+	for i := range drift {
+		d := r.Normal(cfg.DriftMean, cfg.DriftSigma)
+		if d < 0 {
+			d = 0
+		}
+		drift[i] = d / yearSec
+	}
+
+	perScanEnergy := cfg.TestPower.Over(units.Seconds(float64(cfg.Test.Duration()) * float64(cfg.PointsPerChip)))
+	out := &AgingResult{}
+	for _, period := range cfg.RescanPeriods {
+		scansPerYear := yearSec / float64(period)
+		annual := units.Joules(float64(perScanEnergy) * float64(cfg.Chips) * scansPerYear).Cost(cfg.EnergyPrice)
+		for _, guard := range cfg.Guards {
+			unsafe := 0
+			var wasted float64
+			for _, d := range drift {
+				rise := d * float64(period) * float64(cfg.Vnom) // volts lost per period
+				if rise > float64(guard) {
+					unsafe++
+				}
+				wasted += float64(guard) + rise/2
+			}
+			out.Rows = append(out.Rows, AgingRow{
+				Period:     period,
+				Guard:      guard,
+				UnsafeFrac: float64(unsafe) / float64(cfg.Chips),
+				MeanWasted: units.Volts(wasted / float64(cfg.Chips)),
+				AnnualCost: annual,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SafePolicy returns the cheapest (period, guard) point whose unsafe
+// fraction is at most maxUnsafe, minimizing first the wasted voltage
+// then the annual cost; ok reports whether any point qualifies.
+func (r *AgingResult) SafePolicy(maxUnsafe float64) (AgingRow, bool) {
+	var best AgingRow
+	found := false
+	for _, row := range r.Rows {
+		if row.UnsafeFrac > maxUnsafe {
+			continue
+		}
+		if !found ||
+			row.MeanWasted < best.MeanWasted ||
+			(row.MeanWasted == best.MeanWasted && row.AnnualCost < best.AnnualCost) {
+			best = row
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,163 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func TestAgingConfigValidation(t *testing.T) {
+	good := DefaultAgingConfig(1, 100)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	muts := []func(*AgingConfig){
+		func(c *AgingConfig) { c.Chips = 0 },
+		func(c *AgingConfig) { c.Vnom = 0 },
+		func(c *AgingConfig) { c.Margin0Mean = 0 },
+		func(c *AgingConfig) { c.DriftMean = -1 },
+		func(c *AgingConfig) { c.RescanPeriods = nil },
+		func(c *AgingConfig) { c.Guards = nil },
+		func(c *AgingConfig) { c.PointsPerChip = 0 },
+	}
+	for i, mut := range muts {
+		c := DefaultAgingConfig(1, 100)
+		mut(&c)
+		if _, err := RunAgingStudy(c); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestAgingGridShape(t *testing.T) {
+	cfg := DefaultAgingConfig(2, 500)
+	res, err := RunAgingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.RescanPeriods)*len(cfg.Guards) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.RescanPeriods)*len(cfg.Guards))
+	}
+}
+
+func TestAgingMonotonicities(t *testing.T) {
+	cfg := DefaultAgingConfig(3, 2000)
+	res, err := RunAgingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(p units.Seconds, g units.Volts) AgingRow {
+		for _, row := range res.Rows {
+			if row.Period == p && row.Guard == g {
+				return row
+			}
+		}
+		t.Fatalf("missing row %v/%v", p, g)
+		return AgingRow{}
+	}
+	// Longer period, same guard: unsafe fraction cannot decrease.
+	for _, g := range cfg.Guards {
+		prev := -1.0
+		for _, p := range cfg.RescanPeriods {
+			u := at(p, g).UnsafeFrac
+			if u < prev {
+				t.Fatalf("unsafe fraction fell with longer period (guard %v)", g)
+			}
+			prev = u
+		}
+	}
+	// Larger guard, same period: unsafe fraction cannot increase, but
+	// wasted voltage grows.
+	for _, p := range cfg.RescanPeriods {
+		prevU := 2.0
+		prevW := -1.0
+		for _, g := range cfg.Guards {
+			row := at(p, g)
+			if row.UnsafeFrac > prevU {
+				t.Fatalf("unsafe fraction rose with larger guard (period %v)", p)
+			}
+			if float64(row.MeanWasted) <= prevW {
+				t.Fatalf("wasted voltage did not grow with guard")
+			}
+			prevU = row.UnsafeFrac
+			prevW = float64(row.MeanWasted)
+		}
+	}
+	// Annual cost scales inversely with the period.
+	weekly := at(units.Days(7), cfg.Guards[0]).AnnualCost
+	yearly := at(units.Days(365), cfg.Guards[0]).AnnualCost
+	if ratio := float64(weekly) / float64(yearly); math.Abs(ratio-365.0/7.0) > 0.5 {
+		t.Fatalf("cost ratio weekly/yearly = %v, want ~52", ratio)
+	}
+}
+
+func TestAgingWeeklyRescanIsSafe(t *testing.T) {
+	// At 1%/year drift, a week costs ~0.25 mV — far under even the
+	// smallest 5 mV guard, so weekly re-scanning must be entirely safe.
+	res, err := RunAgingStudy(DefaultAgingConfig(4, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Period == units.Days(7) && row.UnsafeFrac != 0 {
+			t.Fatalf("weekly rescan unsafe at guard %v: %v", row.Guard, row.UnsafeFrac)
+		}
+	}
+}
+
+func TestAgingAnnualRescanNeedsGuard(t *testing.T) {
+	// A year of 1%/year drift costs ~13 mV on a 1.3 V rail: the 5 mV
+	// guard must fail for most chips, the 50 mV guard for none.
+	res, err := RunAgingStudy(DefaultAgingConfig(5, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Period != units.Days(365) {
+			continue
+		}
+		switch row.Guard {
+		case 0.005:
+			if row.UnsafeFrac < 0.5 {
+				t.Errorf("annual rescan with 5 mV guard unsafe frac = %v, want majority", row.UnsafeFrac)
+			}
+		case 0.05:
+			if row.UnsafeFrac > 0.01 {
+				t.Errorf("annual rescan with 50 mV guard unsafe frac = %v, want ~0", row.UnsafeFrac)
+			}
+		}
+	}
+}
+
+func TestSafePolicySelection(t *testing.T) {
+	res, err := RunAgingStudy(DefaultAgingConfig(6, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := res.SafePolicy(0)
+	if !ok {
+		t.Fatal("no fully safe policy found")
+	}
+	if row.UnsafeFrac != 0 {
+		t.Fatalf("SafePolicy returned unsafe row: %+v", row)
+	}
+	// The chosen policy should waste less voltage than the most
+	// conservative grid point (50 mV guard).
+	if row.MeanWasted >= 0.05 {
+		t.Fatalf("safe policy wastes %v, no better than max guard", row.MeanWasted)
+	}
+	if _, ok := res.SafePolicy(-1); ok {
+		t.Fatal("impossible threshold satisfied")
+	}
+}
+
+func TestAgingDeterministic(t *testing.T) {
+	a, _ := RunAgingStudy(DefaultAgingConfig(7, 500))
+	b, _ := RunAgingStudy(DefaultAgingConfig(7, 500))
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package profiling
+
+import (
+	"fmt"
+	"sync"
+
+	"iscope/internal/units"
+)
+
+// Record is one chip's scan state in the profile database.
+type Record struct {
+	// MinVdd[l] is the lowest voltage that passed at level l in the most
+	// recent scan; zero when the level has never been profiled.
+	MinVdd []units.Volts
+	// Measured[l] reports whether level l has ever been profiled.
+	Measured []bool
+	// LastScan is the simulated time of the most recent completed scan.
+	LastScan units.Seconds
+	// Scans counts completed scans of this chip.
+	Scans int
+}
+
+// DB is the scanner's database (Section III.C: "The scanning data is
+// reported back to the scheduler and stored into its database"). It is
+// safe for concurrent use: profiling domains scan in parallel while the
+// scheduler reads.
+type DB struct {
+	mu     sync.RWMutex
+	recs   []Record
+	levels int
+}
+
+// NewDB creates an empty database for n chips and the given number of
+// DVFS levels.
+func NewDB(n, levels int) *DB {
+	db := &DB{recs: make([]Record, n), levels: levels}
+	for i := range db.recs {
+		db.recs[i] = Record{
+			MinVdd:   make([]units.Volts, levels),
+			Measured: make([]bool, levels),
+		}
+	}
+	return db
+}
+
+// NumChips returns the fleet size the DB tracks.
+func (db *DB) NumChips() int { return len(db.recs) }
+
+// Update stores a completed scan of chip id.
+func (db *DB) Update(id int, minVdd []units.Volts, now units.Seconds) error {
+	if id < 0 || id >= len(db.recs) {
+		return fmt.Errorf("profiling: chip id %d out of range", id)
+	}
+	if len(minVdd) != db.levels {
+		return fmt.Errorf("profiling: got %d levels, want %d", len(minVdd), db.levels)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r := &db.recs[id]
+	for l, v := range minVdd {
+		if v > 0 {
+			r.MinVdd[l] = v
+			r.Measured[l] = true
+		}
+	}
+	r.LastScan = now
+	r.Scans++
+	return nil
+}
+
+// Lookup returns the measured MinVdd of chip id at level l and whether
+// that level has been profiled.
+func (db *DB) Lookup(id, l int) (units.Volts, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r := &db.recs[id]
+	return r.MinVdd[l], r.Measured[l]
+}
+
+// Snapshot returns a copy of chip id's record.
+func (db *DB) Snapshot(id int) Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r := db.recs[id]
+	out := Record{
+		MinVdd:   append([]units.Volts(nil), r.MinVdd...),
+		Measured: append([]bool(nil), r.Measured...),
+		LastScan: r.LastScan,
+		Scans:    r.Scans,
+	}
+	return out
+}
+
+// FullyProfiled reports whether every level of chip id has been scanned.
+func (db *DB) FullyProfiled(id int) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, m := range db.recs[id].Measured {
+		if !m {
+			return false
+		}
+	}
+	return true
+}
+
+// LeastRecentlyScanned returns up to k chip IDs ordered by scan
+// staleness: never-scanned chips first (by ID), then oldest LastScan.
+// This is how the scan planner "chooses a group of inadequately profiled
+// processors" (Section III.C, stage 2).
+func (db *DB) LeastRecentlyScanned(k int) []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if k > len(db.recs) {
+		k = len(db.recs)
+	}
+	// Selection by two passes keeps this O(n) for the common case where
+	// unscanned chips fill the quota.
+	out := make([]int, 0, k)
+	for id := range db.recs {
+		if db.recs[id].Scans == 0 {
+			out = append(out, id)
+			if len(out) == k {
+				return out
+			}
+		}
+	}
+	type cand struct {
+		id   int
+		last units.Seconds
+	}
+	cands := make([]cand, 0, len(db.recs))
+	for id := range db.recs {
+		if db.recs[id].Scans > 0 {
+			cands = append(cands, cand{id, db.recs[id].LastScan})
+		}
+	}
+	for len(out) < k && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].last < cands[best].last ||
+				(cands[i].last == cands[best].last && cands[i].id < cands[best].id) {
+				best = i
+			}
+		}
+		out = append(out, cands[best].id)
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	return out
+}

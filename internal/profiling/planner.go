@@ -1,0 +1,87 @@
+package profiling
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// Window is a contiguous interval during which profiling is permitted.
+type Window struct {
+	Start, End units.Seconds
+}
+
+// Len returns the window's duration.
+func (w Window) Len() units.Seconds { return w.End - w.Start }
+
+// Planner implements the opportunistic profiling policy of Section
+// III.C, stage 1: profile only "when the renewable energy generation is
+// available and datacenter is at low-utilization", so isolating nodes
+// does not affect quality of service.
+type Planner struct {
+	// UtilThreshold is the utilization below which the datacenter is
+	// considered idle enough to profile (Figure 10 analyses 30%).
+	UtilThreshold float64
+	// RequireRenewable gates profiling on renewable power being
+	// available at the time.
+	RequireRenewable bool
+}
+
+// Windows scans a regularly sampled utilization series (util[i] at
+// times[i], both the same length; times strictly increasing) and
+// returns the maximal windows where profiling is allowed. renewable may
+// be nil when RequireRenewable is false.
+func (p *Planner) Windows(times []units.Seconds, util []float64, renewable []bool) ([]Window, error) {
+	if len(times) != len(util) {
+		return nil, fmt.Errorf("profiling: times/util length mismatch %d != %d", len(times), len(util))
+	}
+	if p.RequireRenewable && len(renewable) != len(util) {
+		return nil, fmt.Errorf("profiling: renewable series required but missing")
+	}
+	var out []Window
+	open := false
+	var start units.Seconds
+	for i := range times {
+		ok := util[i] < p.UtilThreshold && (!p.RequireRenewable || renewable[i])
+		switch {
+		case ok && !open:
+			open = true
+			start = times[i]
+		case !ok && open:
+			open = false
+			out = append(out, Window{Start: start, End: times[i]})
+		}
+	}
+	if open {
+		out = append(out, Window{Start: start, End: times[len(times)-1]})
+	}
+	return out, nil
+}
+
+// FractionBelow returns the fraction of samples with utilization under
+// the threshold — the paper's Figure 10 statistic ("the time that
+// required processor less than 30% accounts for 27.2% time in one day").
+func FractionBelow(util []float64, threshold float64) float64 {
+	if len(util) == 0 {
+		return 0
+	}
+	n := 0
+	for _, u := range util {
+		if u < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(util))
+}
+
+// ChipsPerWindow returns how many chips one profiling domain of size
+// domain can fully scan inside a window, given the per-chip serial scan
+// duration. Chips in a domain are scanned concurrently, so a window
+// fits floor(len/scanDur) sequential rounds of `domain` chips each.
+func ChipsPerWindow(w Window, scanDur units.Seconds, domain int) int {
+	if scanDur <= 0 || domain <= 0 {
+		return 0
+	}
+	rounds := int(float64(w.Len()) / float64(scanDur))
+	return rounds * domain
+}

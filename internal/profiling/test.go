@@ -1,0 +1,83 @@
+// Package profiling implements the iScope scanner (paper Section III):
+// software-based functional failing tests, the master/slave scanning
+// protocol with descending-voltage sweeps per frequency bin, the
+// profile database the scheduler consumes, opportunistic scan planning,
+// and the overhead accounting of Section VI.E.
+package profiling
+
+import (
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/variation"
+)
+
+// TestKind selects the stability test routine.
+type TestKind int
+
+const (
+	// Functional is the software-based functional failing test of
+	// Sanchez et al. — an assembly program whose result goes wrong below
+	// the safe operating point. 29 seconds per configuration point.
+	Functional TestKind = iota
+	// Stress is an Mprime-style stress test: more robust, 10 minutes per
+	// configuration point. The paper uses it for its hardware profiling.
+	Stress
+)
+
+// Duration returns the run time of one test at one V/F configuration.
+func (k TestKind) Duration() units.Seconds {
+	switch k {
+	case Stress:
+		return units.Minutes(10)
+	default:
+		return 29
+	}
+}
+
+func (k TestKind) String() string {
+	switch k {
+	case Stress:
+		return "stress"
+	default:
+		return "functional"
+	}
+}
+
+// Tester runs simulated stability tests against ground-truth chips. The
+// ground truth (variation.Chip margins) is hidden from the scheduler;
+// only a Tester may consult it, mirroring how real silicon only reveals
+// its margins through testing.
+type Tester struct {
+	chips []*variation.Chip
+	tbl   VoltageTable
+	// noise is the 1-sigma measurement noise in volts: near the true
+	// threshold, outcomes become probabilistic, as on real hardware
+	// where marginal points pass or fail run to run.
+	noise float64
+	r     *rng.Rand
+}
+
+// VoltageTable abstracts the DVFS table: nominal voltage per level.
+type VoltageTable interface {
+	NumLevels() int
+	VnomAt(level int) units.Volts
+}
+
+// NewTester builds a tester over a fleet. noiseSigma of 0 gives ideal
+// (deterministic) measurements.
+func NewTester(chips []*variation.Chip, tbl VoltageTable, noiseSigma float64, r *rng.Rand) *Tester {
+	return &Tester{chips: chips, tbl: tbl, noise: noiseSigma, r: r}
+}
+
+// Run executes one stability test on chip id at DVFS level l and supply
+// voltage v, returning true if the chip passed (all cores produced
+// correct results). gpuOn selects the feature configuration under test
+// (Section III.C's on-demand profiling).
+func (t *Tester) Run(id, l int, v units.Volts, gpuOn bool) bool {
+	trueMin := t.chips[id].MinVdd(l, float64(t.tbl.VnomAt(l)), gpuOn)
+	threshold := trueMin
+	if t.noise > 0 {
+		threshold += t.r.Normal(0, t.noise)
+	}
+	return float64(v) >= threshold
+}

@@ -1,0 +1,154 @@
+// Package rng provides deterministic, named random streams and the
+// statistical distributions used throughout the iScope simulator.
+//
+// Every stochastic element of the system (process variation, wind,
+// workload synthesis, scheduling randomness) draws from its own stream,
+// derived from a master seed and a stream name. This guarantees that
+// (a) the same Config reproduces identical results, and (b) changing the
+// amount of randomness consumed by one subsystem does not perturb any
+// other subsystem.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic random stream. It wraps math/rand/v2's PCG
+// generator and adds the distributions needed by the simulator.
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a stream seeded directly with (seed, stream).
+func New(seed, stream uint64) *Rand {
+	return &Rand{src: rand.New(rand.NewPCG(seed, stream))}
+}
+
+// Named derives a stream from a master seed and a human-readable name.
+// Distinct names yield statistically independent streams.
+func Named(seed uint64, name string) *Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(seed, h.Sum64())
+}
+
+// Split derives a child stream; child i of the same parent state is
+// deterministic given the parent's construction parameters.
+func (r *Rand) Split(name string) *Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(r.src.Uint64(), h.Sum64())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// IntN returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Uniform returns a uniform value in [lo,hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a draw from N(mean, stddev²).
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// TruncNormal returns a draw from N(mean, stddev²) truncated to [lo,hi]
+// by rejection; after 1000 rejections it clamps, so it always terminates.
+func (r *Rand) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	for i := 0; i < 1000; i++ {
+		v := r.Normal(mean, stddev)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// LogNormal returns a draw whose natural log is N(mu, sigma²).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns a draw from Exp(rate); mean is 1/rate.
+func (r *Rand) Exponential(rate float64) float64 {
+	return r.src.ExpFloat64() / rate
+}
+
+// Weibull returns a draw from Weibull(shape k, scale lambda) via the
+// inverse-CDF method.
+func (r *Rand) Weibull(k, lambda float64) float64 {
+	u := r.src.Float64()
+	// Guard against u == 0, where Log would produce +Inf.
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return lambda * math.Pow(-math.Log(u), 1/k)
+}
+
+// Poisson returns a draw from Poisson(mean). For small means it uses
+// Knuth's product method; for large means a normal approximation with
+// continuity correction, which is accurate to well under a count for the
+// mean≈65 used by the static-power model.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := r.Normal(mean, math.Sqrt(mean))
+	n := int(math.Round(v))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// SampleInts returns k distinct uniform values from [0,n) in random
+// order. It panics if k > n. For k close to n it shuffles; for small k
+// it uses Floyd's algorithm to stay O(k).
+func (r *Rand) SampleInts(n, k int) []int {
+	if k > n {
+		panic("rng: SampleInts k > n")
+	}
+	if k*3 >= n {
+		p := r.Perm(n)
+		return p[:k]
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.IntN(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

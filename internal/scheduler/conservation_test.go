@@ -1,0 +1,147 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAccountMatchesSampledTrace cross-checks the event-driven energy
+// account against an independent estimate: integrating the finely
+// sampled power trace. The two measure the same demand through
+// different code paths (incremental bookkeeping vs point sampling), so
+// agreement within a few percent validates both.
+func TestAccountMatchesSampledTrace(t *testing.T) {
+	fleet := testFleet(t, 40)
+	jobs := testJobs(t, 20, 150, 0.3)
+	w := testWind(t, fleet, 43)
+	res := run(t, fleet, "ScanFair", RunConfig{
+		Seed: 15, Jobs: jobs, Wind: w, SampleInterval: 60,
+	})
+	if len(res.Trace) < 100 {
+		t.Fatalf("trace too sparse: %d points", len(res.Trace))
+	}
+	var integral float64
+	for i := 1; i < len(res.Trace); i++ {
+		dt := float64(res.Trace[i].Time - res.Trace[i-1].Time)
+		integral += float64(res.Trace[i-1].Demand) * dt
+	}
+	total := float64(res.TotalEnergy)
+	if total == 0 {
+		t.Fatal("no energy recorded")
+	}
+	if diff := math.Abs(integral-total) / total; diff > 0.05 {
+		t.Fatalf("sampled integral %.3e J vs account %.3e J: %.1f%% apart",
+			integral, total, 100*diff)
+	}
+	// The utility split must obey the same cross-check against
+	// max(demand-wind, 0).
+	var utilIntegral float64
+	for i := 1; i < len(res.Trace); i++ {
+		dt := float64(res.Trace[i].Time - res.Trace[i-1].Time)
+		utilIntegral += float64(res.Trace[i-1].Utility) * dt
+	}
+	util := float64(res.UtilityEnergy)
+	if util > 0 {
+		if diff := math.Abs(utilIntegral-util) / util; diff > 0.15 {
+			t.Fatalf("sampled utility %.3e J vs account %.3e J: %.1f%% apart",
+				utilIntegral, util, 100*diff)
+		}
+	}
+}
+
+// TestUtilizationBoundedByMakespan: no processor can be busy for longer
+// than the simulation ran.
+func TestUtilizationBoundedByMakespan(t *testing.T) {
+	fleet := testFleet(t, 32)
+	jobs := testJobs(t, 21, 150, 0.3)
+	res := run(t, fleet, "ScanEffi", RunConfig{Seed: 16, Jobs: jobs})
+	for i, u := range res.UtilTimes {
+		if u < 0 || u > res.Makespan+1e-6 {
+			t.Fatalf("proc %d utilization %v outside [0, makespan %v]", i, u, res.Makespan)
+		}
+	}
+}
+
+// TestSchemesShareTotalWork: every scheme completes the same jobs, so
+// the pure work content (sum of runtimes weighted by width) is fixed;
+// only the energy spent on it may differ. Sanity-check that schemes
+// differ in energy but not in completions.
+func TestSchemesShareTotalWork(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 22, 150, 0.3)
+	var completions []int
+	var energies []float64
+	for _, sch := range Schemes() {
+		res, err := Run(fleet, sch, RunConfig{Seed: 17, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		completions = append(completions, res.JobsCompleted)
+		energies = append(energies, float64(res.TotalEnergy))
+	}
+	for i := 1; i < len(completions); i++ {
+		if completions[i] != completions[0] {
+			t.Fatalf("scheme %d completed %d jobs, scheme 0 completed %d",
+				i, completions[i], completions[0])
+		}
+	}
+	same := true
+	for i := 1; i < len(energies); i++ {
+		if energies[i] != energies[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("all five schemes spent identical energy; knowledge/policy have no effect")
+	}
+}
+
+// TestQualityMetricsSane checks the slowdown/wait statistics.
+func TestQualityMetricsSane(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 23, 150, 0.3)
+	res := run(t, fleet, "ScanEffi", RunConfig{Seed: 24, Jobs: jobs})
+	if res.MeanSlowdown < 1 {
+		t.Fatalf("mean slowdown %v below 1", res.MeanSlowdown)
+	}
+	if res.P95Slowdown < res.MeanSlowdown {
+		t.Fatalf("P95 slowdown %v below mean %v", res.P95Slowdown, res.MeanSlowdown)
+	}
+	if res.MeanWait < 0 {
+		t.Fatalf("negative mean wait %v", res.MeanWait)
+	}
+	// Effi deliberately queues; Random spreads. Random's slowdown
+	// should not exceed Effi's.
+	ran := run(t, fleet, "ScanRan", RunConfig{Seed: 24, Jobs: jobs})
+	if ran.MeanSlowdown > res.MeanSlowdown {
+		t.Fatalf("Random slowdown %v above Effi %v: queueing model inverted",
+			ran.MeanSlowdown, res.MeanSlowdown)
+	}
+}
+
+// TestBinRanEnergyClosedForm cross-validates the whole event-driven
+// pipeline against a closed form: under BinRan with no wind and no
+// matching, every slice runs at the top level for its exact duration,
+// so total energy must equal sum_i ProcPower(i, top) * UtilTime_i
+// computed from the run's own utilization books.
+func TestBinRanEnergyClosedForm(t *testing.T) {
+	fleet := testFleet(t, 40)
+	jobs := testJobs(t, 50, 150, 0.3)
+	res := run(t, fleet, "BinRan", RunConfig{Seed: 28, Jobs: jobs})
+
+	know, err := fleet.Knowledge(KnowBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := fleet.PM.Table.Top()
+	var want float64
+	for id, ch := range fleet.Chips {
+		cpu := float64(fleet.PM.CPUPower(ch.Alpha, ch.Beta, top, know.Vdd(id, top)))
+		want += cpu * 1.4 * float64(res.UtilTimes[id]) // COP 2.5 -> x1.4 cooling
+	}
+	got := float64(res.TotalEnergy)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("event-driven energy %.6e J != closed form %.6e J (%.4f%% apart)",
+			got, want, 100*math.Abs(got-want)/want)
+	}
+}

@@ -1,0 +1,177 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"iscope/internal/battery"
+	"iscope/internal/units"
+)
+
+func TestOracleKnowledgeIsLowerBound(t *testing.T) {
+	fleet := testFleet(t, 60)
+	oracle, err := fleet.Knowledge(KnowOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := fleet.Knowledge(KnowScan)
+	bin, _ := fleet.Knowledge(KnowBin)
+	for id := range fleet.Chips {
+		for l := 0; l < fleet.PM.Table.NumLevels(); l++ {
+			vo, vs, vb := oracle.Vdd(id, l), scan.Vdd(id, l), bin.Vdd(id, l)
+			if vo > vs+1e-12 {
+				t.Fatalf("oracle voltage %v above scan %v (chip %d level %d)", vo, vs, id, l)
+			}
+			if vo > vb+1e-12 {
+				t.Fatalf("oracle voltage %v above bin %v", vo, vb)
+			}
+			// Oracle voltage equals the ground truth exactly.
+			vnom := float64(fleet.PM.Table.Levels[l].Vnom)
+			if math.Abs(float64(vo)-fleet.Chips[id].MinVdd(l, vnom, false)) > 1e-12 {
+				t.Fatalf("oracle voltage is not the ground truth")
+			}
+		}
+	}
+	if oracle.Name() != "Oracle" {
+		t.Errorf("oracle name = %q", oracle.Name())
+	}
+}
+
+func TestOracleEffiBeatsScanEffi(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 15, 200, 0.2)
+	scan := run(t, fleet, "ScanEffi", RunConfig{Seed: 12, Jobs: jobs})
+	oracle := run(t, fleet, "OracleEffi", RunConfig{Seed: 12, Jobs: jobs})
+	if oracle.UtilityEnergy >= scan.UtilityEnergy {
+		t.Fatalf("OracleEffi (%v) did not beat ScanEffi (%v): the guardband has negative cost?",
+			oracle.UtilityEnergy, scan.UtilityEnergy)
+	}
+	// The scanner should leave little on the table: oracle within a few
+	// percent of scan.
+	gap := 1 - float64(oracle.UtilityEnergy)/float64(scan.UtilityEnergy)
+	if gap > 0.10 {
+		t.Errorf("oracle-vs-scan gap = %.1f%%, want < 10%% (guardband is only ~1 voltage step)", 100*gap)
+	}
+}
+
+func TestKnowledgeKindStrings(t *testing.T) {
+	if KnowBin.String() != "Bin" || KnowScan.String() != "Scan" || KnowOracle.String() != "Oracle" {
+		t.Error("KnowledgeKind strings wrong")
+	}
+}
+
+func TestBatteryReducesUtilityEnergy(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 16, 200, 0.3)
+	w := testWind(t, fleet, 37)
+	spec := battery.DefaultSpec(units.FromKWh(50))
+	plain := run(t, fleet, "ScanEffi", RunConfig{Seed: 13, Jobs: jobs, Wind: w})
+	batt := run(t, fleet, "ScanEffi", RunConfig{Seed: 13, Jobs: jobs, Wind: w, Battery: &spec})
+	if batt.UtilityEnergy >= plain.UtilityEnergy {
+		t.Fatalf("battery did not reduce utility energy: %v >= %v",
+			batt.UtilityEnergy, plain.UtilityEnergy)
+	}
+	if batt.BatteryCharged <= 0 || batt.BatteryDelivered <= 0 {
+		t.Fatalf("battery flows empty: charged %v delivered %v",
+			batt.BatteryCharged, batt.BatteryDelivered)
+	}
+	// Round-trip loss: delivered < charged.
+	if batt.BatteryDelivered >= batt.BatteryCharged {
+		t.Fatalf("delivered %v >= charged %v: free energy", batt.BatteryDelivered, batt.BatteryCharged)
+	}
+	if plain.BatteryCharged != 0 || plain.BatteryFinalSoC != 0 {
+		t.Fatal("battery fields set on batteryless run")
+	}
+}
+
+func TestBatteryEnergyConservation(t *testing.T) {
+	fleet := testFleet(t, 32)
+	jobs := testJobs(t, 17, 120, 0.3)
+	w := testWind(t, fleet, 41)
+	spec := battery.DefaultSpec(units.FromKWh(30))
+	res := run(t, fleet, "ScanFair", RunConfig{Seed: 14, Jobs: jobs, Wind: w, Battery: &spec})
+	// Demand is served by direct wind + battery + grid. WindEnergy
+	// includes the energy absorbed into the battery, so:
+	// Total = (WindEnergy - Charged) + Delivered + Utility.
+	served := float64(res.WindEnergy-res.BatteryCharged) + float64(res.BatteryDelivered) + float64(res.UtilityEnergy)
+	if math.Abs(served-float64(res.TotalEnergy)) > 1 {
+		t.Fatalf("energy books do not balance: served %.1f J vs demand %.1f J", served, float64(res.TotalEnergy))
+	}
+	// Losses + stranded charge = charged - delivered (above initial SoC
+	// difference; allow the initial 50% charge as slack).
+	initial := float64(spec.Capacity) * spec.InitialSoC
+	lossAndStranded := float64(res.BatteryCharged) - float64(res.BatteryDelivered) + initial - float64(res.BatteryFinalSoC)
+	if lossAndStranded < -1 {
+		t.Fatalf("battery created energy: %v", lossAndStranded)
+	}
+}
+
+func TestBatteryInvalidSpecRejected(t *testing.T) {
+	fleet := testFleet(t, 8)
+	jobs := testJobs(t, 18, 20, 0.3)
+	bad := battery.DefaultSpec(units.FromKWh(10))
+	bad.ChargeEff = 2
+	if _, err := Run(fleet, Schemes()[0], RunConfig{Seed: 1, Jobs: jobs, Battery: &bad}); err == nil {
+		t.Fatal("invalid battery spec accepted")
+	}
+}
+
+// TestKitchenSinkRun drives every optional subsystem at once — wind,
+// battery, online profiling, queue rebalancing, power-trace sampling —
+// and checks the run stays consistent and deterministic.
+func TestKitchenSinkRun(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 36, 150, 0.4)
+	w := testWind(t, fleet, 67)
+	spec := battery.DefaultSpec(units.FromKWh(40))
+	cfg := RunConfig{
+		Seed: 29, Jobs: jobs, Wind: w,
+		Battery:         &spec,
+		Online:          &OnlineProfiling{},
+		EnableRebalance: true,
+		SampleInterval:  120,
+	}
+	a := run(t, fleet, "ScanFair", cfg)
+	b := run(t, fleet, "ScanFair", cfg)
+	if a.TotalEnergy != b.TotalEnergy || a.ProfiledChips != b.ProfiledChips ||
+		a.BatteryDelivered != b.BatteryDelivered || a.DeadlineViolations != b.DeadlineViolations {
+		t.Fatal("kitchen-sink runs diverged")
+	}
+	if a.JobsCompleted != 150 {
+		t.Fatalf("completed %d/150", a.JobsCompleted)
+	}
+	// Energy books: demand = direct wind + battery delivered + utility.
+	served := float64(a.WindEnergy-a.BatteryCharged) + float64(a.BatteryDelivered) + float64(a.UtilityEnergy)
+	if diff := served - float64(a.TotalEnergy); diff > 1 || diff < -1 {
+		t.Fatalf("energy books unbalanced by %v J", diff)
+	}
+	if a.ProfiledChips == 0 {
+		t.Fatal("online profiling inactive in kitchen-sink run")
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("sampler inactive in kitchen-sink run")
+	}
+}
+
+// TestRandomCOPVariation exercises the per-node cooling distribution
+// the paper cites (normal on [0.6, 3.5]). A fleet with COPs spread
+// around 2.5 costs more than the fixed-2.5 baseline because the
+// cooling multiplier 1+1/COP is convex in COP.
+func TestRandomCOPVariation(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 37, 150, 0.3)
+	fixed := run(t, fleet, "ScanEffi", RunConfig{Seed: 30, Jobs: jobs})
+	random := run(t, fleet, "ScanEffi", RunConfig{Seed: 30, Jobs: jobs, RandomCOP: true})
+	if random.TotalEnergy == fixed.TotalEnergy {
+		t.Fatal("random COP had no effect")
+	}
+	if random.TotalEnergy <= fixed.TotalEnergy {
+		t.Fatalf("convexity: spread COP (%v) should cost more than fixed (%v)",
+			random.TotalEnergy, fixed.TotalEnergy)
+	}
+	// Determinism holds under the random draw.
+	again := run(t, fleet, "ScanEffi", RunConfig{Seed: 30, Jobs: jobs, RandomCOP: true})
+	if again.TotalEnergy != random.TotalEnergy {
+		t.Fatal("RandomCOP runs diverged under identical seeds")
+	}
+}

@@ -1,0 +1,68 @@
+package scheduler
+
+import "testing"
+
+// TestGPUOnProfilingCostsEnergy exercises Section III.C's on-demand
+// profiling end to end: a fleet scanned with the integrated GPU active
+// certifies higher minimum voltages, so the same workload costs more
+// energy than on a GPU-off (feature-disabled) profile.
+func TestGPUOnProfilingCostsEnergy(t *testing.T) {
+	specOff := DefaultFleetSpec(70, 48)
+	fleetOff, err := BuildFleet(specOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specOn := DefaultFleetSpec(70, 48)
+	specOn.Scan.GPUOn = true
+	// Copy the rest of the scan defaults the zero value would miss.
+	specOn.Scan.Kind = 0
+	specOn.Scan.VoltagePoints = 10
+	specOn.Scan.VoltageStep = 0.0125
+	specOn.Scan.TestPower = 115
+	fleetOn, err := BuildFleet(specOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same silicon (same seed), different profiling configuration.
+	jobs := testJobs(t, 35, 150, 0.3)
+	off, err := Run(fleetOff, Schemes()[3], RunConfig{Seed: 23, Jobs: jobs}) // ScanEffi
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(fleetOn, Schemes()[3], RunConfig{Seed: 23, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.TotalEnergy <= off.TotalEnergy {
+		t.Fatalf("GPU-on profile (%v) not above GPU-off (%v): on-demand profiling has no value",
+			on.TotalEnergy, off.TotalEnergy)
+	}
+}
+
+// TestNoisyScanStaysSafeWithGuardband: with realistic measurement noise
+// the scanned MinVdd can be optimistic, but the in-cloud guardband must
+// keep every applied voltage at or above the true minimum.
+func TestNoisyScanStaysSafeWithGuardband(t *testing.T) {
+	spec := DefaultFleetSpec(71, 100)
+	spec.ScanNoise = 0.002 // 2 mV measurement noise, guard is 12.5 mV
+	fleet, err := BuildFleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := fleet.Knowledge(KnowScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsafe := 0
+	for id, ch := range fleet.Chips {
+		for l := 0; l < fleet.PM.Table.NumLevels(); l++ {
+			vnom := float64(fleet.PM.Table.Levels[l].Vnom)
+			if float64(k.Vdd(id, l)) < ch.MinVdd(l, vnom, false) {
+				unsafe++
+			}
+		}
+	}
+	if unsafe > 0 {
+		t.Fatalf("%d voltage points below the true minimum despite the guardband", unsafe)
+	}
+}

@@ -1,0 +1,92 @@
+package scheduler
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func TestOnlineProfilingConverges(t *testing.T) {
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 30, 100, 0.3)
+	w := testWind(t, fleet, 47)
+	res := run(t, fleet, "ScanEffi", RunConfig{
+		Seed: 18, Jobs: jobs, Wind: w,
+		Online: &OnlineProfiling{},
+	})
+	if res.ProfiledChips == 0 {
+		t.Fatal("opportunistic scanner never profiled a chip")
+	}
+	if res.ProfilingEnergy <= 0 {
+		t.Fatal("profiling consumed no energy")
+	}
+	if res.JobsCompleted != 100 {
+		t.Fatalf("online profiling broke job completion: %d/100", res.JobsCompleted)
+	}
+	t.Logf("profiled %d/48 chips during the run, %v of test energy",
+		res.ProfiledChips, res.ProfilingEnergy)
+}
+
+func TestOnlineProfilingBetweenBinAndScan(t *testing.T) {
+	// The hybrid regime must land between pure Bin and pure pre-scanned
+	// Scan on total energy: it starts on bin voltages and converges to
+	// scan voltages as profiling proceeds.
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 31, 150, 0.3)
+	bin := run(t, fleet, "BinEffi", RunConfig{Seed: 19, Jobs: jobs})
+	scan := run(t, fleet, "ScanEffi", RunConfig{Seed: 19, Jobs: jobs})
+	online := run(t, fleet, "ScanEffi", RunConfig{
+		Seed: 19, Jobs: jobs,
+		Online: &OnlineProfiling{RequireWind: false},
+	})
+	// Subtract the profiling energy itself for a fair placement check.
+	onlineWork := online.TotalEnergy - online.ProfilingEnergy
+	if onlineWork < scan.TotalEnergy-units.Joules(1) {
+		t.Fatalf("online (%v) below pre-scanned ScanEffi (%v): impossible", onlineWork, scan.TotalEnergy)
+	}
+	if onlineWork > bin.TotalEnergy+units.Joules(1) {
+		t.Fatalf("online (%v) above BinEffi (%v): profiling made things worse", onlineWork, bin.TotalEnergy)
+	}
+}
+
+func TestOnlineProfilingIgnoredForBinSchemes(t *testing.T) {
+	fleet := testFleet(t, 16)
+	jobs := testJobs(t, 32, 40, 0.3)
+	res := run(t, fleet, "BinEffi", RunConfig{
+		Seed: 20, Jobs: jobs, Online: &OnlineProfiling{RequireWind: false},
+	})
+	if res.ProfiledChips != 0 || res.ProfilingEnergy != 0 {
+		t.Fatalf("Bin scheme ran the scanner: %+v", res)
+	}
+}
+
+func TestOnlineProfilingRespectsQoS(t *testing.T) {
+	// With the scanner active, deadline violations should not blow up
+	// compared with the pre-scanned run: profiling only takes idle
+	// processors below the utilization threshold.
+	fleet := testFleet(t, 48)
+	jobs := testJobs(t, 33, 150, 0.3)
+	w := testWind(t, fleet, 53)
+	base := run(t, fleet, "ScanEffi", RunConfig{Seed: 21, Jobs: jobs, Wind: w})
+	online := run(t, fleet, "ScanEffi", RunConfig{
+		Seed: 21, Jobs: jobs, Wind: w, Online: &OnlineProfiling{},
+	})
+	if online.DeadlineViolations > base.DeadlineViolations+len(jobs.Jobs)/20 {
+		t.Fatalf("online profiling hurt QoS: %d violations vs %d",
+			online.DeadlineViolations, base.DeadlineViolations)
+	}
+}
+
+func TestOnlineProfilingDeterministic(t *testing.T) {
+	fleet := testFleet(t, 32)
+	jobs := testJobs(t, 34, 80, 0.3)
+	w := testWind(t, fleet, 59)
+	cfg := RunConfig{Seed: 22, Jobs: jobs, Wind: w, Online: &OnlineProfiling{}}
+	a := run(t, fleet, "ScanFair", cfg)
+	b := run(t, fleet, "ScanFair", cfg)
+	if a.ProfiledChips != b.ProfiledChips || a.TotalEnergy != b.TotalEnergy ||
+		a.ProfilingEnergy != b.ProfilingEnergy {
+		t.Fatalf("online runs diverged: %d/%v vs %d/%v",
+			a.ProfiledChips, a.TotalEnergy, b.ProfiledChips, b.TotalEnergy)
+	}
+}

@@ -1,0 +1,82 @@
+package scheduler
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+// heavyJobs builds an overloaded bursty trace that produces deadline
+// violations under plain Effi scheduling.
+func heavyJobs(t *testing.T, seed uint64) *workload.Trace {
+	t.Helper()
+	cfg := workload.DefaultSynthConfig(seed, 260)
+	cfg.MaxProcs = 16
+	cfg.Span = units.Days(1)
+	tr, err := workload.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AssignDeadlines(workload.DefaultDeadlines(seed+1, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRebalanceReducesViolations(t *testing.T) {
+	// Migration reshuffles subsequent placements, so a single run can go
+	// either way by schedule chaos; the benefit must show in aggregate
+	// across several workloads.
+	fleet := testFleet(t, 48)
+	var baseTotal, rebTotal, jobsBase, jobsReb int
+	for seed := uint64(40); seed < 46; seed++ {
+		jobs := heavyJobs(t, seed)
+		base := run(t, fleet, "ScanEffi", RunConfig{Seed: seed, Jobs: jobs})
+		reb := run(t, fleet, "ScanEffi", RunConfig{Seed: seed, Jobs: jobs, EnableRebalance: true})
+		baseTotal += base.DeadlineViolations
+		rebTotal += reb.DeadlineViolations
+		jobsBase += base.JobsCompleted
+		jobsReb += reb.JobsCompleted
+	}
+	if jobsReb != jobsBase {
+		t.Fatalf("rebalancing lost jobs: %d vs %d", jobsReb, jobsBase)
+	}
+	if baseTotal == 0 {
+		t.Skip("workloads produced no violations to rebalance away")
+	}
+	if rebTotal >= baseTotal {
+		t.Fatalf("rebalancing did not reduce aggregate violations: %d -> %d", baseTotal, rebTotal)
+	}
+	t.Logf("aggregate violations %d -> %d with queue rebalancing", baseTotal, rebTotal)
+}
+
+func TestRebalanceWithWindAndMatching(t *testing.T) {
+	// The matching loop stretches queues during wind deficits; the
+	// rebalancer must claw back the threatened slices without breaking
+	// the energy accounting.
+	fleet := testFleet(t, 48)
+	jobs := heavyJobs(t, 41)
+	w := testWind(t, fleet, 61)
+	base := run(t, fleet, "ScanFair", RunConfig{Seed: 26, Jobs: jobs, Wind: w})
+	reb := run(t, fleet, "ScanFair", RunConfig{Seed: 26, Jobs: jobs, Wind: w, EnableRebalance: true})
+	if reb.DeadlineViolations > base.DeadlineViolations {
+		t.Fatalf("rebalancing increased violations under wind: %d -> %d",
+			base.DeadlineViolations, reb.DeadlineViolations)
+	}
+	if reb.TotalEnergy <= 0 || reb.JobsCompleted != base.JobsCompleted {
+		t.Fatalf("rebalanced run inconsistent: %+v", reb)
+	}
+}
+
+func TestRebalanceDeterministic(t *testing.T) {
+	fleet := testFleet(t, 32)
+	jobs := heavyJobs(t, 42)
+	cfg := RunConfig{Seed: 27, Jobs: jobs, EnableRebalance: true}
+	a := run(t, fleet, "ScanEffi", cfg)
+	b := run(t, fleet, "ScanEffi", cfg)
+	if a.TotalEnergy != b.TotalEnergy || a.DeadlineViolations != b.DeadlineViolations ||
+		a.Makespan != b.Makespan {
+		t.Fatal("rebalanced runs diverged")
+	}
+}

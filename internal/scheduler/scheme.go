@@ -1,0 +1,95 @@
+package scheduler
+
+// PolicyKind is the task-placement rule (Section IV.B).
+type PolicyKind int
+
+const (
+	// Random assigns jobs to feasible CPUs uniformly at random (Ran).
+	Random PolicyKind = iota
+	// Efficiency always allocates onto the CPUs the scheduler believes
+	// most energy-efficient (Effi).
+	Efficiency
+	// FairPolicy balances processor usage time against energy: with
+	// abundant wind it picks the historically least-used CPUs, otherwise
+	// it behaves like Efficiency (Fair).
+	FairPolicy
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case Efficiency:
+		return "Effi"
+	case FairPolicy:
+		return "Fair"
+	default:
+		return "Ran"
+	}
+}
+
+// KnowledgeKind selects the hardware-knowledge regime of a scheme.
+type KnowledgeKind int
+
+const (
+	// KnowBin: only the factory bin assignment (conventional).
+	KnowBin KnowledgeKind = iota
+	// KnowScan: the iScope scanner's profile database plus guardband.
+	KnowScan
+	// KnowOracle: ground-truth minimum voltages with zero guardband —
+	// an unattainable lower bound that prices the scanner's residual
+	// margin.
+	KnowOracle
+)
+
+func (k KnowledgeKind) String() string {
+	switch k {
+	case KnowScan:
+		return "Scan"
+	case KnowOracle:
+		return "Oracle"
+	default:
+		return "Bin"
+	}
+}
+
+// Scheme is one of Table 2's profiling-strategy x scheduling-algorithm
+// combinations.
+type Scheme struct {
+	Name      string
+	Knowledge KnowledgeKind
+	Policy    PolicyKind
+}
+
+// Profiled reports whether the scheme uses in-cloud profiling.
+func (s Scheme) Profiled() bool { return s.Knowledge != KnowBin }
+
+// Schemes returns the paper's five evaluated schemes in Table 2 order.
+func Schemes() []Scheme {
+	return []Scheme{
+		{Name: "BinRan", Knowledge: KnowBin, Policy: Random},
+		{Name: "BinEffi", Knowledge: KnowBin, Policy: Efficiency},
+		{Name: "ScanRan", Knowledge: KnowScan, Policy: Random},
+		{Name: "ScanEffi", Knowledge: KnowScan, Policy: Efficiency},
+		{Name: "ScanFair", Knowledge: KnowScan, Policy: FairPolicy},
+	}
+}
+
+// SchemeByName finds a scheme among Table 2's five plus the ablation
+// extras.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range append(Schemes(), ExtraSchemes()...) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}
+
+// ExtraSchemes returns ablation schemes beyond the paper's Table 2:
+// BinFair isolates the fairness policy from the profiling benefit;
+// OracleEffi bounds what any profiling strategy could achieve.
+func ExtraSchemes() []Scheme {
+	return []Scheme{
+		{Name: "BinFair", Knowledge: KnowBin, Policy: FairPolicy},
+		{Name: "OracleEffi", Knowledge: KnowOracle, Policy: Efficiency},
+	}
+}

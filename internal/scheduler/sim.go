@@ -1,0 +1,881 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iscope/internal/battery"
+	"iscope/internal/cluster"
+	"iscope/internal/metrics"
+	"iscope/internal/power"
+	"iscope/internal/profiling"
+	"iscope/internal/rng"
+	"iscope/internal/simulator"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+	"iscope/internal/workload"
+)
+
+// RunConfig parametrizes one simulation run.
+type RunConfig struct {
+	Seed uint64
+	// Jobs must have deadlines assigned; the trace is not mutated.
+	Jobs *workload.Trace
+	// Wind is the renewable budget; nil simulates a utility-power-only
+	// datacenter (Figure 5).
+	Wind *wind.Trace
+	// COP is the cooling coefficient; 0 uses the paper's 2.5.
+	COP float64
+	// Prices are the energy tariffs; the zero value uses the paper's.
+	Prices metrics.Prices
+	// FairTheta is ScanFair's wind-abundance threshold: wind counts as
+	// abundant when it covers FairTheta x current demand. 0 -> 1.0.
+	FairTheta float64
+	// SampleInterval enables the Figure 7 power-trace sampler; 0
+	// disables sampling.
+	SampleInterval units.Seconds
+	// MatchInterval is the power-matching period; 0 uses the wind
+	// trace's sampling interval (the budget only changes then).
+	MatchInterval units.Seconds
+	// DisableMatching turns the DVFS supply-tracking loop off, as an
+	// ablation.
+	DisableMatching bool
+	// Battery optionally adds on-site storage: surplus wind charges it
+	// and deficits draw from it before the grid. The paper argues
+	// large-scale batteries are an inefficient substitute for demand
+	// matching (Section II.A); this knob quantifies the comparison.
+	Battery *battery.Spec
+	// ScanGuard overrides the in-cloud guardband above the scanned
+	// MinVdd for Scan schemes (0 uses DefaultScanGuard) — the ablation
+	// knob for the guardband sweep.
+	ScanGuard units.Volts
+	// Online enables in-simulation opportunistic profiling (Section
+	// III.C): the datacenter starts on factory-bin knowledge and scans
+	// idle processors during low-utilization windows, converging to
+	// scan knowledge while serving the workload. Applies to Scan
+	// schemes only.
+	Online *OnlineProfiling
+	// EnableRebalance turns on queued-work migration: at every tick,
+	// queued slices whose estimated completion would miss their
+	// deadline (queues stretched by DVFS-down matching, or stuck behind
+	// a profiling session) are moved to processors where they still
+	// fit — the "load migration between nodes" lever of the paper's
+	// Section I.
+	EnableRebalance bool
+	// RandomCOP draws each processor's cooling coefficient from the
+	// Greenberg et al. distribution the paper cites (normal on
+	// [0.6, 3.5], mean COP) instead of using a uniform value —
+	// cold-aisle vs hot-aisle placement variability.
+	RandomCOP bool
+}
+
+// OnlineProfiling configures in-simulation opportunistic scanning.
+type OnlineProfiling struct {
+	// Test selects the stability routine; the zero value is the
+	// 29-second functional failing test.
+	Test profiling.TestKind
+	// TestPower is the draw of a processor under test (0 -> 115 W).
+	TestPower units.Watts
+	// UtilThreshold is the busy fraction (running + under test) below
+	// which profiling may proceed (0 -> 0.3, Figure 10's line).
+	UtilThreshold float64
+	// MaxConcurrentFrac caps the fleet fraction under test at once
+	// (0 -> 0.1).
+	MaxConcurrentFrac float64
+	// RequireWind gates profiling on renewable availability, as the
+	// paper's stage-1 flow prescribes; ignored in utility-only runs.
+	RequireWind bool
+}
+
+func (o *OnlineProfiling) withDefaults() OnlineProfiling {
+	out := *o
+	if out.TestPower == 0 {
+		out.TestPower = 115
+	}
+	if out.UtilThreshold == 0 {
+		out.UtilThreshold = 0.3
+	}
+	if out.MaxConcurrentFrac == 0 {
+		out.MaxConcurrentFrac = 0.1
+	}
+	return out
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Scheme string
+
+	UtilityEnergy units.Joules
+	WindEnergy    units.Joules
+	WindAvailable units.Joules
+	TotalEnergy   units.Joules
+
+	Cost        units.USD
+	UtilityCost units.USD
+
+	JobsCompleted      int
+	DeadlineViolations int
+	Makespan           units.Seconds
+
+	// Scheduling-quality metrics over completed jobs. Slowdown is the
+	// bounded slowdown (finish - submit) / max(runtime, 10 s); waits
+	// measure submit-to-completion beyond the nominal runtime.
+	MeanSlowdown float64
+	P95Slowdown  float64
+	MeanWait     units.Seconds
+
+	// UtilTimes is each processor's total busy time; UtilVariance is
+	// its population variance in hours^2 (Figure 9's metric).
+	UtilTimes    []units.Seconds
+	UtilVariance float64
+
+	WindUtilization float64
+
+	// Battery flows (zero without a battery): wind-side energy
+	// absorbed, load-side energy served, and the stranded final charge.
+	BatteryCharged   units.Joules
+	BatteryDelivered units.Joules
+	BatteryFinalSoC  units.Joules
+
+	// Online-profiling outcomes (zero unless RunConfig.Online is set):
+	// chips fully profiled during the run and the test energy spent.
+	ProfiledChips   int
+	ProfilingEnergy units.Joules
+
+	// Trace is the sampled power series (empty unless sampling enabled).
+	Trace []metrics.TracePoint
+}
+
+type jobState struct {
+	job       *workload.Job
+	remaining int
+	finish    units.Seconds
+}
+
+type sim struct {
+	eng    *simulator.Engine
+	dc     *cluster.Datacenter
+	fleet  *Fleet
+	know   Knowledge
+	scheme Scheme
+	cfg    RunConfig
+
+	r             *rng.Rand
+	effPref       []int // efficiency preference order
+	profilesDirty bool  // effPref stale after new scan results
+
+	// Online profiling state (nil scanner when disabled).
+	online       OnlineProfiling
+	onlineActive bool
+	scanner      *profiling.Scanner
+	scanState    []byte // 0 untouched, 1 in progress, 2 done
+	scanLeft     int
+	scanDur      units.Seconds
+	profEnergy   units.Joules
+	profiled     int
+
+	account *metrics.Account
+	sampler *metrics.Sampler
+	curWind units.Watts
+
+	jobsLeft   int
+	violations int
+	states     []jobState
+	stateIdx   map[*workload.Job]int
+
+	// fair-order cache, recomputed at most once per distinct time.
+	fairOrder   []int
+	fairOrderAt units.Seconds
+	fairValid   bool
+
+	// scratch buffers reused across events.
+	runBuf   []*cluster.Slice
+	availBuf []procAvail
+}
+
+type procAvail struct {
+	id    int
+	avail units.Seconds
+}
+
+// Run simulates one scheme over the fleet and workload.
+func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
+	if fleet == nil || len(fleet.Chips) == 0 {
+		return nil, fmt.Errorf("scheduler: nil or empty fleet")
+	}
+	if cfg.Jobs == nil || len(cfg.Jobs.Jobs) == 0 {
+		return nil, fmt.Errorf("scheduler: no jobs")
+	}
+	if err := cfg.Jobs.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.COP == 0 {
+		cfg.COP = 2.5
+	}
+	if cfg.COP < 0 {
+		return nil, fmt.Errorf("scheduler: negative COP")
+	}
+	if cfg.Prices == (metrics.Prices{}) {
+		cfg.Prices = metrics.DefaultPrices()
+	}
+	if cfg.FairTheta == 0 {
+		cfg.FairTheta = 1.0
+	}
+
+	guard := cfg.ScanGuard
+	if guard == 0 {
+		guard = DefaultScanGuard
+	}
+	var (
+		know    Knowledge
+		err     error
+		scanner *profiling.Scanner
+		scanDur units.Seconds
+	)
+	switch {
+	case cfg.Online != nil && scheme.Knowledge == KnowScan:
+		// Start on factory knowledge with an empty profile DB; the
+		// opportunistic scanner fills it during the run.
+		db := profiling.NewDB(len(fleet.Chips), fleet.PM.Table.NumLevels())
+		know, err = NewHybridKnowledge(fleet.Chips, fleet.PM, fleet.Binning, db, guard)
+		if err != nil {
+			return nil, err
+		}
+		online := cfg.Online.withDefaults()
+		pcfg := profiling.DefaultConfig()
+		pcfg.Kind = online.Test
+		pcfg.TestPower = online.TestPower
+		pcfg.Exhaustive = true // fixed, predictable session length
+		tester := profiling.NewTester(fleet.Chips, scanTable{fleet.PM.Table}, 0, rng.Named(cfg.Seed, "online-scan"))
+		scanner, err = profiling.NewScanner(pcfg, tester, scanTable{fleet.PM.Table}, db)
+		if err != nil {
+			return nil, err
+		}
+		scanDur = units.Seconds(float64(online.Test.Duration()) *
+			float64(fleet.PM.Table.NumLevels()*pcfg.VoltagePoints))
+	case scheme.Knowledge == KnowScan && cfg.ScanGuard > 0:
+		know, err = NewScanKnowledge(fleet.Chips, fleet.PM, fleet.DB, cfg.ScanGuard)
+	default:
+		know, err = fleet.Knowledge(scheme.Knowledge)
+	}
+	if err != nil {
+		return nil, err
+	}
+	volt := func(id, l int) units.Volts { return know.Vdd(id, l) }
+	var dc *cluster.Datacenter
+	if cfg.RandomCOP {
+		copRand := rng.Named(cfg.Seed, "cop")
+		cops := make([]float64, len(fleet.Chips))
+		for i := range cops {
+			cops[i] = copRand.TruncNormal(cfg.COP, 0.7, power.COPRange[0], power.COPRange[1])
+		}
+		dc, err = cluster.NewWithCOPs(fleet.Chips, fleet.PM, volt, cops)
+	} else {
+		dc, err = cluster.New(fleet.Chips, fleet.PM, volt, cfg.COP)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s := &sim{
+		eng:     simulator.New(),
+		dc:      dc,
+		fleet:   fleet,
+		know:    know,
+		scheme:  scheme,
+		cfg:     cfg,
+		r:       rng.Named(cfg.Seed, "sim-"+scheme.Name),
+		account: metrics.NewAccount(0),
+		runBuf:  make([]*cluster.Slice, 0, len(fleet.Chips)),
+	}
+	if cfg.Battery != nil {
+		b, err := battery.New(*cfg.Battery)
+		if err != nil {
+			return nil, err
+		}
+		s.account.Battery = b
+	}
+	if scanner != nil {
+		s.onlineActive = true
+		s.online = cfg.Online.withDefaults()
+		s.scanner = scanner
+		s.scanDur = scanDur
+		s.scanState = make([]byte, len(fleet.Chips))
+		s.scanLeft = len(fleet.Chips)
+	}
+	// Static efficiency order; the shuffled tiebreak spreads load across
+	// chips the knowledge regime cannot distinguish (within a bin).
+	s.effPref = effOrder(len(fleet.Chips), know, s.r.Perm(len(fleet.Chips)))
+
+	if cfg.SampleInterval > 0 {
+		s.sampler = metrics.NewSampler(cfg.SampleInterval)
+	}
+
+	// Arrivals.
+	s.states = make([]jobState, len(cfg.Jobs.Jobs))
+	s.stateIdx = make(map[*workload.Job]int, len(cfg.Jobs.Jobs))
+	s.jobsLeft = len(cfg.Jobs.Jobs)
+	for i := range cfg.Jobs.Jobs {
+		j := &cfg.Jobs.Jobs[i]
+		// remaining is set at arrival once the placement width is known
+		// (jobs wider than the fleet are clamped to one slice per CPU).
+		s.states[i] = jobState{job: j}
+		s.stateIdx[j] = i
+		idx := i
+		if err := s.eng.Schedule(j.Submit, func(now units.Seconds) { s.onArrival(idx, now) }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wind budget / matching / profiling ticks.
+	if cfg.Wind != nil {
+		s.curWind = cfg.Wind.At(0)
+		interval := cfg.MatchInterval
+		if interval <= 0 {
+			interval = cfg.Wind.Interval
+		}
+		var tick simulator.Callback
+		tick = func(now units.Seconds) {
+			s.onTick(now)
+			if s.jobsLeft > 0 {
+				_ = s.eng.After(interval, tick)
+			}
+		}
+		_ = s.eng.Schedule(0, tick)
+	} else if s.onlineActive || cfg.EnableRebalance {
+		// Utility-only run with online profiling or rebalancing: give
+		// them their own periodic opportunity check.
+		interval := cfg.MatchInterval
+		if interval <= 0 {
+			interval = units.Minutes(10)
+		}
+		var tick simulator.Callback
+		tick = func(now units.Seconds) {
+			s.sync(now)
+			s.maybeProfile(now)
+			if cfg.EnableRebalance {
+				s.rebalance(now)
+			}
+			again := s.jobsLeft > 0 && (cfg.EnableRebalance || s.scanLeft > 0)
+			if again {
+				_ = s.eng.After(interval, tick)
+			}
+		}
+		_ = s.eng.Schedule(0, tick)
+	}
+
+	// Sampler ticks.
+	if s.sampler != nil {
+		var sample simulator.Callback
+		sample = func(now units.Seconds) {
+			s.sync(now)
+			s.sampler.Record(now, s.curWind, s.dc.Demand())
+			if s.jobsLeft > 0 {
+				_ = s.eng.After(s.sampler.Interval, sample)
+			}
+		}
+		_ = s.eng.Schedule(0, sample)
+	}
+
+	for s.jobsLeft > 0 && s.eng.Step() {
+	}
+	if s.jobsLeft > 0 {
+		return nil, fmt.Errorf("scheduler: simulation stalled with %d jobs unfinished", s.jobsLeft)
+	}
+	s.sync(s.eng.Now())
+
+	utils := dc.UtilTimes(s.eng.Now())
+	res := &Result{
+		Scheme:             scheme.Name,
+		UtilityEnergy:      s.account.Utility,
+		WindEnergy:         s.account.WindUsed,
+		WindAvailable:      s.account.WindAvailable,
+		TotalEnergy:        s.account.Total(),
+		Cost:               s.account.Cost(cfg.Prices),
+		UtilityCost:        s.account.UtilityCost(cfg.Prices),
+		JobsCompleted:      len(cfg.Jobs.Jobs),
+		DeadlineViolations: s.violations,
+		Makespan:           s.eng.Now(),
+		UtilTimes:          utils,
+		UtilVariance:       metrics.Variance(utils) / (3600 * 3600),
+		WindUtilization:    s.account.WindUtilization(),
+		BatteryCharged:     s.account.BatteryCharged,
+		BatteryDelivered:   s.account.BatteryDelivered,
+		ProfiledChips:      s.profiled,
+		ProfilingEnergy:    s.profEnergy,
+	}
+	res.MeanSlowdown, res.P95Slowdown, res.MeanWait = s.qualityMetrics()
+	if s.account.Battery != nil {
+		res.BatteryFinalSoC = s.account.Battery.SoC()
+	}
+	if s.sampler != nil {
+		res.Trace = s.sampler.Points
+	}
+	return res, nil
+}
+
+// sync integrates energy up to now at the current demand and wind.
+func (s *sim) sync(now units.Seconds) {
+	s.account.Advance(now, s.dc.Demand(), s.curWind)
+}
+
+// onArrival places job idx on processors and starts idle ones.
+func (s *sim) onArrival(idx int, now units.Seconds) {
+	s.sync(now)
+	s.fairValid = false // utilization evolves; invalidate the fair cache lazily
+	j := s.states[idx].job
+	placements := s.selectProcs(j, now)
+	s.states[idx].remaining = len(placements)
+	for _, p := range placements {
+		sl := cluster.NewSlice(j, p.id, p.level)
+		if started := s.dc.Enqueue(sl, now); started != nil {
+			s.scheduleCompletion(started)
+		}
+	}
+}
+
+type placement struct {
+	id    int
+	level int
+}
+
+// selectProcs implements the placement policies. It walks the policy's
+// preference order taking feasible processors (deadline met given the
+// queue backlog), and falls back to the earliest-available processors
+// when fewer than the requested number are feasible.
+func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
+	n := j.Procs
+	if n > len(s.dc.Procs) {
+		n = len(s.dc.Procs)
+	}
+	abundant := s.scheme.Policy == FairPolicy && s.windAbundant()
+	order := s.candidateOrder(now, abundant)
+	out := make([]placement, 0, n)
+	taken := make(map[int]bool, n)
+
+	for _, id := range order {
+		if len(out) == n {
+			break
+		}
+		avail := s.dc.AvailableAt(id, now)
+		maxTime := units.Seconds(0)
+		if j.Deadline > 0 {
+			maxTime = j.Deadline - avail
+			if maxTime <= 0 {
+				continue
+			}
+		}
+		level, ok := s.chooseLevel(id, j, maxTime, abundant)
+		if !ok {
+			continue
+		}
+		out = append(out, placement{id: id, level: level})
+		taken[id] = true
+	}
+
+	if len(out) < n {
+		// Not enough feasible processors: place the remainder on the
+		// earliest-available ones at the top level (deadline violations
+		// are recorded at completion).
+		s.availBuf = s.availBuf[:0]
+		for id := range s.dc.Procs {
+			if !taken[id] {
+				s.availBuf = append(s.availBuf, procAvail{id: id, avail: s.dc.AvailableAt(id, now)})
+			}
+		}
+		sort.Slice(s.availBuf, func(a, b int) bool {
+			if s.availBuf[a].avail != s.availBuf[b].avail {
+				return s.availBuf[a].avail < s.availBuf[b].avail
+			}
+			return s.availBuf[a].id < s.availBuf[b].id
+		})
+		top := s.fleet.PM.Table.Top()
+		for _, pa := range s.availBuf {
+			if len(out) == n {
+				break
+			}
+			out = append(out, placement{id: pa.id, level: top})
+		}
+	}
+	return out
+}
+
+// candidateOrder returns the policy's processor preference order.
+func (s *sim) candidateOrder(now units.Seconds, abundant bool) []int {
+	switch s.scheme.Policy {
+	case Efficiency:
+		return s.efficiencyOrder()
+	case FairPolicy:
+		if abundant {
+			return s.leastUsedOrder(now)
+		}
+		return s.efficiencyOrder()
+	default:
+		return s.r.Perm(len(s.dc.Procs))
+	}
+}
+
+// efficiencyOrder returns the efficiency preference order, re-sorting
+// when online profiling has refined the knowledge since the last use.
+func (s *sim) efficiencyOrder() []int {
+	if s.profilesDirty {
+		s.effPref = effOrder(len(s.dc.Procs), s.know, s.effPref)
+		s.profilesDirty = false
+	}
+	return s.effPref
+}
+
+// windAbundant implements ScanFair's mode switch: renewable power
+// covers FairTheta x the current demand. With no demand yet, any
+// positive wind counts as abundant. FairTheta = +Inf disables the
+// fairness mode entirely (an ablation knob).
+func (s *sim) windAbundant() bool {
+	if s.cfg.Wind == nil || s.curWind <= 0 || math.IsInf(s.cfg.FairTheta, 1) {
+		return false
+	}
+	return float64(s.curWind) >= s.cfg.FairTheta*float64(s.dc.Demand())
+}
+
+// leastUsedOrder sorts processors by accumulated utilization time
+// ascending ("historically least-used CPUs"), cached per event time.
+func (s *sim) leastUsedOrder(now units.Seconds) []int {
+	if s.fairValid && s.fairOrderAt == now {
+		return s.fairOrder
+	}
+	utils := s.dc.UtilTimes(now)
+	if s.fairOrder == nil {
+		s.fairOrder = make([]int, len(utils))
+	}
+	for i := range s.fairOrder {
+		s.fairOrder[i] = i
+	}
+	sort.Slice(s.fairOrder, func(a, b int) bool {
+		ua, ub := utils[s.fairOrder[a]], utils[s.fairOrder[b]]
+		if ua != ub {
+			return ua < ub
+		}
+		return s.fairOrder[a] < s.fairOrder[b]
+	})
+	s.fairOrderAt = now
+	s.fairValid = true
+	return s.fairOrder
+}
+
+// chooseLevel picks the slice's starting DVFS level on processor id.
+// Random policy runs at the requested (top) frequency; Effi and Fair
+// pick the level minimizing believed energy under the deadline. In
+// Fair's wind-abundant mode the slice runs at full speed instead —
+// power consumption rises, but the marginal energy is cheap wind
+// (Section IV.B: "Power consumption is increased in this case but the
+// renewable energy is generally cheaper").
+func (s *sim) chooseLevel(id int, j *workload.Job, maxTime units.Seconds, abundant bool) (int, bool) {
+	pm := s.fleet.PM
+	top := pm.Table.Top()
+	if s.scheme.Policy == Random || abundant {
+		if maxTime > 0 && pm.ExecTime(j.Runtime, j.Boundness, top) > maxTime {
+			return top, false
+		}
+		return top, true
+	}
+	best := -1
+	bestE := math.Inf(1)
+	for l := 0; l < pm.Table.NumLevels(); l++ {
+		t := pm.ExecTime(j.Runtime, j.Boundness, l)
+		if maxTime > 0 && t > maxTime {
+			continue
+		}
+		e := float64(s.know.EstPower(id, l)) * float64(t)
+		if e < bestE {
+			bestE = e
+			best = l
+		}
+	}
+	if best < 0 {
+		return top, false
+	}
+	return best, true
+}
+
+// scheduleCompletion arms the completion event for a running slice,
+// guarded by the slice's generation so level changes invalidate it.
+func (s *sim) scheduleCompletion(sl *cluster.Slice) {
+	gen := sl.Gen
+	_ = s.eng.Schedule(sl.Finish, func(now units.Seconds) { s.onComplete(sl, gen, now) })
+}
+
+// onComplete finishes a slice (unless stale), starts the processor's
+// next queued slice, and closes out the job when its last slice ends.
+func (s *sim) onComplete(sl *cluster.Slice, gen int, now units.Seconds) {
+	if sl.Gen != gen || !sl.Running() {
+		return // stale event from before a DVFS retiming
+	}
+	s.sync(now)
+	s.fairValid = false
+	next := s.dc.Complete(sl.ProcID, now)
+	s.finishSlice(sl.Job, now)
+	if next != nil {
+		s.scheduleCompletion(next)
+	}
+}
+
+func (s *sim) finishSlice(j *workload.Job, now units.Seconds) {
+	st := &s.states[s.stateIdx[j]]
+	st.remaining--
+	if st.remaining == 0 {
+		st.finish = now
+		s.jobsLeft--
+		if j.Deadline > 0 && now > j.Deadline+1e-6 {
+			s.violations++
+		}
+	}
+}
+
+// qualityMetrics computes the bounded-slowdown and wait statistics.
+func (s *sim) qualityMetrics() (meanSlow, p95Slow float64, meanWait units.Seconds) {
+	slows := make([]float64, 0, len(s.states))
+	var waitSum float64
+	for i := range s.states {
+		st := &s.states[i]
+		span := float64(st.finish - st.job.Submit)
+		runtime := math.Max(float64(st.job.Runtime), 10)
+		slows = append(slows, math.Max(1, span/runtime))
+		if w := span - float64(st.job.Runtime); w > 0 {
+			waitSum += w
+		}
+	}
+	if len(slows) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(slows)
+	var sum float64
+	for _, v := range slows {
+		sum += v
+	}
+	meanSlow = sum / float64(len(slows))
+	p95Slow = slows[len(slows)*95/100]
+	meanWait = units.Seconds(waitSum / float64(len(slows)))
+	return meanSlow, p95Slow, meanWait
+}
+
+// onTick refreshes the wind budget, runs the power-matching loop, and
+// gives the opportunistic scanner its chance.
+func (s *sim) onTick(now units.Seconds) {
+	s.sync(now)
+	s.curWind = s.cfg.Wind.At(now)
+	if !s.cfg.DisableMatching {
+		changed := s.match(now)
+		for _, sl := range changed {
+			s.scheduleCompletion(sl)
+		}
+	}
+	s.maybeProfile(now)
+	if s.cfg.EnableRebalance {
+		s.rebalance(now)
+	}
+}
+
+// rebalance migrates queued slices that would miss their deadlines to
+// processors where they still fit, walking the policy's preference
+// order for targets.
+func (s *sim) rebalance(now units.Seconds) {
+	type cand struct {
+		sl       *cluster.Slice
+		estStart units.Seconds
+	}
+	var cands []cand
+	s.dc.QueueEstimates(func(sl *cluster.Slice, estStart units.Seconds) {
+		d := sl.Job.Deadline
+		if d <= 0 {
+			return
+		}
+		if estStart+s.dc.SliceDuration(sl, sl.AssignedLevel) > d {
+			cands = append(cands, cand{sl, estStart})
+		}
+	})
+	if len(cands) == 0 {
+		return
+	}
+	// Most-endangered first (latest estimated start), deterministic ties.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].estStart != cands[b].estStart {
+			return cands[a].estStart > cands[b].estStart
+		}
+		if cands[a].sl.Job.ID != cands[b].sl.Job.ID {
+			return cands[a].sl.Job.ID < cands[b].sl.Job.ID
+		}
+		return cands[a].sl.ProcID < cands[b].sl.ProcID
+	})
+	order := s.candidateOrder(now, false)
+	for _, c := range cands {
+		sl := c.sl
+		for _, id := range order {
+			if id == sl.ProcID {
+				continue
+			}
+			avail := s.dc.AvailableAt(id, now)
+			maxTime := sl.Job.Deadline - avail
+			if maxTime <= 0 {
+				continue
+			}
+			level, ok := s.chooseLevel(id, sl.Job, maxTime, false)
+			if !ok {
+				continue
+			}
+			started, err := s.dc.Migrate(sl, id, level, now)
+			if err != nil {
+				break // raced with a start; leave it be
+			}
+			if started != nil {
+				s.scheduleCompletion(started)
+			}
+			break
+		}
+	}
+}
+
+// maybeProfile implements the opportunistic scanning flow of Section
+// III.C: when the datacenter is below the utilization threshold (and
+// renewable power is flowing, if required), take idle unprofiled
+// processors out of service, test them, and return them with their
+// profile recorded.
+func (s *sim) maybeProfile(now units.Seconds) {
+	if !s.onlineActive || s.scanLeft == 0 {
+		return
+	}
+	if s.online.RequireWind && s.cfg.Wind != nil && s.curWind <= 0 {
+		return
+	}
+	n := len(s.dc.Procs)
+	busy := s.dc.BusyCount() + s.dc.OfflineCount()
+	if float64(busy)/float64(n) >= s.online.UtilThreshold {
+		return
+	}
+	limit := int(s.online.MaxConcurrentFrac*float64(n)) - s.dc.OfflineCount()
+	if limit < 1 {
+		return
+	}
+	for id := 0; id < n && limit > 0; id++ {
+		if s.scanState[id] != 0 {
+			continue
+		}
+		p := s.dc.Procs[id]
+		if p.Current() != nil || p.QueueLen() > 0 || p.Offline() {
+			continue
+		}
+		if err := s.dc.SetOffline(id, s.online.TestPower); err != nil {
+			continue
+		}
+		s.scanState[id] = 1
+		limit--
+		id := id
+		_ = s.eng.After(s.scanDur, func(when units.Seconds) { s.finishScan(id, when) })
+	}
+}
+
+// finishScan records a completed profiling session and returns the
+// processor to service.
+func (s *sim) finishScan(id int, now units.Seconds) {
+	s.sync(now)
+	rep := s.scanner.ScanChip(id, now-s.scanDur)
+	s.profEnergy += rep.Energy
+	s.scanState[id] = 2
+	s.scanLeft--
+	s.profiled++
+	s.profilesDirty = true
+	if started := s.dc.SetOnline(id, now); started != nil {
+		s.scheduleCompletion(started)
+	}
+}
+
+// match is the macro power-matching loop (Section V.C): when demand
+// exceeds the wind budget, step running slices down one DVFS level at a
+// time — largest deadline slack first — as long as deadlines hold; when
+// wind recovers, restore levels (tightest slack first) while staying
+// under the budget. Any residual deficit is bought from the grid by the
+// account. Matching only tracks a positive wind budget: with no
+// renewable supply the assigned (energy-optimal) levels already
+// minimize cost.
+func (s *sim) match(now units.Seconds) []*cluster.Slice {
+	target := s.curWind
+	demand := s.dc.Demand()
+	var changed []*cluster.Slice
+
+	switch {
+	case demand > target && target > 0:
+		running := s.dc.RunningSlices(s.runBuf)
+		s.runBuf = running
+		sort.Slice(running, func(a, b int) bool {
+			sa := slack(running[a], now)
+			sb := slack(running[b], now)
+			if sa != sb {
+				return sa > sb
+			}
+			return running[a].ProcID < running[b].ProcID
+		})
+		for _, sl := range running {
+			if s.dc.Demand() <= target {
+				break
+			}
+			// Slowing the running slice also delays everything queued
+			// behind it; the proc's queue slack bounds the admissible
+			// delay ("we stop lowering the frequency when some tasks
+			// are facing violation of their deadlines", Section V.C).
+			maxDelay := s.dc.QueueSlack(sl.ProcID, now)
+			lowered := false
+			for sl.Level > 0 && s.dc.Demand() > target {
+				nl := sl.Level - 1
+				nf := s.dc.FinishAtLevel(sl, nl, now)
+				if d := sl.Job.Deadline; d > 0 && nf > d {
+					break
+				}
+				delay := nf - sl.Finish
+				if delay > maxDelay {
+					break
+				}
+				s.dc.SetLevel(sl, nl, now)
+				maxDelay -= delay
+				lowered = true
+			}
+			if lowered {
+				changed = append(changed, sl)
+			}
+		}
+
+	case demand < target:
+		running := s.dc.RunningSlices(s.runBuf)
+		s.runBuf = running
+		sort.Slice(running, func(a, b int) bool {
+			sa := slack(running[a], now)
+			sb := slack(running[b], now)
+			if sa != sb {
+				return sa < sb
+			}
+			return running[a].ProcID < running[b].ProcID
+		})
+		for _, sl := range running {
+			raised := false
+			for sl.Level < sl.AssignedLevel {
+				delta := s.dc.ProcPower(sl.ProcID, sl.Level+1) - s.dc.ProcPower(sl.ProcID, sl.Level)
+				if float64(s.dc.Demand())+float64(delta) > float64(target) {
+					break
+				}
+				s.dc.SetLevel(sl, sl.Level+1, now)
+				raised = true
+			}
+			if raised {
+				changed = append(changed, sl)
+			}
+		}
+	}
+	return changed
+}
+
+// slack is the margin between a slice's deadline and its estimated
+// finish; slices without deadlines have infinite slack.
+func slack(sl *cluster.Slice, now units.Seconds) units.Seconds {
+	if sl.Job.Deadline <= 0 {
+		return units.Seconds(math.Inf(1))
+	}
+	return sl.Job.Deadline - sl.Finish
+}

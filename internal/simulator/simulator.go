@@ -1,0 +1,111 @@
+// Package simulator is a minimal deterministic discrete-event engine:
+// a virtual clock and a priority queue of timestamped callbacks. Ties
+// are broken by insertion order, so identical schedules replay
+// identically — the property every experiment in this repository leans
+// on.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// Callback is invoked when its event fires; now is the virtual time.
+type Callback func(now units.Seconds)
+
+type event struct {
+	at  units.Seconds
+	seq uint64 // insertion order, for deterministic tie-breaking
+	fn  Callback
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; call New.
+type Engine struct {
+	pq  eventHeap
+	now units.Seconds
+	seq uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule enqueues fn at virtual time at. Scheduling in the past is an
+// error — it would silently reorder causality.
+func (e *Engine) Schedule(at units.Seconds, fn Callback) error {
+	if at < e.now {
+		return fmt.Errorf("simulator: scheduling at %v before now %v", at, e.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("simulator: nil callback")
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After enqueues fn delay after the current time.
+func (e *Engine) After(delay units.Seconds, fn Callback) error {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the earliest event, advancing the clock. It returns false
+// when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t stay queued.
+func (e *Engine) RunUntil(t units.Seconds) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

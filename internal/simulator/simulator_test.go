@@ -1,0 +1,170 @@
+package simulator
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"iscope/internal/units"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []units.Seconds
+	for _, at := range []units.Seconds{50, 10, 30, 20, 40} {
+		if err := e.Schedule(at, func(now units.Seconds) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = e.Schedule(100, func(units.Seconds) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want insertion order", got)
+		}
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	e := New()
+	_ = e.Schedule(100, func(units.Seconds) {})
+	e.Run()
+	if err := e.Schedule(50, func(units.Seconds) {}); err == nil {
+		t.Fatal("expected error scheduling in the past")
+	}
+	if err := e.Schedule(100, nil); err == nil {
+		t.Fatal("expected error for nil callback")
+	}
+}
+
+func TestScheduleAtNowAllowed(t *testing.T) {
+	e := New()
+	fired := false
+	_ = e.Schedule(10, func(now units.Seconds) {
+		if err := e.Schedule(now, func(units.Seconds) { fired = true }); err != nil {
+			t.Errorf("scheduling at now failed: %v", err)
+		}
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("same-time follow-up event never fired")
+	}
+}
+
+func TestCallbacksCanScheduleMore(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Callback
+	tick = func(now units.Seconds) {
+		count++
+		if count < 100 {
+			_ = e.After(10, tick)
+		}
+	}
+	_ = e.Schedule(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chain fired %d times, want 100", count)
+	}
+	if e.Now() != 990 {
+		t.Fatalf("clock = %v, want 990", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []units.Seconds
+	for _, at := range []units.Seconds{10, 20, 30, 40} {
+		at := at
+		_ = e.Schedule(at, func(now units.Seconds) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("total fired = %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	e := New()
+	_ = e.Schedule(100, func(units.Seconds) {})
+	e.Run()
+	e.RunUntil(50)
+	if e.Now() != 100 {
+		t.Fatalf("RunUntil rewound the clock to %v", e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestDeterministicReplayProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		run := func() []units.Seconds {
+			e := New()
+			var got []units.Seconds
+			for _, d := range delays {
+				_ = e.Schedule(units.Seconds(d), func(now units.Seconds) { got = append(got, now) })
+			}
+			e.Run()
+			return got
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyLoad(t *testing.T) {
+	e := New()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		_ = e.Schedule(units.Seconds(i%997), func(units.Seconds) { count++ })
+	}
+	e.Run()
+	if count != n {
+		t.Fatalf("fired %d, want %d", count, n)
+	}
+}

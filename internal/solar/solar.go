@@ -1,0 +1,165 @@
+// Package solar synthesizes photovoltaic generation traces. The green-
+// datacenter literature the paper builds on (SolarCore, Parasol/
+// GreenSwitch) is solar-driven; the paper itself evaluates wind but
+// treats the supply abstractly as a time-varying budget, so this
+// package lets every experiment swap in — or mix with — a solar farm.
+//
+// The model is the standard compact PV chain:
+//
+//  1. clear-sky irradiance follows the solar-elevation curve
+//     sin(elevation) for the configured latitude and day, zero at
+//     night;
+//  2. cloud cover is an AR(1) attenuation process in [0,1] with
+//     day-scale persistence, squashed through a logistic so clear and
+//     overcast states both persist;
+//  3. the plant converts irradiance to AC power with a fixed system
+//     efficiency up to its rated capacity.
+//
+// Traces share the wind package's Trace type (a sampled power series),
+// so schedulers and accounts are agnostic to the renewable source, and
+// wind and solar can be summed into a hybrid supply.
+package solar
+
+import (
+	"fmt"
+	"math"
+
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+)
+
+// Config controls synthetic solar trace generation.
+type Config struct {
+	Seed     uint64
+	Duration units.Seconds
+	Interval units.Seconds // sampling interval (10 min, like the wind data)
+
+	// LatitudeDeg sets the solar path; the paper's datacenter is in
+	// California (~37 N).
+	LatitudeDeg float64
+	// DayOfYear selects the season (1-365); affects day length.
+	DayOfYear int
+
+	// Plant sizing.
+	RatedPower units.Watts // AC capacity of the plant
+	// CloudAR1Rho is the lag-1 autocorrelation of the cloud process.
+	CloudAR1Rho float64
+	// CloudMean in [0,1] biases the sky: 0 = always clear, 1 = overcast.
+	CloudMean float64
+	// CloudDepth in [0,1] is the attenuation of full overcast.
+	CloudDepth float64
+}
+
+// DefaultConfig returns a California-like summer configuration.
+func DefaultConfig(seed uint64, duration units.Seconds) Config {
+	return Config{
+		Seed:        seed,
+		Duration:    duration,
+		Interval:    units.Minutes(10),
+		LatitudeDeg: 37,
+		DayOfYear:   172, // summer solstice
+		RatedPower:  1e6,
+		CloudAR1Rho: 0.97,
+		CloudMean:   0.35,
+		CloudDepth:  0.85,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Duration <= 0 || c.Interval <= 0:
+		return fmt.Errorf("solar: Duration and Interval must be positive")
+	case c.LatitudeDeg < -90 || c.LatitudeDeg > 90:
+		return fmt.Errorf("solar: latitude out of range")
+	case c.DayOfYear < 1 || c.DayOfYear > 365:
+		return fmt.Errorf("solar: DayOfYear must be in [1,365]")
+	case c.RatedPower <= 0:
+		return fmt.Errorf("solar: RatedPower must be positive")
+	case c.CloudAR1Rho < 0 || c.CloudAR1Rho >= 1:
+		return fmt.Errorf("solar: CloudAR1Rho must be in [0,1)")
+	case c.CloudMean < 0 || c.CloudMean > 1:
+		return fmt.Errorf("solar: CloudMean must be in [0,1]")
+	case c.CloudDepth < 0 || c.CloudDepth > 1:
+		return fmt.Errorf("solar: CloudDepth must be in [0,1]")
+	}
+	return nil
+}
+
+// Generate synthesizes a solar power trace.
+func Generate(cfg Config) (*wind.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(math.Ceil(float64(cfg.Duration) / float64(cfg.Interval)))
+	if n < 1 {
+		n = 1
+	}
+	r := rng.Named(cfg.Seed, "solar")
+	// Declination for the configured day (Cooper's formula).
+	decl := 23.45 * math.Pi / 180 * math.Sin(2*math.Pi*float64(284+cfg.DayOfYear)/365)
+	lat := cfg.LatitudeDeg * math.Pi / 180
+
+	rho := cfg.CloudAR1Rho
+	innov := math.Sqrt(1 - rho*rho)
+	// Bias the latent Gaussian so the squashed mean matches CloudMean.
+	bias := logit(cfg.CloudMean)
+	z := r.Normal(0, 1)
+
+	tr := &wind.Trace{Interval: cfg.Interval, Samples: make([]units.Watts, n)}
+	for s := 0; s < n; s++ {
+		tSec := float64(s) * float64(cfg.Interval)
+		hour := math.Mod(tSec/3600, 24)
+		// Hour angle: zero at solar noon.
+		ha := (hour - 12) / 24 * 2 * math.Pi
+		sinElev := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(ha)
+		if sinElev < 0 {
+			sinElev = 0
+		}
+		z = rho*z + innov*r.Normal(0, 1)
+		cloud := logistic(z*1.5 + bias)
+		atten := 1 - cfg.CloudDepth*cloud
+		tr.Samples[s] = units.Watts(float64(cfg.RatedPower) * sinElev * atten)
+	}
+	return tr, nil
+}
+
+// Hybrid sums multiple renewable traces sample-by-sample. All traces
+// must share the same interval; the result has the shortest length.
+func Hybrid(traces ...*wind.Trace) (*wind.Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("solar: no traces to combine")
+	}
+	interval := traces[0].Interval
+	n := traces[0].Len()
+	for _, t := range traces[1:] {
+		if t.Interval != interval {
+			return nil, fmt.Errorf("solar: interval mismatch %v vs %v", t.Interval, interval)
+		}
+		if t.Len() < n {
+			n = t.Len()
+		}
+	}
+	out := &wind.Trace{Interval: interval, Samples: make([]units.Watts, n)}
+	for i := 0; i < n; i++ {
+		var sum units.Watts
+		for _, t := range traces {
+			sum += t.Samples[i]
+		}
+		out.Samples[i] = sum
+	}
+	return out, nil
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func logit(p float64) float64 {
+	if p <= 0 {
+		return -36
+	}
+	if p >= 1 {
+		return 36
+	}
+	return math.Log(p / (1 - p))
+}

@@ -1,0 +1,196 @@
+package solar
+
+import (
+	"math"
+	"testing"
+
+	"iscope/internal/units"
+	"iscope/internal/wind"
+)
+
+func gen(t *testing.T, seed uint64, days float64) *wind.Trace {
+	t.Helper()
+	tr, err := Generate(DefaultConfig(seed, units.Days(days)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr := gen(t, 1, 2)
+	if tr.Len() != 288 {
+		t.Fatalf("2 days at 10 min = %d samples, want 288", tr.Len())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := gen(t, 5, 1), gen(t, 5, 1)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	c := gen(t, 6, 1)
+	same := 0
+	for i := range a.Samples {
+		if a.Samples[i] == c.Samples[i] && a.Samples[i] != 0 {
+			same++
+		}
+	}
+	if same == len(a.Samples) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestNightIsDark(t *testing.T) {
+	tr := gen(t, 7, 3)
+	// Midnight samples must be zero.
+	for d := 0; d < 3; d++ {
+		idx := d * 144 // 00:00
+		if tr.Samples[idx] != 0 {
+			t.Fatalf("midnight sample %d = %v, want 0", idx, tr.Samples[idx])
+		}
+	}
+}
+
+func TestNoonBeatsMorning(t *testing.T) {
+	// Averaged over many days, noon output beats 8am output.
+	cfg := DefaultConfig(9, units.Days(30))
+	cfg.CloudAR1Rho = 0.3 // decorrelate so the solar path dominates
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noon, morning float64
+	days := tr.Len() / 144
+	for d := 0; d < days; d++ {
+		noon += float64(tr.Samples[d*144+12*6])
+		morning += float64(tr.Samples[d*144+8*6])
+	}
+	if noon <= morning {
+		t.Fatalf("noon output (%v) not above 8am (%v)", noon, morning)
+	}
+}
+
+func TestBoundedByRatedPower(t *testing.T) {
+	cfg := DefaultConfig(11, units.Days(7))
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tr.Samples {
+		if s < 0 || s > cfg.RatedPower {
+			t.Fatalf("sample %d = %v outside [0, rated]", i, s)
+		}
+	}
+}
+
+func TestCloudsReduceOutput(t *testing.T) {
+	clear := DefaultConfig(13, units.Days(10))
+	clear.CloudMean = 0
+	overcast := DefaultConfig(13, units.Days(10))
+	overcast.CloudMean = 0.95
+	a, err := Generate(clear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(overcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Mean() >= a.Mean() {
+		t.Fatalf("overcast mean %v not below clear mean %v", b.Mean(), a.Mean())
+	}
+}
+
+func TestWinterDaysShorter(t *testing.T) {
+	summer := DefaultConfig(15, units.Days(20))
+	summer.CloudMean = 0
+	winter := summer
+	winter.DayOfYear = 355
+	a, _ := Generate(summer)
+	b, _ := Generate(winter)
+	if b.Energy() >= a.Energy() {
+		t.Fatalf("winter energy %v not below summer %v at 37N", b.Energy(), a.Energy())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := DefaultConfig(1, units.Days(1))
+		mut(&c)
+		return c
+	}
+	bad := []Config{
+		mk(func(c *Config) { c.Duration = 0 }),
+		mk(func(c *Config) { c.Interval = 0 }),
+		mk(func(c *Config) { c.LatitudeDeg = 95 }),
+		mk(func(c *Config) { c.DayOfYear = 0 }),
+		mk(func(c *Config) { c.DayOfYear = 400 }),
+		mk(func(c *Config) { c.RatedPower = 0 }),
+		mk(func(c *Config) { c.CloudAR1Rho = 1 }),
+		mk(func(c *Config) { c.CloudMean = 2 }),
+		mk(func(c *Config) { c.CloudDepth = -0.5 }),
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestHybridSumsSources(t *testing.T) {
+	s := gen(t, 17, 2)
+	w, err := wind.Generate(wind.DefaultConfig(19, units.Days(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hybrid(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 288 {
+		t.Fatalf("hybrid length %d", h.Len())
+	}
+	for i := range h.Samples {
+		want := s.Samples[i] + w.Samples[i]
+		if math.Abs(float64(h.Samples[i]-want)) > 1e-9 {
+			t.Fatalf("hybrid sample %d != sum", i)
+		}
+	}
+}
+
+func TestHybridErrors(t *testing.T) {
+	if _, err := Hybrid(); err == nil {
+		t.Error("empty hybrid accepted")
+	}
+	a := gen(t, 21, 1)
+	b := &wind.Trace{Interval: units.Minutes(5), Samples: make([]units.Watts, 10)}
+	if _, err := Hybrid(a, b); err == nil {
+		t.Error("interval mismatch accepted")
+	}
+}
+
+func TestHybridTruncatesToShortest(t *testing.T) {
+	a := gen(t, 23, 2)
+	b := gen(t, 23, 1)
+	h, err := Hybrid(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != b.Len() {
+		t.Fatalf("hybrid len %d, want %d", h.Len(), b.Len())
+	}
+}
+
+func TestLogitLogisticInverse(t *testing.T) {
+	for _, p := range []float64{0.1, 0.35, 0.5, 0.9} {
+		if got := logistic(logit(p)); math.Abs(got-p) > 1e-12 {
+			t.Fatalf("logistic(logit(%v)) = %v", p, got)
+		}
+	}
+	if logistic(logit(0)) > 1e-10 || logistic(logit(1)) < 1-1e-10 {
+		t.Fatal("logit edge clamping broken")
+	}
+}

@@ -1,0 +1,113 @@
+// Package units defines the physical quantities used across the iScope
+// simulator — power, energy, frequency, voltage, money and simulated
+// time — together with conversions and human-readable formatting.
+//
+// All quantities are float64 wrappers; arithmetic is explicit so that
+// unit errors (e.g. adding Watts to Joules) are compile-time errors.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Watts is instantaneous power in watts.
+type Watts float64
+
+// Joules is energy in joules (watt-seconds).
+type Joules float64
+
+// GHz is frequency in gigahertz.
+type GHz float64
+
+// Volts is electric potential in volts.
+type Volts float64
+
+// USD is money in United States dollars.
+type USD float64
+
+// Seconds is simulated time in seconds. The simulator uses a float64
+// clock rather than time.Time because simulated time is continuous and
+// unrelated to the wall clock.
+type Seconds float64
+
+// JoulesPerKWh is the number of joules in one kilowatt-hour.
+const JoulesPerKWh = 3.6e6
+
+// Energy integrated over a duration.
+func (w Watts) Over(d Seconds) Joules { return Joules(float64(w) * float64(d)) }
+
+// KWh converts energy to kilowatt-hours.
+func (j Joules) KWh() float64 { return float64(j) / JoulesPerKWh }
+
+// FromKWh converts kilowatt-hours to Joules.
+func FromKWh(kwh float64) Joules { return Joules(kwh * JoulesPerKWh) }
+
+// Cost prices energy at a $/kWh tariff.
+func (j Joules) Cost(perKWh USD) USD { return USD(j.KWh() * float64(perKWh)) }
+
+// MHz reports the frequency in megahertz.
+func (f GHz) MHz() float64 { return float64(f) * 1000 }
+
+// Duration converts simulated seconds to a time.Duration (useful only
+// for pretty-printing; precision is limited to nanoseconds).
+func (s Seconds) Duration() time.Duration {
+	return time.Duration(float64(s) * float64(time.Second))
+}
+
+// Minutes constructs Seconds from minutes.
+func Minutes(m float64) Seconds { return Seconds(m * 60) }
+
+// Hours constructs Seconds from hours.
+func Hours(h float64) Seconds { return Seconds(h * 3600) }
+
+// Days constructs Seconds from days.
+func Days(d float64) Seconds { return Seconds(d * 86400) }
+
+func (w Watts) String() string {
+	switch {
+	case math.Abs(float64(w)) >= 1e6:
+		return fmt.Sprintf("%.2f MW", float64(w)/1e6)
+	case math.Abs(float64(w)) >= 1e3:
+		return fmt.Sprintf("%.2f kW", float64(w)/1e3)
+	default:
+		return fmt.Sprintf("%.1f W", float64(w))
+	}
+}
+
+func (j Joules) String() string {
+	kwh := j.KWh()
+	switch {
+	case math.Abs(kwh) >= 1000:
+		return fmt.Sprintf("%.2f MWh", kwh/1000)
+	case math.Abs(kwh) >= 1:
+		return fmt.Sprintf("%.2f kWh", kwh)
+	default:
+		return fmt.Sprintf("%.1f J", float64(j))
+	}
+}
+
+func (f GHz) String() string {
+	if f < 1 {
+		return fmt.Sprintf("%.0f MHz", f.MHz())
+	}
+	return fmt.Sprintf("%.3g GHz", float64(f))
+}
+
+func (v Volts) String() string { return fmt.Sprintf("%.4g V", float64(v)) }
+
+func (u USD) String() string { return fmt.Sprintf("$%.2f", float64(u)) }
+
+func (s Seconds) String() string {
+	switch {
+	case s >= 86400:
+		return fmt.Sprintf("%.2f d", float64(s)/86400)
+	case s >= 3600:
+		return fmt.Sprintf("%.2f h", float64(s)/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f min", float64(s)/60)
+	default:
+		return fmt.Sprintf("%.1f s", float64(s))
+	}
+}

@@ -1,0 +1,108 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEnergyIntegration(t *testing.T) {
+	e := Watts(1000).Over(Hours(1))
+	if !almostEq(e.KWh(), 1.0, 1e-12) {
+		t.Fatalf("1 kW over 1 h = %v kWh, want 1", e.KWh())
+	}
+}
+
+func TestKWhRoundTrip(t *testing.T) {
+	f := func(kwh float64) bool {
+		if math.IsNaN(kwh) || math.IsInf(kwh, 0) || math.Abs(kwh) > 1e12 {
+			return true
+		}
+		return almostEq(FromKWh(kwh).KWh(), kwh, math.Abs(kwh)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCost(t *testing.T) {
+	// 100 kWh at $0.13/kWh = $13.
+	c := FromKWh(100).Cost(0.13)
+	if !almostEq(float64(c), 13, 1e-9) {
+		t.Fatalf("cost = %v, want $13", c)
+	}
+}
+
+func TestProfilingOverheadArithmetic(t *testing.T) {
+	// Section VI.E sanity: 4800 procs * 115 W * 10 min * 50 config points
+	// at $0.05/kWh should come to ~$230 (and $598 at $0.13/kWh).
+	perProc := Watts(115).Over(Minutes(10) * 50)
+	total := Joules(float64(perProc) * 4800)
+	if got := float64(total.Cost(0.05)); !almostEq(got, 230, 1.0) {
+		t.Errorf("stress-test renewable cost = $%.1f, want ~$230", got)
+	}
+	if got := float64(total.Cost(0.13)); !almostEq(got, 598, 2.0) {
+		t.Errorf("stress-test utility cost = $%.1f, want ~$598", got)
+	}
+}
+
+func TestTimeConstructors(t *testing.T) {
+	if Minutes(10) != 600 {
+		t.Errorf("Minutes(10) = %v", Minutes(10))
+	}
+	if Hours(2) != 7200 {
+		t.Errorf("Hours(2) = %v", Hours(2))
+	}
+	if Days(1) != 86400 {
+		t.Errorf("Days(1) = %v", Days(1))
+	}
+}
+
+func TestMHz(t *testing.T) {
+	if GHz(0.75).MHz() != 750 {
+		t.Errorf("0.75 GHz = %v MHz", GHz(0.75).MHz())
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(5).String(), "5.0 W"},
+		{Watts(1500).String(), "1.50 kW"},
+		{Watts(2.5e6).String(), "2.50 MW"},
+		{GHz(0.75).String(), "750 MHz"},
+		{GHz(2).String(), "2 GHz"},
+		{USD(13.456).String(), "$13.46"},
+		{Seconds(30).String(), "30.0 s"},
+		{Seconds(90).String(), "1.5 min"},
+		{Seconds(7200).String(), "2.00 h"},
+		{Seconds(172800).String(), "2.00 d"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	if s := FromKWh(2).String(); s != "2.00 kWh" {
+		t.Errorf("2 kWh formats as %q", s)
+	}
+	if s := FromKWh(5000).String(); s != "5.00 MWh" {
+		t.Errorf("5 MWh formats as %q", s)
+	}
+	if s := Joules(42).String(); s != "42.0 J" {
+		t.Errorf("42 J formats as %q", s)
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	d := Seconds(1.5).Duration()
+	if d.Seconds() != 1.5 {
+		t.Errorf("Duration = %v", d)
+	}
+}

@@ -1,0 +1,53 @@
+package variation
+
+// A10 calibration profile (paper Section V.A, Figure 4).
+//
+// The paper profiles four AMD A10-5800K quad-core processors (16 cores)
+// with Mprime at the nominal 3.8 GHz / 1.375 V operating point and
+// reports:
+//
+//	GPU disabled: MinVdd in [1.19, 1.25] V, 16-core mean 1.219 V
+//	GPU enabled:  MinVdd in [1.206, 1.2506] V, mean 1.232 V
+//
+// A10Config reproduces those statistics: margin mean = 1 - 1.219/1.375
+// = 0.1135, with a spread placing the 16-core extremes near 1.19 V
+// (margin 0.1345) and 1.25 V (margin 0.0909), and a GPU penalty whose
+// mean shifts the average MinVdd to ~1.232 V.
+
+// A10NominalVdd is the A10-5800K nominal supply voltage in volts.
+const A10NominalVdd = 1.375
+
+// A10NominalGHz is the A10-5800K nominal core frequency.
+const A10NominalGHz = 3.8
+
+// A10Config returns a variation Config calibrated to the paper's
+// measured A10-5800K data. It generates single-level margins (only the
+// nominal 3.8 GHz point was profiled in hardware).
+func A10Config(seed uint64) Config {
+	c := DefaultConfig(seed)
+	c.NumLevels = 1
+	c.MarginMean = 0.1135
+	c.MarginSigmaSys = 0.0085
+	c.MarginSigmaRand = 0.0060
+	c.MarginLevelJit = 0
+	c.MarginMin = 0.085
+	c.MarginMax = 0.140
+	// Mean MinVdd shift 1.219 -> 1.232 V is 0.013 V = 0.945% of Vnom.
+	c.GPUPenaltyMean = 0.013 / A10NominalVdd
+	c.GPUPenaltySigma = 0.0020
+	return c
+}
+
+// A10CoreMinVdd lists the per-core minimum safe voltage of a generated
+// A10 fleet at the nominal point, in chip/core order — the data series
+// plotted in Figure 4.
+func A10CoreMinVdd(chips []*Chip, gpuOn bool) []float64 {
+	out := make([]float64, 0, len(chips)*4)
+	for _, ch := range chips {
+		for i := range ch.Cores {
+			m := ch.Cores[i].MarginAt(0, gpuOn)
+			out = append(out, A10NominalVdd*(1-m))
+		}
+	}
+	return out
+}

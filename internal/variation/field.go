@@ -1,0 +1,159 @@
+package variation
+
+import (
+	"math"
+
+	"iscope/internal/rng"
+)
+
+// CorrelatedField generates spatially correlated Gaussian fields on an
+// n×n grid, used to model the systematic (within-die, spatially
+// correlated) component of process variation in the VARIUS style: raw
+// white noise is smoothed with a Gaussian kernel whose radius sets the
+// correlation range, then re-normalized to unit variance.
+type CorrelatedField struct {
+	n      int
+	kernel []float64 // 1-D separable Gaussian kernel, length 2*radius+1
+	radius int
+}
+
+// NewCorrelatedField builds a field generator for an n×n grid with a
+// correlation range of corrRange grid cells (the Gaussian kernel's
+// sigma). corrRange <= 0 degenerates to white noise.
+func NewCorrelatedField(n int, corrRange float64) *CorrelatedField {
+	f := &CorrelatedField{n: n}
+	if corrRange <= 0 {
+		f.kernel = []float64{1}
+		return f
+	}
+	f.radius = int(math.Ceil(3 * corrRange))
+	f.kernel = make([]float64, 2*f.radius+1)
+	for i := range f.kernel {
+		d := float64(i - f.radius)
+		f.kernel[i] = math.Exp(-d * d / (2 * corrRange * corrRange))
+	}
+	return f
+}
+
+// N returns the grid side length.
+func (f *CorrelatedField) N() int { return f.n }
+
+// Generate draws one realization of the field: an n×n grid of zero-mean
+// unit-variance Gaussians with the configured spatial correlation.
+func (f *CorrelatedField) Generate(r *rng.Rand) [][]float64 {
+	n := f.n
+	raw := make([][]float64, n)
+	for i := range raw {
+		raw[i] = make([]float64, n)
+		for j := range raw[i] {
+			raw[i][j] = r.Normal(0, 1)
+		}
+	}
+	if f.radius == 0 {
+		return raw
+	}
+	// Separable convolution with edge clamping. Clamping folds
+	// out-of-range taps onto the border cells, so each output index gets
+	// its own effective weight vector; normalizing by the L2 norm of
+	// those effective weights makes every 1-D pass exactly
+	// variance-preserving for iid inputs. Rows are generated
+	// independently, so the column pass again sees independent unit-
+	// variance inputs down each column and the final field has unit
+	// variance everywhere.
+	w := effectiveWeights(f.kernel, f.radius, n)
+	tmp := convolveRows(raw, f.kernel, f.radius, w)
+	return convolveCols(tmp, f.kernel, f.radius, w)
+}
+
+// effectiveWeights returns, for each output index j, 1/||w_j||_2 where
+// w_j are the effective (clamp-folded) kernel weights at index j.
+func effectiveWeights(k []float64, radius, n int) []float64 {
+	inv := make([]float64, n)
+	folded := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range folded {
+			folded[i] = 0
+		}
+		for d := -radius; d <= radius; d++ {
+			folded[clampIndex(j+d, n)] += k[d+radius]
+		}
+		ss := 0.0
+		for _, w := range folded {
+			ss += w * w
+		}
+		inv[j] = 1 / math.Sqrt(ss)
+	}
+	return inv
+}
+
+func convolveRows(g [][]float64, k []float64, radius int, invNorm []float64) [][]float64 {
+	n := len(g)
+	out := make([][]float64, n)
+	for i := range g {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for d := -radius; d <= radius; d++ {
+				jj := clampIndex(j+d, n)
+				sum += g[i][jj] * k[d+radius]
+			}
+			out[i][j] = sum * invNorm[j]
+		}
+	}
+	return out
+}
+
+func convolveCols(g [][]float64, k []float64, radius int, invNorm []float64) [][]float64 {
+	n := len(g)
+	out := make([][]float64, n)
+	for i := range g {
+		out[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for d := -radius; d <= radius; d++ {
+				ii := clampIndex(i+d, n)
+				sum += g[ii][j] * k[d+radius]
+			}
+			out[i][j] = sum * invNorm[i]
+		}
+	}
+	return out
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// QuadrantMeans averages the field over the four quadrants, giving one
+// systematic-variation value per core of a quad-core die.
+func QuadrantMeans(g [][]float64) [4]float64 {
+	n := len(g)
+	h := n / 2
+	var out [4]float64
+	var cnt [4]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q := 0
+			if i >= h {
+				q += 2
+			}
+			if j >= h {
+				q++
+			}
+			out[q] += g[i][j]
+			cnt[q]++
+		}
+	}
+	for q := range out {
+		out[q] /= float64(cnt[q])
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+package variation
+
+import "iscope/internal/rng"
+
+func newTestRand(seed uint64) *rng.Rand { return rng.Named(seed, "variation-test") }

@@ -1,0 +1,79 @@
+package wind
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iscope/internal/units"
+)
+
+// WriteCSV writes the trace as `seconds,watts` rows with a header,
+// compatible with a 10-minute-resampled NREL Western Wind site file.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "power_w"}); err != nil {
+		return err
+	}
+	for i, s := range t.Samples {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*float64(t.Interval), 'f', 0, 64),
+			strconv.FormatFloat(float64(s), 'f', 1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a `time_s,power_w` trace as written by WriteCSV. The
+// sampling interval is inferred from the first two rows; rows must be
+// regularly spaced.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("wind: reading CSV: %w", err)
+	}
+	if len(recs) < 3 {
+		return nil, fmt.Errorf("wind: trace needs a header and at least two samples")
+	}
+	recs = recs[1:] // drop header
+	t0, err := strconv.ParseFloat(recs[0][0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("wind: bad time in row 1: %w", err)
+	}
+	t1, err := strconv.ParseFloat(recs[1][0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("wind: bad time in row 2: %w", err)
+	}
+	interval := t1 - t0
+	if interval <= 0 {
+		return nil, fmt.Errorf("wind: non-increasing timestamps")
+	}
+	tr := &Trace{Interval: units.Seconds(interval), Samples: make([]units.Watts, 0, len(recs))}
+	for i, rec := range recs {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("wind: row %d has %d fields, want 2", i+2, len(rec))
+		}
+		ts, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("wind: bad time in row %d: %w", i+2, err)
+		}
+		if want := t0 + float64(i)*interval; ts < want-1e-6 || ts > want+1e-6 {
+			return nil, fmt.Errorf("wind: irregular sampling at row %d", i+2)
+		}
+		p, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("wind: bad power in row %d: %w", i+2, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("wind: negative power in row %d", i+2)
+		}
+		tr.Samples = append(tr.Samples, units.Watts(p))
+	}
+	return tr, nil
+}

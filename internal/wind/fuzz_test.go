@@ -1,0 +1,38 @@
+package wind
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace reader: malformed CSV must produce an
+// error, never a panic or a trace with invalid structure.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_s,power_w\n0,100\n600,200\n")
+	f.Add("")
+	f.Add("time_s,power_w\n0,100\n")
+	f.Add("time_s,power_w\n0,abc\n600,1\n")
+	f.Add("a,b,c\n1,2,3\n2,3,4\n")
+	f.Add("time_s,power_w\n0,1e308\n600,1e308\n")
+	f.Add("time_s,power_w\n0,-1\n600,5\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Interval <= 0 {
+			t.Fatalf("accepted trace has non-positive interval %v", tr.Interval)
+		}
+		if tr.Len() < 2 {
+			t.Fatalf("accepted trace too short: %d samples", tr.Len())
+		}
+		for i, s := range tr.Samples {
+			if s < 0 {
+				t.Fatalf("accepted trace has negative sample %d", i)
+			}
+		}
+		// At() must be total over arbitrary times.
+		_ = tr.At(-100)
+		_ = tr.At(tr.Duration() * 10)
+	})
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// Trace hygiene helpers: real Parallel Workloads Archive logs span
+// months and mix job populations; experiments usually want a windowed,
+// width-bounded slice of them. All filters return new traces and leave
+// the receiver untouched.
+
+// Head returns the first n jobs by submit order (all jobs when n
+// exceeds the trace).
+func (t *Trace) Head(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Trace{Jobs: append([]Job(nil), t.Jobs[:n]...)}
+}
+
+// FilterWidth keeps jobs requesting between min and max CPUs inclusive
+// (max <= 0 means unbounded above).
+func (t *Trace) FilterWidth(min, max int) *Trace {
+	out := &Trace{}
+	for _, j := range t.Jobs {
+		if j.Procs < min {
+			continue
+		}
+		if max > 0 && j.Procs > max {
+			continue
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	return out
+}
+
+// Window keeps jobs submitted in [from, to) and rebases their submit
+// times (and deadlines, when set) so the window starts at zero.
+func (t *Trace) Window(from, to units.Seconds) (*Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("workload: empty window [%v, %v)", from, to)
+	}
+	out := &Trace{}
+	for _, j := range t.Jobs {
+		if j.Submit < from || j.Submit >= to {
+			continue
+		}
+		j.Submit -= from
+		if j.Deadline != 0 {
+			j.Deadline -= from
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	return out, nil
+}
+
+// CapWidth clamps every job's requested CPUs to at most max, keeping
+// the job (useful when replaying a 4096-wide trace on a smaller model).
+func (t *Trace) CapWidth(max int) (*Trace, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("workload: CapWidth needs a positive bound")
+	}
+	out := t.Clone()
+	for i := range out.Jobs {
+		if out.Jobs[i].Procs > max {
+			out.Jobs[i].Procs = max
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func filterFixture(t *testing.T) *Trace {
+	t.Helper()
+	tr := synth(t, 71, 400)
+	if err := tr.AssignDeadlines(DefaultDeadlines(72, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestHead(t *testing.T) {
+	tr := filterFixture(t)
+	h := tr.Head(10)
+	if len(h.Jobs) != 10 {
+		t.Fatalf("Head(10) = %d jobs", len(h.Jobs))
+	}
+	for i := range h.Jobs {
+		if h.Jobs[i] != tr.Jobs[i] {
+			t.Fatal("Head changed job content")
+		}
+	}
+	if len(tr.Head(100000).Jobs) != len(tr.Jobs) {
+		t.Error("oversized Head should return everything")
+	}
+	if len(tr.Head(-1).Jobs) != 0 {
+		t.Error("negative Head should return nothing")
+	}
+	// Mutating the head must not touch the original.
+	h.Jobs[0].Procs = 424242
+	if tr.Jobs[0].Procs == 424242 {
+		t.Fatal("Head shares storage with the original")
+	}
+}
+
+func TestFilterWidth(t *testing.T) {
+	tr := filterFixture(t)
+	f := tr.FilterWidth(4, 16)
+	if len(f.Jobs) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	for _, j := range f.Jobs {
+		if j.Procs < 4 || j.Procs > 16 {
+			t.Fatalf("job width %d escaped [4,16]", j.Procs)
+		}
+	}
+	// Unbounded above.
+	wide := tr.FilterWidth(32, 0)
+	for _, j := range wide.Jobs {
+		if j.Procs < 32 {
+			t.Fatalf("job width %d below lower bound", j.Procs)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("filtered trace invalid: %v", err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := filterFixture(t)
+	from, to := units.Hours(6), units.Hours(12)
+	w, err := tr.Window(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) == 0 {
+		t.Fatal("window empty")
+	}
+	for _, j := range w.Jobs {
+		if j.Submit < 0 || j.Submit >= to-from {
+			t.Fatalf("rebased submit %v outside [0, %v)", j.Submit, to-from)
+		}
+		if j.Deadline != 0 && j.Deadline <= j.Submit {
+			t.Fatal("deadline lost its slack under rebasing")
+		}
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("windowed trace invalid: %v", err)
+	}
+	if _, err := tr.Window(100, 100); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestCapWidth(t *testing.T) {
+	tr := filterFixture(t)
+	c, err := tr.CapWidth(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Jobs) != len(tr.Jobs) {
+		t.Fatal("CapWidth dropped jobs")
+	}
+	for _, j := range c.Jobs {
+		if j.Procs > 8 {
+			t.Fatalf("width %d above cap", j.Procs)
+		}
+	}
+	if _, err := tr.CapWidth(0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	// Original untouched.
+	st := tr.ComputeStats()
+	if st.MaxProcs <= 8 {
+		t.Skip("fixture had no wide jobs")
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF hardens the archive parser against malformed input: it
+// must either return an error or a trace that validates — never panic
+// or produce inconsistent jobs.
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("")
+	f.Add("; comment only\n")
+	f.Add("1 0 5 3600 64 -1 -1 64 -1 -1 1 4 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 3600 64 -1 -1 64 -1 -1 1 4 1 -1 1 -1 -1\n") // 17 fields
+	f.Add("x y z\n")
+	f.Add("1 -5 0 100 2 -1 -1 2 -1 -1 1 0 0 0 0 0 0 0\n") // negative submit
+	f.Add(strings.Repeat("9", 400) + " 0 0 100 2 -1 -1 2 -1 -1 1 0 0 0 0 0 0 0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadSWF(strings.NewReader(data), SWFReadOptions{})
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		// Round trip: anything we accepted must survive re-serialization.
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr, "fuzz"); err != nil {
+			t.Fatalf("WriteSWF failed on accepted trace: %v", err)
+		}
+		tr2, err := ReadSWF(&buf, SWFReadOptions{})
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(tr2.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip changed job count %d -> %d", len(tr.Jobs), len(tr2.Jobs))
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"iscope/internal/units"
+)
+
+// The Standard Workload Format (SWF) of the Parallel Workloads Archive:
+// one job per line, 18 whitespace-separated fields, ';' comment lines.
+// Field indices (0-based) used here:
+//
+//	0  job number
+//	1  submit time (s)
+//	3  run time (s)
+//	4  number of allocated processors
+//	7  requested number of processors (-1 if unknown)
+//	10 status (1 = completed)
+//
+// The LLNL Thunder trace the paper evaluates is distributed in this
+// format.
+const swfFields = 18
+
+// SWFReadOptions controls trace ingestion.
+type SWFReadOptions struct {
+	// CompletedOnly keeps only status-1 jobs (failed/cancelled jobs have
+	// unreliable runtimes).
+	CompletedOnly bool
+	// MaxJobs truncates the trace after this many accepted jobs
+	// (0 = unlimited).
+	MaxJobs int
+	// DefaultBoundness is assigned as CPU-boundness (SWF has no such
+	// field); zero defaults to 0.9, close to fully CPU-bound HPC codes.
+	DefaultBoundness float64
+}
+
+// ReadSWF parses an SWF stream into a Trace. Jobs with non-positive
+// runtime or processor count are skipped, as is conventional for PWA
+// consumers.
+func ReadSWF(r io.Reader, opt SWFReadOptions) (*Trace, error) {
+	if opt.DefaultBoundness == 0 {
+		opt.DefaultBoundness = 0.9
+	}
+	if opt.DefaultBoundness < 0 || opt.DefaultBoundness > 1 {
+		return nil, fmt.Errorf("workload: boundness %v outside [0,1]", opt.DefaultBoundness)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < swfFields {
+			return nil, fmt.Errorf("workload: line %d has %d fields, want %d", lineNo, len(f), swfFields)
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d job number: %w", lineNo, err)
+		}
+		submit, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d submit time: %w", lineNo, err)
+		}
+		runtime, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d run time: %w", lineNo, err)
+		}
+		alloc, err := strconv.Atoi(f[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d allocated procs: %w", lineNo, err)
+		}
+		req, err := strconv.Atoi(f[7])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d requested procs: %w", lineNo, err)
+		}
+		status, err := strconv.Atoi(f[10])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d status: %w", lineNo, err)
+		}
+
+		procs := req
+		if procs <= 0 {
+			procs = alloc
+		}
+		if runtime <= 0 || procs <= 0 || submit < 0 {
+			continue
+		}
+		if opt.CompletedOnly && status != 1 {
+			continue
+		}
+		tr.Jobs = append(tr.Jobs, Job{
+			ID:        id,
+			Submit:    units.Seconds(submit),
+			Procs:     procs,
+			Runtime:   units.Seconds(runtime),
+			Boundness: opt.DefaultBoundness,
+		})
+		if opt.MaxJobs > 0 && len(tr.Jobs) >= opt.MaxJobs {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: scanning SWF: %w", err)
+	}
+	tr.SortBySubmit()
+	return tr, nil
+}
+
+// WriteSWF emits the trace in SWF (fields the simulator does not track
+// are written as -1, as the format prescribes for unknown values).
+func WriteSWF(w io.Writer, t *Trace, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		for _, line := range strings.Split(header, "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range t.Jobs {
+		// SWF times are integer seconds; a positive sub-second runtime
+		// must not round to zero, or the job would be dropped on
+		// re-ingestion.
+		runtime := math.Round(float64(j.Runtime))
+		if runtime < 1 && j.Runtime > 0 {
+			runtime = 1
+		}
+		// job submit wait run alloc cpuTime mem req reqTime reqMem
+		// status uid gid exe queue partition preceding think
+		_, err := fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+			j.ID, float64(j.Submit), runtime, j.Procs, j.Procs)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

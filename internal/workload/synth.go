@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"iscope/internal/rng"
+	"iscope/internal/units"
+)
+
+// SynthConfig parametrizes the synthetic LLNL-Thunder-like generator.
+// The LLNL Thunder machine was a 4096-processor Linux cluster; its PWA
+// trace shows diurnal/weekly arrival cycles, log-normal-ish runtimes,
+// and job widths biased to powers of two.
+type SynthConfig struct {
+	Seed    uint64
+	NumJobs int
+	// Span is the nominal length of the arrival window.
+	Span units.Seconds
+	// MaxProcs caps requested CPUs (Thunder: 4096).
+	MaxProcs int
+	// Width distribution: P(width = 2^k) decays geometrically with
+	// WidthDecay; a WidthJitter fraction of jobs get a non-power-of-two
+	// width, as seen in real traces.
+	WidthDecay  float64
+	WidthJitter float64
+	// Runtime distribution: log-normal with median RuntimeMedian and
+	// log-space sigma RuntimeSigma, capped at RuntimeCap.
+	RuntimeMedian units.Seconds
+	RuntimeSigma  float64
+	RuntimeCap    units.Seconds
+	// Diurnal/weekly arrival modulation amplitudes in [0,1).
+	DiurnalAmp float64
+	WeeklyAmp  float64
+	// Boundness range: gamma ~ U(BoundnessMin, BoundnessMax).
+	BoundnessMin, BoundnessMax float64
+}
+
+// DefaultSynthConfig mimics the LLNL Thunder trace's gross statistics
+// at a configurable job count.
+func DefaultSynthConfig(seed uint64, jobs int) SynthConfig {
+	return SynthConfig{
+		Seed:          seed,
+		NumJobs:       jobs,
+		Span:          units.Days(3),
+		MaxProcs:      4096,
+		WidthDecay:    0.62,
+		WidthJitter:   0.15,
+		RuntimeMedian: units.Minutes(12),
+		RuntimeSigma:  1.4,
+		RuntimeCap:    units.Hours(12),
+		DiurnalAmp:    0.45,
+		WeeklyAmp:     0.2,
+		BoundnessMin:  0.5,
+		BoundnessMax:  1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c SynthConfig) Validate() error {
+	switch {
+	case c.NumJobs <= 0:
+		return fmt.Errorf("workload: NumJobs must be positive")
+	case c.Span <= 0:
+		return fmt.Errorf("workload: Span must be positive")
+	case c.MaxProcs <= 0:
+		return fmt.Errorf("workload: MaxProcs must be positive")
+	case c.WidthDecay <= 0 || c.WidthDecay >= 1:
+		return fmt.Errorf("workload: WidthDecay must be in (0,1)")
+	case c.WidthJitter < 0 || c.WidthJitter > 1:
+		return fmt.Errorf("workload: WidthJitter must be in [0,1]")
+	case c.RuntimeMedian <= 0 || c.RuntimeCap < c.RuntimeMedian:
+		return fmt.Errorf("workload: runtime parameters inconsistent")
+	case c.RuntimeSigma <= 0:
+		return fmt.Errorf("workload: RuntimeSigma must be positive")
+	case c.DiurnalAmp < 0 || c.DiurnalAmp >= 1 || c.WeeklyAmp < 0 || c.WeeklyAmp >= 1:
+		return fmt.Errorf("workload: modulation amplitudes must be in [0,1)")
+	case c.BoundnessMin < 0 || c.BoundnessMax > 1 || c.BoundnessMin > c.BoundnessMax:
+		return fmt.Errorf("workload: boundness range invalid")
+	}
+	return nil
+}
+
+// Synthesize generates a Thunder-like trace. Arrivals follow a
+// non-homogeneous Poisson process (diurnal + weekly modulation,
+// realized by thinning); widths are powers of two with geometric decay
+// plus jitter; runtimes are capped log-normal. Deadlines are NOT
+// assigned — call AssignDeadlines with the desired HU fraction.
+func Synthesize(cfg SynthConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.Named(cfg.Seed, "workload-synth")
+	arr := r.Split("arrivals")
+	wid := r.Split("widths")
+	run := r.Split("runtimes")
+	bnd := r.Split("boundness")
+
+	// Thinning: candidate arrivals at the peak rate, accepted with
+	// probability rate(t)/peak.
+	meanRate := float64(cfg.NumJobs) / float64(cfg.Span)
+	peak := meanRate * (1 + cfg.DiurnalAmp) * (1 + cfg.WeeklyAmp)
+
+	tr := &Trace{Jobs: make([]Job, 0, cfg.NumJobs)}
+	t := 0.0
+	id := 1
+	for len(tr.Jobs) < cfg.NumJobs {
+		t += arr.Exponential(peak)
+		hour := math.Mod(t/3600, 24)
+		day := math.Mod(t/86400, 7)
+		rate := meanRate *
+			(1 + cfg.DiurnalAmp*math.Cos(2*math.Pi*(hour-14)/24)) *
+			(1 + cfg.WeeklyAmp*math.Cos(2*math.Pi*day/7))
+		if arr.Float64()*peak > rate {
+			continue
+		}
+		tr.Jobs = append(tr.Jobs, Job{
+			ID:        id,
+			Submit:    units.Seconds(t),
+			Procs:     sampleWidth(wid, cfg),
+			Runtime:   sampleRuntime(run, cfg),
+			Boundness: bnd.Uniform(cfg.BoundnessMin, cfg.BoundnessMax),
+		})
+		id++
+	}
+	return tr, nil
+}
+
+func sampleWidth(r *rng.Rand, cfg SynthConfig) int {
+	maxExp := int(math.Log2(float64(cfg.MaxProcs)))
+	exp := 0
+	for exp < maxExp && r.Float64() < cfg.WidthDecay {
+		exp++
+	}
+	w := 1 << exp
+	if w > 1 && r.Float64() < cfg.WidthJitter {
+		// Non-power-of-two width in (w/2, w).
+		w = w/2 + 1 + r.IntN(w/2)
+	}
+	if w > cfg.MaxProcs {
+		w = cfg.MaxProcs
+	}
+	return w
+}
+
+func sampleRuntime(r *rng.Rand, cfg SynthConfig) units.Seconds {
+	mu := math.Log(float64(cfg.RuntimeMedian))
+	v := r.LogNormal(mu, cfg.RuntimeSigma)
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(cfg.RuntimeCap) {
+		v = float64(cfg.RuntimeCap)
+	}
+	return units.Seconds(v)
+}

@@ -1,0 +1,228 @@
+// Package iscope is a from-scratch Go implementation of iScope, the
+// hardware profile-guided power-management framework for green
+// (renewable-powered) datacenters described in:
+//
+//	Tang, Wang, Liu, Zhang, Li, Liang.
+//	"Exploring Hardware Profile-Guided Green Datacenter Scheduling."
+//	ICPP 2015.
+//
+// iScope combines two levels of control:
+//
+//   - micro: an in-cloud scanner (software-based functional failing
+//     tests plus descending-voltage sweeps) exposes each processor's
+//     process variation and recoverable voltage margin to the facility
+//     scheduler;
+//   - macro: variation-aware scheduling schemes match the datacenter's
+//     power demand to a time-varying renewable budget, buying only the
+//     residual from the utility grid, while balancing processor
+//     lifetime.
+//
+// This root package is the public API: it re-exports the building
+// blocks (fleet construction, the Table 2 schemes, simulation runs,
+// trace generation) and the experiment drivers that regenerate every
+// table and figure of the paper's evaluation. The implementation lives
+// in internal/ packages:
+//
+//	internal/variation   VARIUS-style process-variation substrate
+//	internal/power       Eq-1/2/3 power, cooling and timing models
+//	internal/binning     factory speed/efficiency binning (Table 1)
+//	internal/profiling   the iScope scanner, profile DB, scan planning
+//	internal/wind        synthetic NREL-like wind power + trace I/O
+//	internal/workload    SWF parsing + synthetic LLNL-Thunder workloads
+//	internal/simulator   deterministic discrete-event engine
+//	internal/cluster     datacenter model (processors, queues, DVFS)
+//	internal/scheduler   the five schemes and the power-matching loop
+//	internal/metrics     energy accounting, sampling, variance
+//	internal/experiments one driver per paper table/figure
+package iscope
+
+import (
+	"io"
+
+	"iscope/internal/battery"
+	"iscope/internal/experiments"
+	"iscope/internal/metrics"
+	"iscope/internal/profiling"
+	"iscope/internal/scheduler"
+	"iscope/internal/solar"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+	"iscope/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while
+// the implementation stays in internal packages.
+type (
+	// Fleet is a built hardware population: ground-truth chips, power
+	// model, factory binning and a completed scan database.
+	Fleet = scheduler.Fleet
+	// FleetSpec configures fleet generation.
+	FleetSpec = scheduler.FleetSpec
+	// Scheme is one of Table 2's profiling x scheduling combinations.
+	Scheme = scheduler.Scheme
+	// RunConfig parametrizes a simulation run.
+	RunConfig = scheduler.RunConfig
+	// Result is a run's measurements: energy split, cost, deadline
+	// violations, utilization balance, optional power trace.
+	Result = scheduler.Result
+	// WorkloadTrace is a stream of jobs (SWF-compatible).
+	WorkloadTrace = workload.Trace
+	// Job is one datacenter task.
+	Job = workload.Job
+	// WindTrace is a sampled renewable power series.
+	WindTrace = wind.Trace
+	// Prices is the utility/wind tariff pair.
+	Prices = metrics.Prices
+	// TracePoint is one sample of a power trace.
+	TracePoint = metrics.TracePoint
+	// Seconds is simulated time.
+	Seconds = units.Seconds
+	// Watts is power.
+	Watts = units.Watts
+	// Joules is energy.
+	Joules = units.Joules
+	// USD is money.
+	USD = units.USD
+)
+
+// DefaultFleetSpec returns the paper's datacenter configuration scaled
+// to numProcs processors (the paper models 4800).
+func DefaultFleetSpec(seed uint64, numProcs int) FleetSpec {
+	return scheduler.DefaultFleetSpec(seed, numProcs)
+}
+
+// BuildFleet generates chips, bins them, and runs a full iScope scan.
+func BuildFleet(spec FleetSpec) (*Fleet, error) { return scheduler.BuildFleet(spec) }
+
+// Schemes returns the paper's five schemes (Table 2): BinRan, BinEffi,
+// ScanRan, ScanEffi and ScanFair (the iScope default).
+func Schemes() []Scheme { return scheduler.Schemes() }
+
+// SchemeByName resolves a scheme by its Table 2 name (plus the BinFair
+// ablation).
+func SchemeByName(name string) (Scheme, bool) { return scheduler.SchemeByName(name) }
+
+// Run simulates one scheme over a fleet and workload.
+func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
+	return scheduler.Run(fleet, scheme, cfg)
+}
+
+// SynthesizeWorkload generates an LLNL-Thunder-like job trace with
+// deadlines assigned: huFraction of jobs are high-urgency (deadline
+// ~4x runtime), the rest low-urgency (~12x).
+func SynthesizeWorkload(seed uint64, jobs, maxProcs int, spanDays, huFraction float64) (*WorkloadTrace, error) {
+	cfg := workload.DefaultSynthConfig(seed, jobs)
+	cfg.MaxProcs = maxProcs
+	cfg.Span = units.Days(spanDays)
+	tr, err := workload.Synthesize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.AssignDeadlines(workload.DefaultDeadlines(seed+1, huFraction)); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ReadSWF ingests a Parallel Workloads Archive trace in Standard
+// Workload Format (e.g. the LLNL Thunder log the paper evaluates).
+// Deadlines still need AssignDeadlines.
+func ReadSWF(r io.Reader, completedOnly bool, maxJobs int) (*WorkloadTrace, error) {
+	return workload.ReadSWF(r, workload.SWFReadOptions{CompletedOnly: completedOnly, MaxJobs: maxJobs})
+}
+
+// AssignDeadlines classifies jobs HU/LU and sets deadlines, in place.
+func AssignDeadlines(tr *WorkloadTrace, seed uint64, huFraction float64) error {
+	return tr.AssignDeadlines(workload.DefaultDeadlines(seed, huFraction))
+}
+
+// GenerateWind synthesizes a wind power trace of the given length,
+// 10-minute sampled, NREL-style, scaled to 3.5% of the farm as in the
+// paper.
+func GenerateWind(seed uint64, days float64) (*WindTrace, error) {
+	return wind.Generate(wind.DefaultConfig(seed, units.Days(days)))
+}
+
+// ReadWindCSV ingests a time_s,power_w trace (a resampled NREL site).
+func ReadWindCSV(r io.Reader) (*WindTrace, error) { return wind.ReadCSV(r) }
+
+// DefaultPrices returns the paper's tariffs: utility $0.13/kWh,
+// wind $0.05/kWh.
+func DefaultPrices() Prices { return metrics.DefaultPrices() }
+
+// BatterySpec sizes optional on-site storage (RunConfig.Battery).
+type BatterySpec = battery.Spec
+
+// OnlineProfiling enables in-simulation opportunistic scanning
+// (RunConfig.Online): the datacenter starts on factory-bin knowledge
+// and profiles idle processors during low-utilization windows,
+// converging to scan knowledge while serving the workload — the
+// deployment flow of the paper's Section III.C. The zero value uses
+// the 29-second functional failing test at 115 W, a 30% utilization
+// threshold and a 10% concurrent-scan cap.
+type OnlineProfiling = scheduler.OnlineProfiling
+
+// DefaultBattery returns a lithium-ion-like battery of the given
+// capacity (C/2 power rating, 81% round trip).
+func DefaultBattery(capacityKWh float64) BatterySpec {
+	return battery.DefaultSpec(units.FromKWh(capacityKWh))
+}
+
+// GenerateSolar synthesizes a photovoltaic power trace (California-like
+// site, 10-minute samples) compatible with RunConfig.Wind — the
+// scheduler treats any renewable budget alike.
+func GenerateSolar(seed uint64, days float64) (*WindTrace, error) {
+	return solar.Generate(solar.DefaultConfig(seed, units.Days(days)))
+}
+
+// HybridSupply sums renewable traces (e.g. wind + solar) sample by
+// sample; all traces must share one sampling interval.
+func HybridSupply(traces ...*WindTrace) (*WindTrace, error) {
+	return solar.Hybrid(traces...)
+}
+
+// AgingStudy evaluates periodic re-scan policies (Section III.C):
+// how often the scanner must refresh profiles, and with how much
+// guardband, for aging-induced margin drift to stay safe.
+func AgingStudy(seed uint64, chips int) (*profiling.AgingResult, error) {
+	return profiling.RunAgingStudy(profiling.DefaultAgingConfig(seed, chips))
+}
+
+// Experiment options and drivers (one per paper table/figure).
+type (
+	// ExperimentOptions scales the evaluation harness.
+	ExperimentOptions = experiments.Options
+	// Fig4Result .. Fig10Result are the structured reproductions.
+	Fig4Result  = experiments.Fig4Result
+	Fig5Result  = experiments.Fig5Result
+	Fig6Result  = experiments.Fig6Result
+	Fig7Result  = experiments.Fig7Result
+	Fig8Result  = experiments.Fig8Result
+	Fig9Result  = experiments.Fig9Result
+	Fig10Result = experiments.Fig10Result
+)
+
+// PaperScale is the full 4800-CPU configuration of Section V.C.
+func PaperScale(seed uint64) ExperimentOptions { return experiments.PaperOptions(seed) }
+
+// DefaultScale is a 1/5-scale configuration preserving all qualitative
+// results.
+func DefaultScale(seed uint64) ExperimentOptions { return experiments.DefaultOptions(seed) }
+
+// QuickScale keeps tests and benchmarks fast.
+func QuickScale(seed uint64) ExperimentOptions { return experiments.QuickOptions(seed) }
+
+// AblationResult bundles the design-choice ablations (guardband,
+// ScanFair threshold, bin granularity, matching, battery sizing, the
+// Oracle bound, and the aging/re-scan policy grid).
+type AblationResult = experiments.AblationResult
+
+// The experiment drivers.
+func Fig4(o ExperimentOptions) (*Fig4Result, error)          { return experiments.Fig4(o) }
+func Fig5(o ExperimentOptions) (*Fig5Result, error)          { return experiments.Fig5(o) }
+func Fig6(o ExperimentOptions) (*Fig6Result, error)          { return experiments.Fig6(o) }
+func Fig7(o ExperimentOptions) (*Fig7Result, error)          { return experiments.Fig7(o) }
+func Fig8(o ExperimentOptions) (*Fig8Result, error)          { return experiments.Fig8(o) }
+func Fig9(o ExperimentOptions) (*Fig9Result, error)          { return experiments.Fig9(o) }
+func Fig10(o ExperimentOptions) (*Fig10Result, error)        { return experiments.Fig10(o) }
+func Ablations(o ExperimentOptions) (*AblationResult, error) { return experiments.Ablations(o) }

@@ -1,0 +1,132 @@
+package iscope
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README's quickstart, as a test: build a fleet, synthesize a
+	// workload and wind, run BinRan vs ScanFair, expect savings.
+	fleet, err := BuildFleet(DefaultFleetSpec(1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := SynthesizeWorkload(2, 150, 32, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GenerateWind(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale wind to the small fleet (the default trace feeds 4800 CPUs).
+	w = w.Scale(64.0 / 4800.0)
+
+	base, err := Run(fleet, mustScheme(t, "BinRan"), RunConfig{Seed: 4, Jobs: jobs, Wind: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Run(fleet, mustScheme(t, "ScanFair"), RunConfig{Seed: 4, Jobs: jobs, Wind: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.UtilityCost >= base.UtilityCost {
+		t.Fatalf("ScanFair utility cost %v not below BinRan %v", ours.UtilityCost, base.UtilityCost)
+	}
+}
+
+func mustScheme(t *testing.T, name string) Scheme {
+	t.Helper()
+	s, ok := SchemeByName(name)
+	if !ok {
+		t.Fatalf("scheme %q missing", name)
+	}
+	return s
+}
+
+func TestSchemesExported(t *testing.T) {
+	if len(Schemes()) != 5 {
+		t.Fatalf("Schemes() = %d, want 5", len(Schemes()))
+	}
+}
+
+func TestSWFRoundTripThroughFacade(t *testing.T) {
+	const swf = `; test
+1 0 0 600 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 60 0 300 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := ReadSWF(strings.NewReader(swf), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(tr.Jobs))
+	}
+	if err := AssignDeadlines(tr, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.Deadline <= j.Submit {
+			t.Fatal("deadline not assigned")
+		}
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	q, d, p := QuickScale(1), DefaultScale(1), PaperScale(1)
+	if !(q.NumProcs < d.NumProcs && d.NumProcs < p.NumProcs) {
+		t.Fatalf("scales not increasing: %d %d %d", q.NumProcs, d.NumProcs, p.NumProcs)
+	}
+	if p.NumProcs != 4800 {
+		t.Fatalf("paper scale = %d CPUs, want 4800", p.NumProcs)
+	}
+}
+
+func TestDefaultPricesExported(t *testing.T) {
+	p := DefaultPrices()
+	if p.Utility != 0.13 || p.Wind != 0.05 {
+		t.Fatalf("prices = %+v", p)
+	}
+}
+
+// TestExperimentDriversThroughFacade exercises every root-level
+// experiment wrapper at quick scale.
+func TestExperimentDriversThroughFacade(t *testing.T) {
+	o := QuickScale(12)
+	if _, err := Fig4(o); err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if _, err := Fig7(o); err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if _, err := Fig8(o); err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	if _, err := Fig10(o); err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if _, err := Ablations(o); err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	if r, err := AgingStudy(13, 200); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("AgingStudy: %v", err)
+	}
+	if b := DefaultBattery(50); b.Capacity.KWh() != 50 {
+		t.Fatalf("DefaultBattery capacity %v", b.Capacity)
+	}
+}
+
+// TestFig5And6And9ThroughFacade splits the heavier drivers out.
+func TestFig5And6And9ThroughFacade(t *testing.T) {
+	o := QuickScale(14)
+	if _, err := Fig5(o); err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if _, err := Fig6(o); err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if _, err := Fig9(o); err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+}
