@@ -6,6 +6,7 @@
 //	iscope -scheme ScanFair -procs 960 -jobs 1200 -hu 0.3 -wind
 //	iscope -scheme BinRan -procs 4800 -jobs 4000 -rate 3
 //	iscope -swf thunder.swf -scheme ScanEffi -wind
+//	iscope -scheme ScanFair -wind -battery 30 -faults
 package main
 
 import (
@@ -18,87 +19,157 @@ import (
 	"iscope"
 )
 
+// options collects every flag; one struct keeps run's signature sane.
+type options struct {
+	scheme    string
+	procs     int
+	jobs      int
+	spanDays  float64
+	hu        float64
+	rate      float64
+	useWind   bool
+	windScale float64
+	seed      uint64
+	swfPath   string
+	trace     bool
+	online    bool
+	battery   float64
+
+	// Faults section.
+	faults        bool
+	crashMTBFDays float64
+	repairMin     float64
+	dropouts      float64
+	falsePass     float64
+	fadePerDay    float64
+}
+
 func main() {
-	var (
-		schemeName = flag.String("scheme", "ScanFair", "scheduling scheme (BinRan, BinEffi, ScanRan, ScanEffi, ScanFair, BinFair)")
-		procs      = flag.Int("procs", 960, "number of processors")
-		jobs       = flag.Int("jobs", 1200, "number of synthesized jobs")
-		spanDays   = flag.Float64("span", 2, "workload arrival window in days")
-		hu         = flag.Float64("hu", 0.3, "fraction of high-urgency jobs")
-		rate       = flag.Float64("rate", 1, "arrival-rate factor (5 = submit times compressed to 20%)")
-		useWind    = flag.Bool("wind", false, "power the datacenter with wind + utility (default utility-only)")
-		windScale  = flag.Float64("windscale", 1, "wind strength multiplier (SWP factor)")
-		seed       = flag.Uint64("seed", 42, "master random seed")
-		swfPath    = flag.String("swf", "", "load jobs from an SWF trace file instead of synthesizing")
-		trace      = flag.Bool("trace", false, "sample the power trace every 350 s and print it")
-		online     = flag.Bool("online", false, "profile opportunistically during the run instead of pre-scanning")
-	)
+	var o options
+	flag.StringVar(&o.scheme, "scheme", "ScanFair", "scheduling scheme (BinRan, BinEffi, ScanRan, ScanEffi, ScanFair, BinFair)")
+	flag.IntVar(&o.procs, "procs", 960, "number of processors")
+	flag.IntVar(&o.jobs, "jobs", 1200, "number of synthesized jobs")
+	flag.Float64Var(&o.spanDays, "span", 2, "workload arrival window in days")
+	flag.Float64Var(&o.hu, "hu", 0.3, "fraction of high-urgency jobs")
+	flag.Float64Var(&o.rate, "rate", 1, "arrival-rate factor (5 = submit times compressed to 20%)")
+	flag.BoolVar(&o.useWind, "wind", false, "power the datacenter with wind + utility (default utility-only)")
+	flag.Float64Var(&o.windScale, "windscale", 1, "wind strength multiplier (SWP factor)")
+	flag.Uint64Var(&o.seed, "seed", 42, "master random seed")
+	flag.StringVar(&o.swfPath, "swf", "", "load jobs from an SWF trace file instead of synthesizing")
+	flag.BoolVar(&o.trace, "trace", false, "sample the power trace every 350 s and print it")
+	flag.BoolVar(&o.online, "online", false, "profile opportunistically during the run instead of pre-scanning")
+	flag.Float64Var(&o.battery, "battery", 0, "on-site battery capacity in kWh (0 = none)")
+
+	// Faults: deterministic injection compiled from the master seed.
+	// -faults enables the full default environment; the per-class flags
+	// activate (or, combined with -faults, override) single classes.
+	flag.BoolVar(&o.faults, "faults", false, "inject the default fault environment (crashes, supply dropouts, scanner false passes, battery fade)")
+	flag.Float64Var(&o.crashMTBFDays, "crash-mtbf", 0, "mean days between per-processor crashes (0 = class off)")
+	flag.Float64Var(&o.repairMin, "repair", 0, "mean crash repair time in minutes (default 30 when crashes are on)")
+	flag.Float64Var(&o.dropouts, "dropouts", 0, "renewable derating windows per day (0 = class off)")
+	flag.Float64Var(&o.falsePass, "false-pass", 0, "fraction of the fleet with optimistic scan reports (0 = class off)")
+	flag.Float64Var(&o.fadePerDay, "fade", 0, "daily battery capacity fade fraction (0 = class off)")
 	flag.Parse()
 
-	if err := run(*schemeName, *procs, *jobs, *spanDays, *hu, *rate, *useWind, *windScale, *seed, *swfPath, *trace, *online); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "iscope: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName string, procs, jobs int, spanDays, hu, rate float64, useWind bool, windScale float64, seed uint64, swfPath string, trace, online bool) error {
-	scheme, ok := iscope.SchemeByName(schemeName)
+// faultSpec assembles the fault environment from the flag section;
+// nil means injection stays off and the run is bit-identical to a
+// fault-free one.
+func (o options) faultSpec() *iscope.FaultSpec {
+	spec := iscope.FaultSpec{}
+	if o.faults {
+		spec = iscope.DefaultFaultSpec()
+	}
+	if o.crashMTBFDays > 0 {
+		spec.CrashMTBF = iscope.Seconds(o.crashMTBFDays * 86400)
+	}
+	if o.repairMin > 0 {
+		spec.RepairTime = iscope.Seconds(o.repairMin * 60)
+	}
+	if o.dropouts > 0 {
+		spec.DropoutsPerDay = o.dropouts
+	}
+	if o.falsePass > 0 {
+		spec.FalsePassFrac = o.falsePass
+	}
+	if o.fadePerDay > 0 {
+		spec.FadeInterval = iscope.Seconds(86400)
+		spec.FadeFrac = o.fadePerDay
+	}
+	if !spec.Enabled() {
+		return nil
+	}
+	return &spec
+}
+
+func run(o options) error {
+	scheme, ok := iscope.SchemeByName(o.scheme)
 	if !ok {
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", o.scheme)
 	}
 
 	start := time.Now()
-	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(seed, procs))
+	fleet, err := iscope.BuildFleet(iscope.DefaultFleetSpec(o.seed, o.procs))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fleet: %d processors built and scanned in %v (scan energy %s)\n",
-		procs, time.Since(start).Round(time.Millisecond), fleet.ScanReport.Energy)
+		o.procs, time.Since(start).Round(time.Millisecond), fleet.ScanReport.Energy)
 
 	var tr *iscope.WorkloadTrace
-	if swfPath != "" {
-		f, err := os.Open(swfPath)
+	if o.swfPath != "" {
+		f, err := os.Open(o.swfPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		tr, err = iscope.ReadSWF(f, true, jobs)
+		tr, err = iscope.ReadSWF(f, true, o.jobs)
 		if err != nil {
 			return err
 		}
-		if err := iscope.AssignDeadlines(tr, seed+1, hu); err != nil {
+		if err := iscope.AssignDeadlines(tr, o.seed+1, o.hu); err != nil {
 			return err
 		}
 	} else {
-		maxW := procs / 2
+		maxW := o.procs / 2
 		if maxW < 1 {
 			maxW = 1
 		}
-		tr, err = iscope.SynthesizeWorkload(seed, jobs, maxW, spanDays, hu)
+		tr, err = iscope.SynthesizeWorkload(o.seed, o.jobs, maxW, o.spanDays, o.hu)
 		if err != nil {
 			return err
 		}
 	}
-	if rate != 1 {
-		if err := tr.ScaleArrival(rate); err != nil {
+	if o.rate != 1 {
+		if err := tr.ScaleArrival(o.rate); err != nil {
 			return err
 		}
 	}
 
-	cfg := iscope.RunConfig{Seed: seed, Jobs: tr}
-	if useWind {
-		w, err := iscope.GenerateWind(seed+2, spanDays*2+2)
+	cfg := iscope.RunConfig{Seed: o.seed, Jobs: tr}
+	if o.useWind {
+		w, err := iscope.GenerateWind(o.seed+2, o.spanDays*2+2)
 		if err != nil {
 			return err
 		}
-		cfg.Wind = w.Scale(windScale * float64(procs) / 4800.0)
+		cfg.Wind = w.Scale(o.windScale * float64(o.procs) / 4800.0)
 	}
-	if trace {
+	if o.battery > 0 {
+		b := iscope.DefaultBattery(o.battery)
+		cfg.Battery = &b
+	}
+	if o.trace {
 		cfg.SampleInterval = 350
 	}
-	if online {
+	if o.online {
 		cfg.Online = &iscope.OnlineProfiling{}
 	}
+	cfg.Faults = o.faultSpec()
 
 	res, err := iscope.Run(fleet, scheme, cfg)
 	if err != nil {
@@ -118,11 +189,23 @@ func run(schemeName string, procs, jobs int, spanDays, hu, rate float64, useWind
 		fmt.Fprintf(tw, "online profiling\t%d chips scanned in-run, %s test energy\n",
 			res.ProfiledChips, res.ProfilingEnergy)
 	}
+	if cfg.Faults != nil {
+		fs := res.Faults
+		fmt.Fprintf(tw, "faults: crashes\t%d (%d requeues, %.1f node-hours in repair)\n",
+			fs.Crashes, fs.Requeues, fs.RepairHours)
+		fmt.Fprintf(tw, "faults: false passes\t%d trips, %d re-executions, %s work lost, %.1f chip-hours at fallback voltage\n",
+			fs.FalsePassTrips, fs.ReExecutions, fs.LostWork, fs.FallbackVoltHours)
+		fmt.Fprintf(tw, "faults: supply\t%s withheld by derating windows\n", fs.DeratedEnergy)
+		if fs.BatteryFadeSteps > 0 {
+			fmt.Fprintf(tw, "faults: battery\t%d fade steps, %s capacity lost\n",
+				fs.BatteryFadeSteps, fs.BatteryCapacityLost)
+		}
+	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 
-	if trace {
+	if o.trace {
 		fmt.Println("\npower trace (350 s sampling):")
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "t\twind\tdemand\tutility")

@@ -2,28 +2,76 @@ package main
 
 import "testing"
 
+// base returns flag defaults scaled down for fast tests.
+func base() options {
+	return options{scheme: "ScanFair", procs: 24, jobs: 40, spanDays: 0.5, hu: 0.3, rate: 1, windScale: 1, seed: 7}
+}
+
 func TestRunSmoke(t *testing.T) {
 	// A tiny end-to-end run through the CLI path: synthesize, simulate,
 	// print. Covers flag-plumbing regressions.
-	if err := run("ScanFair", 24, 40, 0.5, 0.3, 1, true, 1, 7, "", false, false); err != nil {
+	o := base()
+	o.useWind = true
+	if err := run(o); err != nil {
 		t.Fatalf("wind run failed: %v", err)
 	}
-	if err := run("BinEffi", 16, 30, 0.5, 0.3, 1, false, 1, 7, "", true, false); err != nil {
+	o = base()
+	o.scheme, o.procs, o.jobs, o.trace = "BinEffi", 16, 30, true
+	if err := run(o); err != nil {
 		t.Fatalf("traced utility run failed: %v", err)
 	}
-	if err := run("ScanEffi", 16, 30, 0.5, 0.3, 1, true, 1, 7, "", false, true); err != nil {
+	o = base()
+	o.scheme, o.procs, o.jobs, o.useWind, o.online = "ScanEffi", 16, 30, true, true
+	if err := run(o); err != nil {
 		t.Fatalf("online-profiling run failed: %v", err)
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	// The -faults path: full default environment plus per-class
+	// overrides, battery attached so fade has something to act on.
+	o := base()
+	o.useWind = true
+	o.battery = 10
+	o.faults = true
+	o.crashMTBFDays = 0.25
+	o.falsePass = 0.2
+	if err := run(o); err != nil {
+		t.Fatalf("faulted run failed: %v", err)
+	}
+}
+
+func TestFaultSpecAssembly(t *testing.T) {
+	if s := base().faultSpec(); s != nil {
+		t.Fatalf("no fault flags set, got spec %+v", s)
+	}
+	o := base()
+	o.dropouts = 3
+	s := o.faultSpec()
+	if s == nil || s.DropoutsPerDay != 3 || s.CrashMTBF != 0 {
+		t.Fatalf("single-class flag assembled %+v", s)
+	}
+	o = base()
+	o.faults = true
+	o.repairMin = 10
+	s = o.faultSpec()
+	if s == nil || s.CrashMTBF == 0 || s.RepairTime != 600 {
+		t.Fatalf("-faults with override assembled %+v", s)
+	}
+}
+
 func TestRunRejectsUnknownScheme(t *testing.T) {
-	if err := run("NoSuchScheme", 8, 10, 0.5, 0.3, 1, false, 1, 7, "", false, false); err == nil {
+	o := base()
+	o.scheme = "NoSuchScheme"
+	if err := run(o); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 }
 
 func TestRunRejectsMissingSWF(t *testing.T) {
-	if err := run("ScanFair", 8, 10, 0.5, 0.3, 1, false, 1, 7, "/nonexistent.swf", false, false); err == nil {
+	o := base()
+	o.swfPath = "/nonexistent.swf"
+	if err := run(o); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
 }

@@ -90,6 +90,26 @@ func (b *Battery) SoC() units.Joules { return b.soc }
 // SoCFraction returns the state of charge in [0,1].
 func (b *Battery) SoCFraction() float64 { return float64(b.soc) / float64(b.spec.Capacity) }
 
+// Fade permanently shrinks usable capacity by frac of its current
+// value — calendar/cycle aging injected as discrete steps. Stored
+// energy above the new capacity is lost with it. Power ratings are
+// untouched (fade degrades the electrode capacity, not the converter).
+// It returns the capacity removed.
+func (b *Battery) Fade(frac float64) units.Joules {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	lost := units.Joules(float64(b.spec.Capacity) * frac)
+	b.spec.Capacity -= lost
+	if b.soc > b.spec.Capacity {
+		b.soc = b.spec.Capacity
+	}
+	return lost
+}
+
 // Charge absorbs surplus power for dt, honoring the charge-rate and
 // capacity limits. It returns the grid-side energy actually absorbed
 // (before the charging loss); the stored amount is that times

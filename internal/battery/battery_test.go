@@ -176,3 +176,31 @@ func TestCapitalCost(t *testing.T) {
 		t.Fatalf("capital cost = %v, want $30000", got)
 	}
 }
+
+func TestFadeShrinksCapacityAndClampsSoC(t *testing.T) {
+	b := newBatt(t, 100) // starts at 50% SoC
+	cap0 := b.Spec().Capacity
+	lost := b.Fade(0.1)
+	if math.Abs(float64(lost)-0.1*float64(cap0)) > 1e-6 {
+		t.Fatalf("fade removed %v, want 10%% of %v", lost, cap0)
+	}
+	if got, want := float64(b.Spec().Capacity), 0.9*float64(cap0); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("capacity %v after fade, want %v", got, want)
+	}
+	if b.SoC() > b.Spec().Capacity {
+		t.Fatalf("SoC %v above capacity %v", b.SoC(), b.Spec().Capacity)
+	}
+	// Charge to full, then fade: stored energy above the new capacity
+	// must be lost with it.
+	b.Charge(b.Spec().MaxCharge, units.Hours(1000))
+	if math.Abs(b.SoCFraction()-1) > 1e-9 {
+		t.Fatalf("SoC fraction %v after long charge, want 1", b.SoCFraction())
+	}
+	b.Fade(0.5)
+	if b.SoC() > b.Spec().Capacity+1e-9 {
+		t.Fatalf("SoC %v above faded capacity %v", b.SoC(), b.Spec().Capacity)
+	}
+	if b.Fade(0) != 0 || b.Fade(-1) != 0 {
+		t.Fatal("non-positive fade removed capacity")
+	}
+}

@@ -193,19 +193,78 @@ func (dc *Datacenter) AvailableAt(id int, now units.Seconds) units.Seconds {
 // III.C).
 func (dc *Datacenter) SetOffline(id int, draw units.Watts) error {
 	p := dc.Procs[id]
-	if p.offline {
-		return fmt.Errorf("cluster: processor %d already offline", id)
-	}
 	if p.current != nil || len(p.queue) > 0 {
 		return fmt.Errorf("cluster: processor %d is not idle", id)
 	}
+	return dc.ForceOffline(id, draw)
+}
+
+// ForceOffline isolates a processor even when slices are queued on it —
+// crash repair and suspect-chip re-profiling cannot wait for the queue
+// to drain. Queued slices stay put and start when the processor returns
+// via SetOnline. The processor must not be running a slice (Preempt
+// first) and must not already be offline.
+func (dc *Datacenter) ForceOffline(id int, draw units.Watts) error {
+	p := dc.Procs[id]
+	if p.offline {
+		return fmt.Errorf("cluster: processor %d already offline", id)
+	}
+	if p.current != nil {
+		return fmt.Errorf("cluster: processor %d is running a slice", id)
+	}
 	if draw < 0 {
-		return fmt.Errorf("cluster: negative profiling draw")
+		return fmt.Errorf("cluster: negative offline draw")
 	}
 	p.offline = true
 	p.offlineDraw = draw
 	dc.demand += draw
 	return nil
+}
+
+// Preempt interrupts processor id's running slice: progress is
+// advanced to now, the slice leaves the demand books and the busy-time
+// accounting closes. The interrupted slice is returned (nil when idle)
+// with its remaining-work fraction preserved, so a Requeue resumes it
+// from where it stopped; its generation is bumped so the stale
+// completion event dies. The processor is left idle — the caller
+// decides whether to restart the queue or take the node offline.
+func (dc *Datacenter) Preempt(id int, now units.Seconds) *Slice {
+	p := dc.Procs[id]
+	s := p.current
+	if s == nil {
+		return nil
+	}
+	dc.progress(s, now)
+	dc.demand -= s.draw
+	s.draw = 0
+	s.running = false
+	s.Gen++
+	p.UtilTime += now - p.busySince
+	p.current = nil
+	return s
+}
+
+// Requeue puts a preempted slice at the front of its processor's queue
+// so it resumes before later arrivals. Unlike Enqueue it never starts
+// the slice, even on an idle processor — the caller sequences restarts
+// (typically via SetOnline after a repair).
+func (dc *Datacenter) Requeue(s *Slice) {
+	if s.running || s.done {
+		return
+	}
+	p := dc.Procs[s.ProcID]
+	p.queue = append([]*Slice{s}, p.queue...)
+	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
+}
+
+// ResetWork discards a preempted slice's progress so it re-executes
+// from scratch — the price of a margin violation on a falsely-passed
+// chip. No-op on running or completed slices.
+func (s *Slice) ResetWork() {
+	if s.running || s.done {
+		return
+	}
+	s.remaining = 1
 }
 
 // SetOnline returns a profiled processor to service and starts the

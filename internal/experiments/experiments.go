@@ -7,8 +7,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"iscope/internal/scheduler"
@@ -202,13 +204,15 @@ type runJob struct {
 }
 
 // runGrid executes jobs concurrently and returns results keyed by
-// runJob.key, preserving error of the first failed run.
+// runJob.key. Every failed run is reported: the errors are joined (in
+// deterministic key order, regardless of worker interleaving) so a
+// faulted grid names each broken cell, not just the first.
 func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*scheduler.Result, error) {
 	results := make(map[string]*scheduler.Result, len(jobs))
 	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		errs []error
 	)
 	ch := make(chan runJob)
 	if workers > len(jobs) {
@@ -225,9 +229,7 @@ func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*sc
 				res, err := scheduler.Run(fleet, j.scheme, j.cfg)
 				mu.Lock()
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiments: run %s: %w", j.key, err)
-					}
+					errs = append(errs, fmt.Errorf("experiments: run %s: %w", j.key, err))
 				} else {
 					results[j.key] = res
 				}
@@ -240,8 +242,9 @@ func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*sc
 	}
 	close(ch)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Error() < errs[b].Error() })
+		return nil, errors.Join(errs...)
 	}
 	return results, nil
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden CSV files")
+
+// checkGolden compares got byte-for-byte against testdata/<name>,
+// regenerating the file under -update. Byte equality is the point: the
+// whole pipeline behind a figure (fleet synthesis, scheduling,
+// accounting, formatting) is deterministic for a fixed seed, so any
+// diff is a behavior change that must be reviewed, not absorbed.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — regenerate with: go test ./internal/experiments -run Golden -update (%v)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden file (%d bytes got, %d want).\n"+
+			"If the change is intended, regenerate with -update and review the diff.",
+			name, len(got), len(want))
+	}
+}
+
+func TestFig4CSVGolden(t *testing.T) {
+	r, err := Fig4(QuickOptions(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4_quick30.golden.csv", buf.Bytes())
+}
+
+func TestFig8CSVGolden(t *testing.T) {
+	r, err := Fig8(QuickOptions(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8_quick31.golden.csv", buf.Bytes())
+}

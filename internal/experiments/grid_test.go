@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/workload"
+)
+
+// TestRunGridReportsEveryFailure: a grid with several broken cells must
+// name all of them in the joined error, in deterministic order.
+func TestRunGridReportsEveryFailure(t *testing.T) {
+	fleet, err := scheduler.BuildFleet(scheduler.DefaultFleetSpec(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := workload.Synthesize(workload.DefaultSynthConfig(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.AssignDeadlines(workload.DefaultDeadlines(3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	sch := scheduler.Schemes()[0]
+	jobs := []runJob{
+		{key: "cell-a", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: nil}},
+		{key: "cell-b", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
+		{key: "cell-c", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: &workload.Trace{}}},
+	}
+	_, gerr := runGrid(fleet, jobs, 4)
+	if gerr == nil {
+		t.Fatal("grid with broken cells returned no error")
+	}
+	msg := gerr.Error()
+	for _, cell := range []string{"cell-a", "cell-c"} {
+		if !strings.Contains(msg, cell) {
+			t.Fatalf("joined error missing %s: %q", cell, msg)
+		}
+	}
+	if strings.Contains(msg, "cell-b") {
+		t.Fatalf("healthy cell reported as failed: %q", msg)
+	}
+	if strings.Index(msg, "cell-a") > strings.Index(msg, "cell-c") {
+		t.Fatalf("errors not in deterministic key order: %q", msg)
+	}
+
+	// A healthy grid still returns every result.
+	okJobs := []runJob{
+		{key: "ok-1", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
+		{key: "ok-2", scheme: sch, cfg: scheduler.RunConfig{Seed: 2, Jobs: good}},
+	}
+	res, gerr := runGrid(fleet, okJobs, 2)
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if len(res) != 2 || res["ok-1"] == nil || res["ok-2"] == nil {
+		t.Fatalf("healthy grid returned %d results", len(res))
+	}
+}

@@ -1,0 +1,322 @@
+// Package faults compiles deterministic fault-injection plans for the
+// simulator. iScope's safety argument — that shaving factory guardbands
+// down to per-chip scanned margins is operationally sound — is only
+// credible if the scheduler degrades gracefully when the fair-weather
+// assumptions break: processors crash, renewable supply drops out or
+// was over-forecast, the scanner passes a chip it should have failed,
+// and batteries fade. Each fault class here is compiled ahead of time
+// from a Spec into a timed Plan using dedicated rng split-streams, so a
+// run with a given (Spec, seed) is exactly reproducible and a zero
+// Spec produces an empty Plan.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iscope/internal/rng"
+	"iscope/internal/units"
+)
+
+// Spec parametrizes every fault class. The zero value disables all
+// injection; each class activates independently when its rate/fraction
+// field is positive.
+type Spec struct {
+	// CrashMTBF is the per-processor mean time between crashes; 0
+	// disables crashes. Crash inter-arrivals are exponential per
+	// processor, and a crashed processor stays offline for an
+	// exponential repair interval (mean RepairTime, floored at a
+	// minute) before returning to service.
+	CrashMTBF  units.Seconds
+	RepairTime units.Seconds // 0 -> 30 minutes
+
+	// DropoutsPerDay is the rate of renewable derating windows; 0
+	// disables supply faults. During a window the offered wind power is
+	// multiplied by a factor drawn from Uniform(DropoutFloor, 1) times
+	// a lognormal forecast-error term exp(N(0, ForecastSigma)), clamped
+	// to [0, 1.25] — dropouts and forecast error in one mechanism.
+	DropoutsPerDay float64
+	DropoutMeanDur units.Seconds // 0 -> 1 hour
+	DropoutFloor   float64       // lower bound of the derating factor, in [0,1]
+	ForecastSigma  float64       // lognormal sigma of the forecast error
+
+	// FalsePassFrac is the fraction of the fleet whose scan report is
+	// optimistic: the chip's true minimum voltage at one (sampled) DVFS
+	// level lies above the profiled MinVdd, between it and the factory
+	// bin voltage. Scheduling the chip at that level trips a runtime
+	// margin violation after DetectLatency: the slice is discarded and
+	// re-executed, and the chip falls back to its worst-case binning
+	// voltage until a ReprofileTime re-scan corrects the profile.
+	FalsePassFrac float64
+	DetectLatency units.Seconds // 0 -> 120 s
+	ReprofileTime units.Seconds // 0 -> 30 minutes
+
+	// FadeInterval/FadeFrac inject periodic battery capacity fade: every
+	// FadeInterval the battery loses FadeFrac of its current capacity.
+	// Both must be positive to activate.
+	FadeInterval units.Seconds
+	FadeFrac     float64
+
+	// Horizon bounds the plan; events are generated in [0, Horizon).
+	// The scheduler derives a default from the workload span when 0.
+	Horizon units.Seconds
+}
+
+// DefaultSpec returns a production-plausible fault environment: monthly
+// per-node crashes, a couple of supply dropouts per day with 15%
+// forecast error, a 2% scanner false-pass escape rate, and 1%/day
+// battery fade.
+func DefaultSpec() Spec {
+	return Spec{
+		CrashMTBF:      units.Days(30),
+		RepairTime:     units.Minutes(30),
+		DropoutsPerDay: 2,
+		DropoutMeanDur: units.Hours(1),
+		DropoutFloor:   0.1,
+		ForecastSigma:  0.15,
+		FalsePassFrac:  0.02,
+		DetectLatency:  120,
+		ReprofileTime:  units.Minutes(30),
+		FadeInterval:   units.Days(1),
+		FadeFrac:       0.01,
+	}
+}
+
+// Validate reports malformed fields.
+func (s Spec) Validate() error {
+	switch {
+	case s.CrashMTBF < 0 || s.RepairTime < 0:
+		return fmt.Errorf("faults: crash MTBF and repair time must be non-negative")
+	case s.DropoutsPerDay < 0 || s.DropoutMeanDur < 0:
+		return fmt.Errorf("faults: dropout rate and duration must be non-negative")
+	case s.DropoutFloor < 0 || s.DropoutFloor > 1:
+		return fmt.Errorf("faults: dropout floor %v outside [0,1]", s.DropoutFloor)
+	case s.ForecastSigma < 0:
+		return fmt.Errorf("faults: negative forecast sigma")
+	case s.FalsePassFrac < 0 || s.FalsePassFrac > 1:
+		return fmt.Errorf("faults: false-pass fraction %v outside [0,1]", s.FalsePassFrac)
+	case s.DetectLatency < 0 || s.ReprofileTime < 0:
+		return fmt.Errorf("faults: detection latency and reprofile time must be non-negative")
+	case s.FadeInterval < 0 || s.FadeFrac < 0 || s.FadeFrac >= 1:
+		return fmt.Errorf("faults: fade interval must be non-negative and fade fraction in [0,1)")
+	case s.Horizon < 0:
+		return fmt.Errorf("faults: negative horizon")
+	}
+	return nil
+}
+
+// Enabled reports whether any fault class is active. A disabled Spec
+// compiles to an empty plan, and the scheduler skips fault wiring
+// entirely so results stay bit-identical to a fault-free run.
+func (s Spec) Enabled() bool {
+	return s.CrashMTBF > 0 || s.DropoutsPerDay > 0 || s.FalsePassFrac > 0 ||
+		(s.FadeInterval > 0 && s.FadeFrac > 0)
+}
+
+// WithDefaults fills the secondary parameters of each active class.
+func (s Spec) WithDefaults() Spec {
+	out := s
+	if out.CrashMTBF > 0 && out.RepairTime == 0 {
+		out.RepairTime = units.Minutes(30)
+	}
+	if out.DropoutsPerDay > 0 && out.DropoutMeanDur == 0 {
+		out.DropoutMeanDur = units.Hours(1)
+	}
+	if out.FalsePassFrac > 0 {
+		if out.DetectLatency == 0 {
+			out.DetectLatency = 120
+		}
+		if out.ReprofileTime == 0 {
+			out.ReprofileTime = units.Minutes(30)
+		}
+	}
+	return out
+}
+
+// Kind labels a timed fault event.
+type Kind int
+
+const (
+	// Crash takes a processor offline for Event.Dur, requeueing any
+	// interrupted slice with its remaining work.
+	Crash Kind = iota
+	// DerateStart multiplies the offered renewable supply by
+	// Event.Factor until the paired DerateEnd.
+	DerateStart
+	// DerateEnd restores the nominal renewable supply.
+	DerateEnd
+	// BatteryFade shrinks battery capacity by Event.Factor of its
+	// current value.
+	BatteryFade
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case DerateStart:
+		return "derate-start"
+	case DerateEnd:
+		return "derate-end"
+	case BatteryFade:
+		return "battery-fade"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timed fault occurrence.
+type Event struct {
+	At   units.Seconds
+	Kind Kind
+	Proc int           // crash target (Crash only)
+	Dur  units.Seconds // repair interval (Crash only)
+	// Factor is the supply multiplier (DerateStart/DerateEnd) or the
+	// capacity-fade fraction (BatteryFade).
+	Factor float64
+}
+
+// FalsePass marks one chip whose scan report is optimistic at one DVFS
+// level. The chip's true minimum voltage sits DriftFrac of the way from
+// the profiled operating voltage up to the factory binning voltage; any
+// slice scheduled on the chip at that level below the true minimum
+// trips a margin violation.
+type FalsePass struct {
+	Chip      int
+	Level     int
+	DriftFrac float64 // in (0,1): how far the true MinVdd drifted toward the bin voltage
+}
+
+// Plan is a compiled, time-sorted fault schedule.
+type Plan struct {
+	Events      []Event
+	FalsePasses []FalsePass
+	Horizon     units.Seconds
+}
+
+// minGap spaces fault windows: repairs, dropouts and their gaps never
+// shrink below a minute, keeping plans physically plausible and the
+// event ordering of paired start/end events unambiguous.
+const minGap units.Seconds = 60
+
+// Compile expands a Spec into a Plan over procs processors and levels
+// DVFS levels. All randomness comes from split-streams of
+// rng.Named(seed, "faults"), so plans are independent of every other
+// consumer of the master seed; the same (spec, procs, levels, seed)
+// always yields the identical plan.
+func Compile(spec Spec, procs, levels int, seed uint64) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if procs <= 0 || levels <= 0 {
+		return nil, fmt.Errorf("faults: procs and levels must be positive")
+	}
+	spec = spec.WithDefaults()
+	if spec.Enabled() && spec.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: active spec needs a positive horizon")
+	}
+	plan := &Plan{Horizon: spec.Horizon}
+	root := rng.Named(seed, "faults")
+	crashR := root.Split("crash")
+	derateR := root.Split("derate")
+	fpR := root.Split("false-pass")
+
+	if spec.CrashMTBF > 0 {
+		for p := 0; p < procs; p++ {
+			pr := crashR.Split(fmt.Sprintf("proc-%d", p))
+			t := units.Seconds(0)
+			for {
+				t += units.Seconds(pr.Exponential(1 / float64(spec.CrashMTBF)))
+				if t >= spec.Horizon {
+					break
+				}
+				dur := units.Seconds(pr.Exponential(1 / float64(spec.RepairTime)))
+				if dur < minGap {
+					dur = minGap
+				}
+				plan.Events = append(plan.Events, Event{At: t, Kind: Crash, Proc: p, Dur: dur})
+				t += dur // next failure only after the node is back
+			}
+		}
+	}
+
+	if spec.DropoutsPerDay > 0 {
+		rate := spec.DropoutsPerDay / 86400
+		t := units.Seconds(0)
+		for {
+			gap := units.Seconds(derateR.Exponential(rate))
+			if gap < minGap {
+				gap = minGap
+			}
+			t += gap
+			if t >= spec.Horizon {
+				break
+			}
+			dur := units.Seconds(derateR.Exponential(1 / float64(spec.DropoutMeanDur)))
+			if dur < minGap {
+				dur = minGap
+			}
+			if t+dur > spec.Horizon {
+				dur = spec.Horizon - t
+			}
+			factor := derateR.Uniform(spec.DropoutFloor, 1)
+			if spec.ForecastSigma > 0 {
+				factor *= derateR.LogNormal(0, spec.ForecastSigma)
+			}
+			factor = math.Min(math.Max(factor, 0), 1.25)
+			plan.Events = append(plan.Events,
+				Event{At: t, Kind: DerateStart, Factor: factor},
+				Event{At: t + dur, Kind: DerateEnd, Factor: 1})
+			t += dur
+		}
+	}
+
+	if spec.FadeInterval > 0 && spec.FadeFrac > 0 {
+		for t := spec.FadeInterval; t < spec.Horizon; t += spec.FadeInterval {
+			plan.Events = append(plan.Events, Event{At: t, Kind: BatteryFade, Factor: spec.FadeFrac})
+		}
+	}
+
+	if spec.FalsePassFrac > 0 {
+		k := int(math.Round(spec.FalsePassFrac * float64(procs)))
+		if k == 0 {
+			k = 1 // a positive fraction always escapes at least one chip
+		}
+		if k > procs {
+			k = procs
+		}
+		victims := fpR.SampleInts(procs, k)
+		sort.Ints(victims)
+		for _, chip := range victims {
+			plan.FalsePasses = append(plan.FalsePasses, FalsePass{
+				Chip:      chip,
+				Level:     fpR.IntN(levels),
+				DriftFrac: fpR.Uniform(0.3, 0.95),
+			})
+		}
+	}
+
+	sort.SliceStable(plan.Events, func(a, b int) bool {
+		ea, eb := plan.Events[a], plan.Events[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		return ea.Proc < eb.Proc
+	})
+	return plan, nil
+}
+
+// Count returns the number of events of the given kind.
+func (p *Plan) Count(k Kind) int {
+	n := 0
+	for _, e := range p.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func dense() Spec {
+	return Spec{
+		CrashMTBF:      units.Hours(6),
+		RepairTime:     units.Minutes(20),
+		DropoutsPerDay: 8,
+		DropoutMeanDur: units.Minutes(40),
+		DropoutFloor:   0.05,
+		ForecastSigma:  0.2,
+		FalsePassFrac:  0.25,
+		DetectLatency:  30,
+		ReprofileTime:  units.Minutes(10),
+		FadeInterval:   units.Hours(6),
+		FadeFrac:       0.05,
+		Horizon:        units.Days(2),
+	}
+}
+
+func TestZeroSpecDisabledAndEmpty(t *testing.T) {
+	var s Spec
+	if s.Enabled() {
+		t.Fatal("zero Spec reports enabled")
+	}
+	p, err := Compile(s, 16, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 0 || len(p.FalsePasses) != 0 {
+		t.Fatalf("zero Spec compiled %d events, %d false-passes", len(p.Events), len(p.FalsePasses))
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, err := Compile(dense(), 32, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(dense(), 32, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed) compiled different plans")
+	}
+	c, err := Compile(dense(), 32, 5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds compiled identical plans")
+	}
+}
+
+func TestPlanStructure(t *testing.T) {
+	spec := dense()
+	p, err := Compile(spec, 32, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count(Crash) == 0 || p.Count(DerateStart) == 0 || p.Count(BatteryFade) == 0 {
+		t.Fatalf("dense plan missing a class: crashes=%d derates=%d fades=%d",
+			p.Count(Crash), p.Count(DerateStart), p.Count(BatteryFade))
+	}
+	if p.Count(DerateStart) != p.Count(DerateEnd) {
+		t.Fatalf("unpaired derate windows: %d starts, %d ends", p.Count(DerateStart), p.Count(DerateEnd))
+	}
+	if len(p.FalsePasses) == 0 {
+		t.Fatal("no false-pass victims sampled")
+	}
+	last := units.Seconds(-1)
+	for i, e := range p.Events {
+		if e.At < last {
+			t.Fatalf("event %d out of order: %v after %v", i, e.At, last)
+		}
+		last = e.At
+		if e.At < 0 || e.At >= spec.Horizon+1e-9 {
+			t.Fatalf("event %d at %v outside [0, horizon %v)", i, e.At, spec.Horizon)
+		}
+		if e.Kind == Crash && (e.Proc < 0 || e.Proc >= 32 || e.Dur < 60) {
+			t.Fatalf("crash event %d malformed: proc %d dur %v", i, e.Proc, e.Dur)
+		}
+		if (e.Kind == DerateStart || e.Kind == DerateEnd) && (e.Factor < 0 || e.Factor > 1.25) {
+			t.Fatalf("derate event %d factor %v outside [0, 1.25]", i, e.Factor)
+		}
+	}
+	// Derate windows must not overlap: factor state is a scalar.
+	depth := 0
+	for _, e := range p.Events {
+		switch e.Kind {
+		case DerateStart:
+			depth++
+			if depth > 1 {
+				t.Fatal("overlapping derate windows")
+			}
+		case DerateEnd:
+			depth--
+		}
+	}
+	seen := map[int]bool{}
+	for _, fp := range p.FalsePasses {
+		if fp.Chip < 0 || fp.Chip >= 32 || fp.Level < 0 || fp.Level >= 5 {
+			t.Fatalf("false-pass out of range: %+v", fp)
+		}
+		if fp.DriftFrac < 0.3 || fp.DriftFrac > 0.95 {
+			t.Fatalf("false-pass drift %v outside [0.3, 0.95]", fp.DriftFrac)
+		}
+		if seen[fp.Chip] {
+			t.Fatalf("chip %d sampled twice", fp.Chip)
+		}
+		seen[fp.Chip] = true
+	}
+}
+
+func TestCrashRepairSpacing(t *testing.T) {
+	spec := Spec{CrashMTBF: units.Hours(2), RepairTime: units.Minutes(30), Horizon: units.Days(4)}
+	p, err := Compile(spec, 4, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastUp := map[int]units.Seconds{}
+	for _, e := range p.Events {
+		if e.Kind != Crash {
+			continue
+		}
+		if up, ok := lastUp[e.Proc]; ok && e.At < up {
+			t.Fatalf("proc %d crashes again at %v before repair completes at %v", e.Proc, e.At, up)
+		}
+		lastUp[e.Proc] = e.At + e.Dur
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []Spec{
+		{CrashMTBF: -1},
+		{DropoutFloor: 1.5},
+		{ForecastSigma: -0.1},
+		{FalsePassFrac: 2},
+		{FadeFrac: 1},
+		{Horizon: -5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, s)
+		}
+	}
+	if _, err := Compile(Spec{CrashMTBF: units.Hours(1)}, 8, 5, 1); err == nil {
+		t.Fatal("active spec without horizon accepted")
+	}
+	if _, err := Compile(Spec{}, 0, 5, 1); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}

@@ -115,6 +115,42 @@ func (a *Account) WindUtilization() float64 {
 	return float64(a.WindUsed) / float64(a.WindAvailable)
 }
 
+// FaultStats aggregates the outcomes of one run's fault injection —
+// the degradation ledger that proves a faulted run stayed conservative
+// (work lost to re-execution is counted, never silently dropped).
+type FaultStats struct {
+	// Crashes counts processor failures taken (crashes arriving while a
+	// node is already offline are absorbed by the ongoing outage).
+	Crashes int
+	// Requeues counts slices pushed back onto a queue after an
+	// interruption: every crash of a busy processor and every margin
+	// violation contributes one.
+	Requeues int
+	// FalsePassTrips counts runtime margin violations on chips the
+	// scanner falsely passed; ReExecutions counts slices restarted from
+	// scratch because of them.
+	FalsePassTrips int
+	ReExecutions   int
+	// Reprofiles counts suspect chips whose emergency re-scan completed.
+	Reprofiles int
+	// BatteryFadeSteps counts applied capacity-fade events.
+	BatteryFadeSteps int
+
+	// LostWork is the discarded progress of re-executed slices, in
+	// CPU-seconds at the top DVFS level.
+	LostWork units.Seconds
+	// DeratedEnergy is renewable energy the nominal forecast promised
+	// but dropout windows withheld.
+	DeratedEnergy units.Joules
+	// FallbackVoltHours accumulates chip-hours spent at the worst-case
+	// binning voltage while awaiting re-profile; RepairHours accumulates
+	// node-hours offline for crash repair.
+	FallbackVoltHours float64
+	RepairHours       float64
+	// BatteryCapacityLost is the total capacity removed by fade steps.
+	BatteryCapacityLost units.Joules
+}
+
 // TracePoint is one sample of the Figure 7 power trace.
 type TracePoint struct {
 	Time    units.Seconds

@@ -1,0 +1,300 @@
+package scheduler
+
+import (
+	"iscope/internal/cluster"
+	"iscope/internal/faults"
+	"iscope/internal/metrics"
+	"iscope/internal/units"
+)
+
+// reprofileDraw is the power a suspect chip draws while its emergency
+// re-scan runs — the same 115 W the profiling tester uses.
+const reprofileDraw units.Watts = 115
+
+type victimKey struct{ chip, level int }
+
+// faultState is the sim-local runtime of a compiled fault plan. All
+// voltage corrections live in the override array, never in the shared
+// Fleet (whose scan DB is reused across schemes and runs).
+type faultState struct {
+	plan  *faults.Plan
+	spec  faults.Spec
+	stats metrics.FaultStats
+
+	levels int
+	guard  units.Volts // in-cloud guardband for corrected profiles
+
+	// victims holds the not-yet-tripped false passes keyed by
+	// (chip, bad level).
+	victims map[victimKey]faults.FalsePass
+	// override[chip*levels+level], when positive, replaces the
+	// knowledge regime's operating voltage (worst-case fallback while a
+	// suspect chip awaits re-profile, then its corrected MinVdd+guard).
+	override []units.Volts
+
+	// supplyFactor is the current renewable derating multiplier.
+	supplyFactor float64
+	// last is the fault ledger's integration frontier (derated energy).
+	last units.Seconds
+
+	// fallbackSince/repairSince track open degradation spans per chip,
+	// -1 when closed.
+	fallbackSince []units.Seconds
+	repairSince   []units.Seconds
+}
+
+// newFaultState compiles the spec into a plan and allocates runtime
+// bookkeeping. The horizon defaults to twice the workload span plus
+// three days, so faults keep arriving through any plausible makespan.
+func newFaultState(cfg RunConfig, fleet *Fleet, guard units.Volts) (*faultState, error) {
+	spec := cfg.Faults.WithDefaults()
+	if spec.Horizon == 0 {
+		lastSubmit := cfg.Jobs.Jobs[len(cfg.Jobs.Jobs)-1].Submit
+		spec.Horizon = 2*lastSubmit + units.Days(3)
+	}
+	levels := fleet.PM.Table.NumLevels()
+	plan, err := faults.Compile(spec, len(fleet.Chips), levels, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &faultState{
+		plan:          plan,
+		spec:          spec,
+		levels:        levels,
+		guard:         guard,
+		victims:       make(map[victimKey]faults.FalsePass, len(plan.FalsePasses)),
+		override:      make([]units.Volts, len(fleet.Chips)*levels),
+		supplyFactor:  1,
+		fallbackSince: make([]units.Seconds, len(fleet.Chips)),
+		repairSince:   make([]units.Seconds, len(fleet.Chips)),
+	}
+	for i := range f.fallbackSince {
+		f.fallbackSince[i] = -1
+		f.repairSince[i] = -1
+	}
+	for _, fp := range plan.FalsePasses {
+		f.victims[victimKey{fp.Chip, fp.Level}] = fp
+	}
+	return f, nil
+}
+
+// operatingVolt is the voltage chip id actually runs at level l under
+// the current fault state.
+func (s *sim) operatingVolt(id, l int) units.Volts {
+	if v := s.faults.override[id*s.faults.levels+l]; v > 0 {
+		return v
+	}
+	return s.know.Vdd(id, l)
+}
+
+// trueMinVdd is the ground-truth minimum voltage of a falsely-passed
+// chip at its bad level: DriftFrac of the way from the believed
+// operating point up to the factory worst-case binning voltage.
+func (s *sim) trueMinVdd(fp faults.FalsePass) units.Volts {
+	base := s.know.Vdd(fp.Chip, fp.Level)
+	safe := s.fleet.Binning.Vdd(fp.Chip, fp.Level)
+	if safe < base {
+		safe = base
+	}
+	return base + units.Volts(fp.DriftFrac*float64(safe-base))
+}
+
+// scheduleFaultEvents arms the compiled plan on the event loop. Supply
+// events are dropped in utility-only runs and fade events without a
+// battery — they would be no-ops with no one to observe them.
+func (s *sim) scheduleFaultEvents() {
+	for _, ev := range s.faults.plan.Events {
+		ev := ev
+		switch ev.Kind {
+		case faults.Crash:
+			_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onCrash(ev.Proc, ev.Dur, now) })
+		case faults.DerateStart, faults.DerateEnd:
+			if s.cfg.Wind != nil {
+				_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onSupplyFactor(ev.Factor, now) })
+			}
+		case faults.BatteryFade:
+			if s.account.Battery != nil {
+				_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onBatteryFade(ev.Factor, now) })
+			}
+		}
+	}
+}
+
+// onCrash fails processor id: the running slice (if any) is preempted
+// and requeued with its remaining work, and the node goes offline for
+// the repair interval. A crash landing on a node that is already
+// offline (under repair, re-profile or opportunistic scan) is absorbed
+// by the ongoing outage.
+func (s *sim) onCrash(id int, repair, now units.Seconds) {
+	if s.dc.Procs[id].Offline() {
+		return
+	}
+	s.sync(now)
+	s.fairValid = false
+	f := s.faults
+	f.stats.Crashes++
+	if pre := s.dc.Preempt(id, now); pre != nil {
+		f.stats.Requeues++
+		s.dc.Requeue(pre)
+	}
+	if err := s.dc.ForceOffline(id, 0); err != nil {
+		return
+	}
+	f.repairSince[id] = now
+	_ = s.eng.After(repair, func(when units.Seconds) { s.onRepaired(id, when) })
+}
+
+// onRepaired returns a crashed processor to service and restarts its
+// queue head.
+func (s *sim) onRepaired(id int, now units.Seconds) {
+	s.sync(now)
+	s.fairValid = false
+	f := s.faults
+	if since := f.repairSince[id]; since >= 0 {
+		f.stats.RepairHours += float64(now-since) / 3600
+		f.repairSince[id] = -1
+	}
+	if started := s.dc.SetOnline(id, now); started != nil {
+		s.scheduleCompletion(started)
+	}
+}
+
+// onSupplyFactor applies a renewable derating (or forecast-surplus)
+// multiplier from now on.
+func (s *sim) onSupplyFactor(factor float64, now units.Seconds) {
+	s.sync(now)
+	s.faults.supplyFactor = factor
+	s.curWind = s.deratedWind(s.nominalWind)
+}
+
+// deratedWind maps the nominal renewable supply to the faulted one.
+func (s *sim) deratedWind(w units.Watts) units.Watts {
+	if s.faults == nil || s.faults.supplyFactor == 1 {
+		return w
+	}
+	return units.Watts(float64(w) * s.faults.supplyFactor)
+}
+
+// onBatteryFade shrinks storage capacity by the step fraction.
+func (s *sim) onBatteryFade(frac float64, now units.Seconds) {
+	s.sync(now)
+	f := s.faults
+	f.stats.BatteryFadeSteps++
+	f.stats.BatteryCapacityLost += s.account.Battery.Fade(frac)
+}
+
+// armFalsePass checks a freshly (re)started slice against the victim
+// table: running a falsely-passed chip at its bad level below the true
+// minimum voltage trips a margin violation after the detection latency
+// (capped at half the slice's span so short slices still trip before
+// completing).
+func (s *sim) armFalsePass(sl *cluster.Slice) {
+	f := s.faults
+	fp, ok := f.victims[victimKey{sl.ProcID, sl.Level}]
+	if !ok {
+		return
+	}
+	if s.operatingVolt(sl.ProcID, sl.Level)+1e-9 >= s.trueMinVdd(fp) {
+		return // current operating point covers the drift
+	}
+	now := s.eng.Now()
+	latency := f.spec.DetectLatency
+	if half := (sl.Finish - now) / 2; half < latency {
+		latency = half
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	gen, level := sl.Gen, sl.Level
+	_ = s.eng.After(latency, func(when units.Seconds) { s.onMarginViolation(sl, gen, level, when) })
+}
+
+// onMarginViolation fires when a falsely-passed chip corrupts its
+// slice: the slice's progress is discarded and it re-executes from
+// scratch, the chip falls back to its worst-case binning voltage at
+// every level, and an emergency re-profile takes the node offline.
+func (s *sim) onMarginViolation(sl *cluster.Slice, gen, level int, now units.Seconds) {
+	if sl.Gen != gen || !sl.Running() || sl.Level != level {
+		return // retimed, migrated or preempted since armed
+	}
+	f := s.faults
+	id := sl.ProcID
+	fp, ok := f.victims[victimKey{id, level}]
+	if !ok {
+		return
+	}
+	s.sync(now)
+	s.fairValid = false
+	f.stats.FalsePassTrips++
+	f.stats.ReExecutions++
+	f.stats.Requeues++
+	pre := s.dc.Preempt(id, now)
+	f.stats.LostWork += units.Seconds((1 - pre.Remaining()) * float64(pre.Job.Runtime))
+	pre.ResetWork()
+	s.dc.Requeue(pre)
+
+	for l := 0; l < f.levels; l++ {
+		f.override[id*f.levels+l] = s.fleet.Binning.Vdd(id, l)
+	}
+	f.fallbackSince[id] = now
+	delete(f.victims, victimKey{id, level})
+
+	if err := s.dc.ForceOffline(id, reprofileDraw); err != nil {
+		return
+	}
+	_ = s.eng.After(f.spec.ReprofileTime, func(when units.Seconds) { s.onReprofiled(id, fp, when) })
+}
+
+// onReprofiled completes a suspect chip's emergency re-scan: the
+// worst-case fallback is lifted everywhere except the bad level, which
+// now operates at the corrected true minimum plus the in-cloud guard.
+func (s *sim) onReprofiled(id int, fp faults.FalsePass, now units.Seconds) {
+	s.sync(now)
+	s.fairValid = false
+	f := s.faults
+	f.stats.Reprofiles++
+	if since := f.fallbackSince[id]; since >= 0 {
+		f.stats.FallbackVoltHours += float64(now-since) / 3600
+		f.fallbackSince[id] = -1
+	}
+	for l := 0; l < f.levels; l++ {
+		f.override[id*f.levels+l] = 0
+	}
+	corrected := s.trueMinVdd(fp) + f.guard
+	if safe := s.fleet.Binning.Vdd(id, fp.Level); corrected > safe {
+		corrected = safe
+	}
+	f.override[id*f.levels+fp.Level] = corrected
+	if started := s.dc.SetOnline(id, now); started != nil {
+		s.scheduleCompletion(started)
+	}
+}
+
+// faultAdvance integrates the fault ledger (derated supply energy) up
+// to now; called from sync before the energy account advances.
+func (s *sim) faultAdvance(now units.Seconds) {
+	f := s.faults
+	if now <= f.last {
+		return
+	}
+	if s.curWind < s.nominalWind {
+		f.stats.DeratedEnergy += (s.nominalWind - s.curWind).Over(now - f.last)
+	}
+	f.last = now
+}
+
+// finalizeFaults closes degradation spans still open when the last job
+// completes.
+func (s *sim) finalizeFaults(end units.Seconds) {
+	f := s.faults
+	for id := range f.repairSince {
+		if since := f.repairSince[id]; since >= 0 {
+			f.stats.RepairHours += float64(end-since) / 3600
+			f.repairSince[id] = -1
+		}
+		if since := f.fallbackSince[id]; since >= 0 {
+			f.stats.FallbackVoltHours += float64(end-since) / 3600
+			f.fallbackSince[id] = -1
+		}
+	}
+}

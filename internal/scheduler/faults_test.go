@@ -1,0 +1,214 @@
+package scheduler
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"iscope/internal/battery"
+	"iscope/internal/faults"
+	"iscope/internal/metrics"
+	"iscope/internal/units"
+)
+
+// denseFaults is a deliberately hostile fault environment: per-node
+// crashes every few hours, a 20-minute mean repair, eight renewable
+// dropouts a day, 40% of the fleet falsely passed by the scanner, and
+// 5% battery fade every six hours.
+func denseFaults() *faults.Spec {
+	return &faults.Spec{
+		CrashMTBF:      units.Hours(6),
+		RepairTime:     units.Minutes(20),
+		DropoutsPerDay: 8,
+		DropoutMeanDur: units.Minutes(40),
+		DropoutFloor:   0.05,
+		ForecastSigma:  0.2,
+		FalsePassFrac:  0.4,
+		DetectLatency:  30,
+		ReprofileTime:  units.Minutes(10),
+		FadeInterval:   units.Hours(6),
+		FadeFrac:       0.05,
+	}
+}
+
+// TestFaultedRunsConserveWork is the tentpole property test: under a
+// dense random fault plan, every scheme on every seed must (a) finish —
+// the simulator never hangs or stalls; (b) complete exactly the trace's
+// slice count and work content (crash-interrupted slices resume,
+// re-executed slices still finish once); (c) report fault counters that
+// are internally consistent.
+func TestFaultedRunsConserveWork(t *testing.T) {
+	fleet := testFleet(t, 32)
+	jobs := testJobs(t, 90, 120, 0.3)
+
+	wantSlices := 0
+	var wantWork units.Seconds
+	for _, j := range jobs.Jobs {
+		w := j.Procs
+		if w > len(fleet.Chips) {
+			w = len(fleet.Chips)
+		}
+		wantSlices += w
+		wantWork += units.Seconds(float64(w) * float64(j.Runtime))
+	}
+
+	agg := struct{ crashes, trips, requeues, fades int }{}
+	for seed := uint64(0); seed < 10; seed++ {
+		w := testWind(t, fleet, 200+seed)
+		batt := battery.DefaultSpec(units.FromKWh(30))
+		for _, sch := range Schemes() {
+			cfg := RunConfig{
+				Seed:    seed,
+				Jobs:    jobs,
+				Wind:    w,
+				Battery: &batt,
+				Faults:  denseFaults(),
+			}
+			res, err := Run(fleet, sch, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sch.Name, err)
+			}
+			if res.JobsCompleted != len(jobs.Jobs) {
+				t.Fatalf("seed %d %s: %d/%d jobs completed", seed, sch.Name, res.JobsCompleted, len(jobs.Jobs))
+			}
+			if res.CompletedSlices != wantSlices {
+				t.Fatalf("seed %d %s: %d slices completed, want %d", seed, sch.Name, res.CompletedSlices, wantSlices)
+			}
+			if diff := math.Abs(float64(res.CompletedWork-wantWork)) / float64(wantWork); diff > 1e-9 {
+				t.Fatalf("seed %d %s: completed work %v != trace work %v", seed, sch.Name, res.CompletedWork, wantWork)
+			}
+			f := res.Faults
+			if f.Crashes == 0 {
+				t.Fatalf("seed %d %s: dense plan produced no crashes", seed, sch.Name)
+			}
+			if f.Requeues < f.FalsePassTrips {
+				t.Fatalf("seed %d %s: requeues %d < false-pass trips %d", seed, sch.Name, f.Requeues, f.FalsePassTrips)
+			}
+			if f.ReExecutions != f.FalsePassTrips {
+				t.Fatalf("seed %d %s: re-executions %d != trips %d", seed, sch.Name, f.ReExecutions, f.FalsePassTrips)
+			}
+			if f.Reprofiles > f.FalsePassTrips {
+				t.Fatalf("seed %d %s: more reprofiles (%d) than trips (%d)", seed, sch.Name, f.Reprofiles, f.FalsePassTrips)
+			}
+			if f.LostWork < 0 || f.DeratedEnergy < 0 || f.RepairHours < 0 || f.FallbackVoltHours < 0 {
+				t.Fatalf("seed %d %s: negative degradation ledger: %+v", seed, sch.Name, f)
+			}
+			if f.FalsePassTrips > 0 && f.LostWork <= 0 {
+				t.Fatalf("seed %d %s: %d trips but no lost work", seed, sch.Name, f.FalsePassTrips)
+			}
+			if sch.Knowledge == KnowBin && f.FalsePassTrips != 0 {
+				t.Fatalf("seed %d %s: Bin scheme tripped %d margin violations at the factory voltage",
+					seed, sch.Name, f.FalsePassTrips)
+			}
+			for i, u := range res.UtilTimes {
+				if u < -1e-6 || u > res.Makespan+1e-6 {
+					t.Fatalf("seed %d %s: proc %d utilization %v outside [0, makespan %v]",
+						seed, sch.Name, i, u, res.Makespan)
+				}
+			}
+			agg.crashes += f.Crashes
+			agg.trips += f.FalsePassTrips
+			agg.requeues += f.Requeues
+			agg.fades += f.BatteryFadeSteps
+		}
+	}
+	// Across the whole matrix every fault class must have fired.
+	if agg.crashes == 0 || agg.requeues == 0 || agg.fades == 0 {
+		t.Fatalf("fault classes missing across matrix: %+v", agg)
+	}
+	if agg.trips == 0 {
+		t.Fatal("no false-pass trips across 10 seeds x Scan schemes; injection dead")
+	}
+}
+
+// TestFaultedRunDeterministic: the same (fleet, cfg) must reproduce the
+// identical Result, fault ledger included.
+func TestFaultedRunDeterministic(t *testing.T) {
+	fleet := testFleet(t, 24)
+	jobs := testJobs(t, 91, 80, 0.3)
+	w := testWind(t, fleet, 92)
+	cfg := RunConfig{Seed: 5, Jobs: jobs, Wind: w, Faults: denseFaults()}
+	a := run(t, fleet, "ScanEffi", cfg)
+	b := run(t, fleet, "ScanEffi", cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical faulted runs diverged")
+	}
+	if a.Faults == (metrics.FaultStats{}) {
+		t.Fatal("dense fault run recorded an empty ledger")
+	}
+}
+
+// TestZeroFaultSpecBitIdentical: a non-nil but all-zero Spec must not
+// perturb the run at all — same Result bits as Faults == nil.
+func TestZeroFaultSpecBitIdentical(t *testing.T) {
+	fleet := testFleet(t, 24)
+	jobs := testJobs(t, 93, 80, 0.3)
+	w := testWind(t, fleet, 94)
+	for _, sch := range Schemes() {
+		base, err := Run(fleet, sch, RunConfig{Seed: 9, Jobs: jobs, Wind: w, SampleInterval: 350})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroed, err := Run(fleet, sch, RunConfig{Seed: 9, Jobs: jobs, Wind: w, SampleInterval: 350, Faults: &faults.Spec{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, zeroed) {
+			t.Fatalf("%s: zero-fault spec drifted from the fault-free baseline", sch.Name)
+		}
+	}
+}
+
+// TestCrashOnlyFaults exercises the crash class alone on a
+// utility-only run: no derate, no trips, no fades — but repairs and
+// (eventually) requeues.
+func TestCrashOnlyFaults(t *testing.T) {
+	fleet := testFleet(t, 24)
+	jobs := testJobs(t, 95, 80, 0.3)
+	spec := &faults.Spec{CrashMTBF: units.Hours(3), RepairTime: units.Minutes(15)}
+	res := run(t, fleet, "ScanEffi", RunConfig{Seed: 11, Jobs: jobs, Faults: spec})
+	f := res.Faults
+	if f.Crashes == 0 || f.RepairHours <= 0 {
+		t.Fatalf("crash-only spec recorded no outages: %+v", f)
+	}
+	if f.FalsePassTrips != 0 || f.BatteryFadeSteps != 0 || f.DeratedEnergy != 0 {
+		t.Fatalf("disabled classes fired: %+v", f)
+	}
+	if res.JobsCompleted != len(jobs.Jobs) {
+		t.Fatalf("%d/%d jobs completed", res.JobsCompleted, len(jobs.Jobs))
+	}
+}
+
+// TestFaultsComposeWithOnlineProfilingAndRebalance: the fault machinery
+// must coexist with the other offline users of the fleet (opportunistic
+// scanning) and with queue rebalancing without deadlocks.
+func TestFaultsComposeWithOnlineProfilingAndRebalance(t *testing.T) {
+	fleet := testFleet(t, 24)
+	jobs := testJobs(t, 96, 80, 0.3)
+	w := testWind(t, fleet, 97)
+	res := run(t, fleet, "ScanEffi", RunConfig{
+		Seed:            13,
+		Jobs:            jobs,
+		Wind:            w,
+		Online:          &OnlineProfiling{},
+		EnableRebalance: true,
+		Faults:          denseFaults(),
+	})
+	if res.JobsCompleted != len(jobs.Jobs) {
+		t.Fatalf("%d/%d jobs completed", res.JobsCompleted, len(jobs.Jobs))
+	}
+	if res.Faults.Crashes == 0 {
+		t.Fatal("no crashes under dense plan")
+	}
+}
+
+// TestFaultSpecValidationRejected: malformed specs surface as errors,
+// not as silent no-ops.
+func TestFaultSpecValidationRejected(t *testing.T) {
+	fleet := testFleet(t, 8)
+	jobs := testJobs(t, 98, 20, 0.3)
+	bad := &faults.Spec{FalsePassFrac: 2}
+	if _, err := Run(fleet, Schemes()[0], RunConfig{Seed: 1, Jobs: jobs, Faults: bad}); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"iscope/internal/battery"
 	"iscope/internal/cluster"
+	"iscope/internal/faults"
 	"iscope/internal/metrics"
 	"iscope/internal/power"
 	"iscope/internal/profiling"
@@ -63,6 +64,12 @@ type RunConfig struct {
 	// fit — the "load migration between nodes" lever of the paper's
 	// Section I.
 	EnableRebalance bool
+	// Faults optionally injects a deterministic fault plan compiled
+	// from the spec: processor crash/repair cycles, renewable supply
+	// derating windows, scanner false-passes with runtime margin
+	// violations, and battery capacity fade. nil — or a spec with no
+	// active class — leaves the run bit-identical to a fault-free one.
+	Faults *faults.Spec
 	// RandomCOP draws each processor's cooling coefficient from the
 	// Greenberg et al. distribution the paper cites (normal on
 	// [0.6, 3.5], mean COP) instead of using a uniform value —
@@ -145,6 +152,16 @@ type Result struct {
 
 	// Trace is the sampled power series (empty unless sampling enabled).
 	Trace []metrics.TracePoint
+
+	// CompletedWork is the total slice work finished, in CPU-seconds at
+	// the top DVFS level (one job runtime per completed slice);
+	// CompletedSlices counts them. Together with Faults.LostWork these
+	// support work-conservation checks under fault injection.
+	CompletedWork   units.Seconds
+	CompletedSlices int
+
+	// Faults is the fault-injection ledger (zero when disabled).
+	Faults metrics.FaultStats
 }
 
 type jobState struct {
@@ -178,6 +195,15 @@ type sim struct {
 	account *metrics.Account
 	sampler *metrics.Sampler
 	curWind units.Watts
+	// nominalWind is the un-derated trace value; curWind is what the
+	// farm actually delivers under the current fault factor.
+	nominalWind units.Watts
+
+	// faults is the active fault-injection state, nil when disabled.
+	faults *faultState
+
+	workDone   units.Seconds // completed slice work at the top level
+	slicesDone int
 
 	jobsLeft   int
 	violations int
@@ -262,7 +288,28 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var fstate *faultState
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Faults.Enabled() {
+			fstate, err = newFaultState(cfg, fleet, guard)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	volt := func(id, l int) units.Volts { return know.Vdd(id, l) }
+	if fstate != nil {
+		levels := fleet.PM.Table.NumLevels()
+		volt = func(id, l int) units.Volts {
+			if v := fstate.override[id*levels+l]; v > 0 {
+				return v
+			}
+			return know.Vdd(id, l)
+		}
+	}
 	var dc *cluster.Datacenter
 	if cfg.RandomCOP {
 		copRand := rng.Named(cfg.Seed, "cop")
@@ -288,6 +335,7 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		r:       rng.Named(cfg.Seed, "sim-"+scheme.Name),
 		account: metrics.NewAccount(0),
 		runBuf:  make([]*cluster.Slice, 0, len(fleet.Chips)),
+		faults:  fstate,
 	}
 	if cfg.Battery != nil {
 		b, err := battery.New(*cfg.Battery)
@@ -330,7 +378,8 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 
 	// Wind budget / matching / profiling ticks.
 	if cfg.Wind != nil {
-		s.curWind = cfg.Wind.At(0)
+		s.nominalWind = cfg.Wind.At(0)
+		s.curWind = s.nominalWind
 		interval := cfg.MatchInterval
 		if interval <= 0 {
 			interval = cfg.Wind.Interval
@@ -378,12 +427,20 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		_ = s.eng.Schedule(0, sample)
 	}
 
+	// Fault plan events (no-op schedule when faults are disabled).
+	if s.faults != nil {
+		s.scheduleFaultEvents()
+	}
+
 	for s.jobsLeft > 0 && s.eng.Step() {
 	}
 	if s.jobsLeft > 0 {
 		return nil, fmt.Errorf("scheduler: simulation stalled with %d jobs unfinished", s.jobsLeft)
 	}
 	s.sync(s.eng.Now())
+	if s.faults != nil {
+		s.finalizeFaults(s.eng.Now())
+	}
 
 	utils := dc.UtilTimes(s.eng.Now())
 	res := &Result{
@@ -404,6 +461,11 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		BatteryDelivered:   s.account.BatteryDelivered,
 		ProfiledChips:      s.profiled,
 		ProfilingEnergy:    s.profEnergy,
+		CompletedWork:      s.workDone,
+		CompletedSlices:    s.slicesDone,
+	}
+	if s.faults != nil {
+		res.Faults = s.faults.stats
 	}
 	res.MeanSlowdown, res.P95Slowdown, res.MeanWait = s.qualityMetrics()
 	if s.account.Battery != nil {
@@ -417,6 +479,9 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 
 // sync integrates energy up to now at the current demand and wind.
 func (s *sim) sync(now units.Seconds) {
+	if s.faults != nil {
+		s.faultAdvance(now)
+	}
 	s.account.Advance(now, s.dc.Demand(), s.curWind)
 }
 
@@ -602,6 +667,9 @@ func (s *sim) chooseLevel(id int, j *workload.Job, maxTime units.Seconds, abunda
 func (s *sim) scheduleCompletion(sl *cluster.Slice) {
 	gen := sl.Gen
 	_ = s.eng.Schedule(sl.Finish, func(now units.Seconds) { s.onComplete(sl, gen, now) })
+	if s.faults != nil {
+		s.armFalsePass(sl)
+	}
 }
 
 // onComplete finishes a slice (unless stale), starts the processor's
@@ -620,6 +688,8 @@ func (s *sim) onComplete(sl *cluster.Slice, gen int, now units.Seconds) {
 }
 
 func (s *sim) finishSlice(j *workload.Job, now units.Seconds) {
+	s.workDone += j.Runtime
+	s.slicesDone++
 	st := &s.states[s.stateIdx[j]]
 	st.remaining--
 	if st.remaining == 0 {
@@ -662,7 +732,8 @@ func (s *sim) qualityMetrics() (meanSlow, p95Slow float64, meanWait units.Second
 // gives the opportunistic scanner its chance.
 func (s *sim) onTick(now units.Seconds) {
 	s.sync(now)
-	s.curWind = s.cfg.Wind.At(now)
+	s.nominalWind = s.cfg.Wind.At(now)
+	s.curWind = s.deratedWind(s.nominalWind)
 	if !s.cfg.DisableMatching {
 		changed := s.match(now)
 		for _, sl := range changed {

@@ -18,6 +18,11 @@ func FuzzReadSWF(f *testing.F) {
 	f.Add("x y z\n")
 	f.Add("1 -5 0 100 2 -1 -1 2 -1 -1 1 0 0 0 0 0 0 0\n") // negative submit
 	f.Add(strings.Repeat("9", 400) + " 0 0 100 2 -1 -1 2 -1 -1 1 0 0 0 0 0 0 0\n")
+	// Non-finite values parse fine and sail through every ordered
+	// comparison (NaN <= 0 is false), so they need dedicated rejection.
+	f.Add("3 0 -1 NaN 16 -1 -1 16 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("4 NaN -1 120 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("5 0 -1 +Inf 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		tr, err := ReadSWF(strings.NewReader(data), SWFReadOptions{})
 		if err != nil {
@@ -25,6 +30,11 @@ func FuzzReadSWF(f *testing.F) {
 		}
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		for _, j := range tr.Jobs {
+			if !finite(float64(j.Submit)) || !finite(float64(j.Runtime)) {
+				t.Fatalf("accepted job %d has non-finite times: submit %v runtime %v", j.ID, j.Submit, j.Runtime)
+			}
 		}
 		// Round trip: anything we accepted must survive re-serialization.
 		var buf bytes.Buffer

@@ -92,6 +92,12 @@ func ReadSWF(r io.Reader, opt SWFReadOptions) (*Trace, error) {
 		if procs <= 0 {
 			procs = alloc
 		}
+		// NaN evades every ordered comparison below (NaN <= 0 is false),
+		// so non-finite values must be screened out explicitly or they
+		// slip into the trace as "valid" jobs.
+		if !finite(runtime) || !finite(submit) {
+			continue
+		}
 		if runtime <= 0 || procs <= 0 || submit < 0 {
 			continue
 		}

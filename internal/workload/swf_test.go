@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// TestReadSWFSkipsNonFinite: NaN/Inf submit or runtime values parse
+// successfully yet slip through every ordered comparison, so the reader
+// must screen them out explicitly.
+func TestReadSWFSkipsNonFinite(t *testing.T) {
+	in := "1 0 -1 100 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"2 5 -1 NaN 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"3 NaN -1 50 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"4 0 -1 +Inf 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"5 9 -1 50 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ReadSWF(strings.NewReader(in), SWFReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("accepted %d jobs, want 2 (finite ones only)", len(tr.Jobs))
+	}
+	for _, j := range tr.Jobs {
+		if j.ID != 1 && j.ID != 5 {
+			t.Fatalf("non-finite job %d accepted", j.ID)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsNonFinite: a trace carrying NaN fields must not
+// validate, whatever path produced it.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []Job{
+		{ID: 1, Procs: 1, Runtime: units.Seconds(nan), Boundness: 0.5},
+		{ID: 2, Procs: 1, Submit: units.Seconds(nan), Runtime: 10, Boundness: 0.5},
+		{ID: 3, Procs: 1, Runtime: 10, Boundness: nan},
+		{ID: 4, Procs: 1, Runtime: 10, Boundness: 0.5, Deadline: units.Seconds(math.Inf(1))},
+	}
+	for _, j := range cases {
+		tr := &Trace{Jobs: []Job{j}}
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("job %d with non-finite field validated", j.ID)
+		}
+	}
+}

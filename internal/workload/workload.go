@@ -7,11 +7,15 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"iscope/internal/rng"
 	"iscope/internal/units"
 )
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Urgency classifies a job's deadline tightness (Section V.D).
 type Urgency int
@@ -50,10 +54,17 @@ type Trace struct {
 	Jobs []Job
 }
 
-// Validate checks structural invariants: jobs sorted by submit time,
-// positive runtimes and processor counts, boundness in [0,1].
+// Validate checks structural invariants: finite times, jobs sorted by
+// submit time, positive runtimes and processor counts, boundness in
+// [0,1]. The finiteness checks are explicit because NaN slips through
+// every ordered comparison (NaN <= 0 is false) and would otherwise
+// poison the event queue downstream.
 func (t *Trace) Validate() error {
 	for i, j := range t.Jobs {
+		if !finite(float64(j.Submit)) || !finite(float64(j.Runtime)) ||
+			!finite(float64(j.Deadline)) || !finite(j.Boundness) {
+			return fmt.Errorf("workload: job %d has non-finite fields", j.ID)
+		}
 		if j.Procs <= 0 {
 			return fmt.Errorf("workload: job %d requests %d procs", j.ID, j.Procs)
 		}

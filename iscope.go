@@ -41,6 +41,7 @@ import (
 
 	"iscope/internal/battery"
 	"iscope/internal/experiments"
+	"iscope/internal/faults"
 	"iscope/internal/metrics"
 	"iscope/internal/profiling"
 	"iscope/internal/scheduler"
@@ -167,6 +168,25 @@ type OnlineProfiling = scheduler.OnlineProfiling
 func DefaultBattery(capacityKWh float64) BatterySpec {
 	return battery.DefaultSpec(units.FromKWh(capacityKWh))
 }
+
+// FaultSpec parametrizes deterministic fault injection
+// (RunConfig.Faults): processor crash/repair cycles, renewable dropout
+// and forecast-error windows, scanner false-pass escapes with runtime
+// margin violations, and battery capacity fade. The zero value (or a
+// nil RunConfig.Faults) disables injection entirely and leaves the run
+// bit-identical to a fault-free one.
+type FaultSpec = faults.Spec
+
+// FaultStats is the degradation ledger of a faulted run
+// (Result.Faults): crash/requeue/re-execution counters, lost work,
+// derated renewable energy, fallback-voltage and repair hours.
+type FaultStats = metrics.FaultStats
+
+// DefaultFaultSpec returns a production-plausible fault environment:
+// monthly per-node crashes, two supply dropouts per day with 15%
+// forecast error, a 2% scanner false-pass escape rate and 1%/day
+// battery fade.
+func DefaultFaultSpec() FaultSpec { return faults.DefaultSpec() }
 
 // GenerateSolar synthesizes a photovoltaic power trace (California-like
 // site, 10-minute samples) compatible with RunConfig.Wind — the
