@@ -5,18 +5,23 @@
 //	experiments -run all                 # everything, 1/5 scale
 //	experiments -run fig8 -scale paper   # one figure at full 4800 CPUs
 //	experiments -run fig5,fig6 -seed 7
+//	experiments -run fig8 -manifest .cells -retries 2 -cell-timeout 10m
 //
 // Available targets: table1, table2, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, all.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"iscope/internal/experiments"
@@ -31,6 +36,10 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "override job count")
 		csvDir  = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		plotDir = flag.String("plotdir", "", "also write gnuplot bundles (.dat + .gp) into this directory")
+
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per grid cell (0 = unlimited)")
+		retries     = flag.Int("retries", 0, "extra attempts for a failed grid cell")
+		manifestDir = flag.String("manifest", "", "persist completed grid cells here; an interrupted run resumes only the missing ones")
 	)
 	flag.Parse()
 
@@ -52,6 +61,15 @@ func main() {
 	if *jobs > 0 {
 		opt.NumJobs = *jobs
 	}
+	opt.CellTimeout = *cellTimeout
+	opt.CellRetries = *retries
+
+	// SIGINT/SIGTERM cancels the grid cooperatively: in-flight cells
+	// stop, completed ones stay in the manifest, and a re-run with the
+	// same -manifest resumes only the missing cells.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt.Context = ctx
 
 	targets := strings.Split(*run, ",")
 	if *run == "all" {
@@ -64,8 +82,17 @@ func main() {
 		}
 	}
 	for _, tgt := range targets {
-		if err := runOne(strings.TrimSpace(tgt), opt, *csvDir, *plotDir); err != nil {
+		tgt = strings.TrimSpace(tgt)
+		if *manifestDir != "" {
+			// One manifest subdirectory per target: cell keys are only
+			// unique within a figure's grid.
+			opt.ManifestDir = filepath.Join(*manifestDir, tgt)
+		}
+		if err := runOne(tgt, opt, *csvDir, *plotDir); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
+			if errors.Is(err, context.Canceled) && *manifestDir != "" {
+				fmt.Fprintf(os.Stderr, "experiments: completed cells saved; re-run with -manifest %s to resume\n", *manifestDir)
+			}
 			os.Exit(1)
 		}
 	}

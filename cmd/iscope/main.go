@@ -7,16 +7,27 @@
 //	iscope -scheme BinRan -procs 4800 -jobs 4000 -rate 3
 //	iscope -swf thunder.swf -scheme ScanEffi -wind
 //	iscope -scheme ScanFair -wind -battery 30 -faults
+//	iscope -scheme ScanFair -wind -checkpoint run.ck -checkpoint-every 2h
+//	iscope -scheme ScanFair -wind -resume run.ck -checkpoint run.ck
+//
+// A run with -checkpoint can be interrupted (Ctrl-C / SIGTERM): a final
+// snapshot is flushed before exiting, and -resume continues it with
+// results bit-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"iscope"
+	"iscope/internal/checkpoint"
 )
 
 // options collects every flag; one struct keeps run's signature sane.
@@ -42,6 +53,11 @@ type options struct {
 	dropouts      float64
 	falsePass     float64
 	fadePerDay    float64
+
+	// Checkpoint/resume section.
+	checkpointPath  string
+	checkpointEvery time.Duration
+	resumePath      string
 }
 
 func main() {
@@ -69,10 +85,25 @@ func main() {
 	flag.Float64Var(&o.dropouts, "dropouts", 0, "renewable derating windows per day (0 = class off)")
 	flag.Float64Var(&o.falsePass, "false-pass", 0, "fraction of the fleet with optimistic scan reports (0 = class off)")
 	flag.Float64Var(&o.fadePerDay, "fade", 0, "daily battery capacity fade fraction (0 = class off)")
+
+	// Checkpoint/resume: periodic snapshots of the full simulation
+	// state, plus a final one on SIGINT/SIGTERM, so a long run can be
+	// interrupted and continued bit-identically.
+	flag.StringVar(&o.checkpointPath, "checkpoint", "", "write snapshots of the simulation state to this file (atomically, overwriting)")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", time.Hour, "simulated time between snapshots (with -checkpoint)")
+	flag.StringVar(&o.resumePath, "resume", "", "resume the run from a snapshot file written by -checkpoint")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	// A signal cancels the run cooperatively: the scheduler stops at
+	// the next event boundary and flushes a final snapshot first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintf(os.Stderr, "iscope: %v\n", err)
+		if errors.Is(err, context.Canceled) && o.checkpointPath != "" {
+			fmt.Fprintf(os.Stderr, "iscope: state saved; continue with -resume %s\n", o.checkpointPath)
+		}
 		os.Exit(1)
 	}
 }
@@ -107,7 +138,7 @@ func (o options) faultSpec() *iscope.FaultSpec {
 	return &spec
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	scheme, ok := iscope.SchemeByName(o.scheme)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", o.scheme)
@@ -171,7 +202,22 @@ func run(o options) error {
 	}
 	cfg.Faults = o.faultSpec()
 
-	res, err := iscope.Run(fleet, scheme, cfg)
+	if o.checkpointPath != "" && o.checkpointEvery > 0 {
+		path := o.checkpointPath
+		cfg.Checkpoint = &iscope.CheckpointConfig{
+			Every: iscope.Seconds(o.checkpointEvery.Seconds()),
+			Sink:  func(data []byte) error { return checkpoint.WriteBytes(path, data) },
+		}
+	}
+	if o.resumePath != "" {
+		snap, err := checkpoint.ReadBytes(o.resumePath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		cfg.Resume = snap
+	}
+
+	res, err := iscope.RunCtx(ctx, fleet, scheme, cfg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
 
 // base returns flag defaults scaled down for fast tests.
 func base() options {
@@ -12,17 +18,17 @@ func TestRunSmoke(t *testing.T) {
 	// print. Covers flag-plumbing regressions.
 	o := base()
 	o.useWind = true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("wind run failed: %v", err)
 	}
 	o = base()
 	o.scheme, o.procs, o.jobs, o.trace = "BinEffi", 16, 30, true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("traced utility run failed: %v", err)
 	}
 	o = base()
 	o.scheme, o.procs, o.jobs, o.useWind, o.online = "ScanEffi", 16, 30, true, true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("online-profiling run failed: %v", err)
 	}
 }
@@ -36,7 +42,7 @@ func TestRunWithFaults(t *testing.T) {
 	o.faults = true
 	o.crashMTBFDays = 0.25
 	o.falsePass = 0.2
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("faulted run failed: %v", err)
 	}
 }
@@ -63,7 +69,7 @@ func TestFaultSpecAssembly(t *testing.T) {
 func TestRunRejectsUnknownScheme(t *testing.T) {
 	o := base()
 	o.scheme = "NoSuchScheme"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 }
@@ -71,7 +77,35 @@ func TestRunRejectsUnknownScheme(t *testing.T) {
 func TestRunRejectsMissingSWF(t *testing.T) {
 	o := base()
 	o.swfPath = "/nonexistent.swf"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	// The -checkpoint/-resume plumbing: a run writes snapshots to the
+	// file, and a second invocation resumes from it cleanly.
+	dir := t.TempDir()
+	o := base()
+	o.useWind = true
+	o.checkpointPath = filepath.Join(dir, "run.ck")
+	o.checkpointEvery = 2 * time.Hour
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	if _, err := os.Stat(o.checkpointPath); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	o.resumePath = o.checkpointPath
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+}
+
+func TestRunRejectsMissingSnapshot(t *testing.T) {
+	o := base()
+	o.resumePath = "/nonexistent.ck"
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("missing snapshot accepted")
 	}
 }

@@ -110,6 +110,28 @@ func (b *Battery) Fade(frac float64) units.Joules {
 	return lost
 }
 
+// State is a battery snapshot for checkpointing. Capacity is part of
+// the state (not just the Spec) because Fade shrinks it during a run.
+type State struct {
+	Capacity units.Joules
+	SoC      units.Joules
+}
+
+// CaptureState snapshots the battery's mutable state.
+func (b *Battery) CaptureState() State {
+	return State{Capacity: b.spec.Capacity, SoC: b.soc}
+}
+
+// RestoreState overlays a snapshot onto a freshly built battery.
+func (b *Battery) RestoreState(st State) error {
+	if st.Capacity <= 0 || st.SoC < 0 || st.SoC > st.Capacity {
+		return fmt.Errorf("battery: invalid snapshot: capacity %v, SoC %v", st.Capacity, st.SoC)
+	}
+	b.spec.Capacity = st.Capacity
+	b.soc = st.SoC
+	return nil
+}
+
 // Charge absorbs surplus power for dt, honoring the charge-rate and
 // capacity limits. It returns the grid-side energy actually absorbed
 // (before the charging loss); the stored amount is that times

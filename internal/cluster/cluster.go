@@ -31,6 +31,11 @@ type VoltageFn func(procID, level int) units.Volts
 type Slice struct {
 	Job    *workload.Job
 	ProcID int
+	// Serial is a scheduler-assigned identity, unique per run, that
+	// survives checkpointing. (ProcID, Gen) pairs cannot identify a
+	// slice across a snapshot: generations reset on fresh slices, so a
+	// restored completion event could falsely match a different slice.
+	Serial int
 	// AssignedLevel is the DVFS level the scheduler chose; power
 	// matching may run the slice below it temporarily, never above.
 	AssignedLevel int

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+// SliceState is the serializable form of a live Slice. JobRef is an
+// opaque job identifier supplied by the caller (the scheduler uses the
+// job's index in its workload), so the cluster never assumes how jobs
+// are stored.
+type SliceState struct {
+	JobRef        int
+	Serial        int
+	ProcID        int
+	AssignedLevel int
+	Level         int
+	Remaining     float64
+	LastUpdate    units.Seconds
+	Running       bool
+	Done          bool
+	Finish        units.Seconds
+	Gen           int
+	Draw          units.Watts
+}
+
+// ProcState is the serializable form of one processor's mutable state.
+// Current holds zero or one entries.
+type ProcState struct {
+	Current     []SliceState
+	Queue       []SliceState
+	UtilTime    units.Seconds
+	BusySince   units.Seconds
+	Backlog     units.Seconds
+	Offline     bool
+	OfflineDraw units.Watts
+}
+
+// State is a snapshot of every mutable field in the datacenter. The
+// aggregate Demand is stored verbatim rather than recomputed on
+// restore: it is accumulated incrementally during the run, and resummed
+// floating-point terms would not be bit-identical.
+type State struct {
+	Procs  []ProcState
+	Demand units.Watts
+}
+
+// CaptureState snapshots the datacenter. jobRef maps each slice's job
+// to a stable identifier the caller can resolve again on restore.
+func (dc *Datacenter) CaptureState(jobRef func(*workload.Job) int) State {
+	st := State{Procs: make([]ProcState, len(dc.Procs)), Demand: dc.demand}
+	cap := func(s *Slice) SliceState {
+		return SliceState{
+			JobRef:        jobRef(s.Job),
+			Serial:        s.Serial,
+			ProcID:        s.ProcID,
+			AssignedLevel: s.AssignedLevel,
+			Level:         s.Level,
+			Remaining:     s.remaining,
+			LastUpdate:    s.lastUpdate,
+			Running:       s.running,
+			Done:          s.done,
+			Finish:        s.Finish,
+			Gen:           s.Gen,
+			Draw:          s.draw,
+		}
+	}
+	for i, p := range dc.Procs {
+		ps := ProcState{
+			UtilTime:    p.UtilTime,
+			BusySince:   p.busySince,
+			Backlog:     p.backlog,
+			Offline:     p.offline,
+			OfflineDraw: p.offlineDraw,
+		}
+		if p.current != nil {
+			ps.Current = []SliceState{cap(p.current)}
+		}
+		for _, q := range p.queue {
+			ps.Queue = append(ps.Queue, cap(q))
+		}
+		st.Procs[i] = ps
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built datacenter of
+// the same shape. job resolves the identifiers produced by jobRef at
+// capture time. It returns the rebuilt slices keyed by Serial so the
+// caller can re-attach pending events to them.
+func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error)) (map[int]*Slice, error) {
+	if len(st.Procs) != len(dc.Procs) {
+		return nil, fmt.Errorf("cluster: snapshot has %d processors, datacenter has %d", len(st.Procs), len(dc.Procs))
+	}
+	slices := make(map[int]*Slice)
+	restore := func(ss SliceState) (*Slice, error) {
+		if _, dup := slices[ss.Serial]; dup {
+			return nil, fmt.Errorf("cluster: snapshot repeats slice serial %d", ss.Serial)
+		}
+		j, err := job(ss.JobRef)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: slice serial %d: %w", ss.Serial, err)
+		}
+		s := &Slice{
+			Job:           j,
+			Serial:        ss.Serial,
+			ProcID:        ss.ProcID,
+			AssignedLevel: ss.AssignedLevel,
+			Level:         ss.Level,
+			remaining:     ss.Remaining,
+			lastUpdate:    ss.LastUpdate,
+			running:       ss.Running,
+			done:          ss.Done,
+			Finish:        ss.Finish,
+			Gen:           ss.Gen,
+			draw:          ss.Draw,
+		}
+		slices[ss.Serial] = s
+		return s, nil
+	}
+	for i, ps := range st.Procs {
+		p := dc.Procs[i]
+		p.UtilTime = ps.UtilTime
+		p.busySince = ps.BusySince
+		p.backlog = ps.Backlog
+		p.offline = ps.Offline
+		p.offlineDraw = ps.OfflineDraw
+		p.current = nil
+		p.queue = nil
+		if len(ps.Current) > 1 {
+			return nil, fmt.Errorf("cluster: processor %d snapshot has %d running slices", i, len(ps.Current))
+		}
+		if len(ps.Current) == 1 {
+			s, err := restore(ps.Current[0])
+			if err != nil {
+				return nil, err
+			}
+			p.current = s
+		}
+		for _, qs := range ps.Queue {
+			s, err := restore(qs)
+			if err != nil {
+				return nil, err
+			}
+			p.queue = append(p.queue, s)
+		}
+	}
+	dc.demand = st.Demand
+	return slices, nil
+}

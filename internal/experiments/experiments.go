@@ -7,12 +7,17 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
+	"iscope/internal/rng"
 	"iscope/internal/scheduler"
 	"iscope/internal/units"
 	"iscope/internal/wind"
@@ -42,6 +47,28 @@ type Options struct {
 	TargetUtil float64
 	// WindRatio overrides WindToDemandRatio when positive.
 	WindRatio float64
+
+	// Context, when non-nil, makes grid runs cooperatively cancelable:
+	// queued cells are abandoned and in-flight simulations stop between
+	// events once it is canceled.
+	Context context.Context
+	// CellTimeout bounds each grid cell's wall-clock runtime; 0 means
+	// no per-cell deadline.
+	CellTimeout time.Duration
+	// CellRetries re-runs a failed cell up to this many extra times
+	// with exponential backoff and deterministic jitter. Retries cover
+	// transient failures (timeouts under load, panics from exhausted
+	// resources); a deterministic simulation error fails identically
+	// every attempt and simply costs the retries.
+	CellRetries int
+	// RetryBackoff is the base backoff before the first retry
+	// (doubling per attempt, jittered); 0 uses 100 ms.
+	RetryBackoff time.Duration
+	// ManifestDir, when set, persists each completed cell's result to
+	// disk. A re-run of the same grid loads completed cells from the
+	// manifest and executes only the missing ones — an interrupted grid
+	// resumes instead of restarting.
+	ManifestDir string
 }
 
 // Job counts are tuned so the datacenter runs at a realistic mean
@@ -196,27 +223,67 @@ func meanDemandEstimate(fleet *scheduler.Fleet, jobs *workload.Trace) float64 {
 	return float64(st.TotalWork) * stretch / horizon * perProc / 1 // W
 }
 
-// runJob is one (scheme, sweep-point) simulation in a grid.
+// runJob is one (scheme, sweep-point) simulation in a grid. run is a
+// test seam: nil uses scheduler.RunCtx.
 type runJob struct {
 	key    string
 	scheme scheduler.Scheme
 	cfg    scheduler.RunConfig
+	run    func(context.Context, *scheduler.Fleet, scheduler.Scheme, scheduler.RunConfig) (*scheduler.Result, error)
 }
 
-// runGrid executes jobs concurrently and returns results keyed by
-// runJob.key. Every failed run is reported: the errors are joined (in
-// deterministic key order, regardless of worker interleaving) so a
-// faulted grid names each broken cell, not just the first.
-func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*scheduler.Result, error) {
+// maxRetryBackoff caps the exponential backoff between cell attempts.
+const maxRetryBackoff = 30 * time.Second
+
+// runGrid executes jobs on a supervised worker pool and returns
+// results keyed by runJob.key. Supervision means:
+//
+//   - a panicking cell is recovered into an error carrying the cell
+//     key and stack; every other cell's result survives;
+//   - each cell runs under Options.Context with an optional per-cell
+//     timeout, and a canceled grid stops feeding queued cells;
+//   - failed cells are retried with exponential backoff and
+//     deterministic jitter (Options.CellRetries);
+//   - with Options.ManifestDir set, completed cells are persisted and
+//     a re-run executes only the cells absent from the manifest.
+//
+// On error the partial result map is still returned alongside the
+// joined error (in deterministic key order, regardless of worker
+// interleaving), so a faulted grid names each broken cell and keeps
+// the survivors.
+func runGrid(fleet *scheduler.Fleet, jobs []runJob, o Options) (map[string]*scheduler.Result, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make(map[string]*scheduler.Result, len(jobs))
+	var man *manifest
+	if o.ManifestDir != "" {
+		var err error
+		if man, err = openManifest(o.ManifestDir); err != nil {
+			return nil, err
+		}
+	}
+	pending := make([]runJob, 0, len(jobs))
+	for _, j := range jobs {
+		if man != nil {
+			if res, ok := man.load(j.key); ok {
+				results[j.key] = res
+				continue
+			}
+		}
+		pending = append(pending, j)
+	}
+
 	var (
 		mu   sync.Mutex
 		wg   sync.WaitGroup
 		errs []error
 	)
 	ch := make(chan runJob)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	workers := o.workers()
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	if workers < 1 {
 		workers = 1
@@ -226,27 +293,104 @@ func runGrid(fleet *scheduler.Fleet, jobs []runJob, workers int) (map[string]*sc
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				res, err := scheduler.Run(fleet, j.scheme, j.cfg)
+				res, err := runCell(ctx, fleet, j, o)
 				mu.Lock()
-				if err != nil {
+				switch {
+				case err != nil:
 					errs = append(errs, fmt.Errorf("experiments: run %s: %w", j.key, err))
-				} else {
+				default:
 					results[j.key] = res
+					if man != nil {
+						if merr := man.store(j.key, res); merr != nil {
+							errs = append(errs, fmt.Errorf("experiments: manifest %s: %w", j.key, merr))
+						}
+					}
 				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+feed:
+	for _, j := range pending {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("experiments: grid canceled: %w", err))
+	}
 	if len(errs) > 0 {
 		sort.Slice(errs, func(a, b int) bool { return errs[a].Error() < errs[b].Error() })
-		return nil, errors.Join(errs...)
+		return results, errors.Join(errs...)
 	}
 	return results, nil
+}
+
+// runCell executes one grid cell with bounded retries. The jitter
+// stream is derived from (seed, cell key), so a re-run of the same
+// grid backs off identically — grid behavior stays reproducible.
+func runCell(ctx context.Context, fleet *scheduler.Fleet, j runJob, o Options) (*scheduler.Result, error) {
+	attempts := o.CellRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	base := o.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	jitter := rng.Named(o.Seed, "grid-retry:"+j.key)
+	var last error
+	for a := 1; ; a++ {
+		res, err := runCellOnce(ctx, fleet, j, o.CellTimeout)
+		if err == nil {
+			return res, nil
+		}
+		last = err
+		if a >= attempts || ctx.Err() != nil {
+			break
+		}
+		d := time.Duration(float64(base) * math.Pow(2, float64(a-1)) * (0.5 + jitter.Float64()))
+		if d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("canceled during retry backoff: %w", last)
+		case <-time.After(d):
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("after %d attempts: %w", attempts, last)
+	}
+	return nil, last
+}
+
+// runCellOnce runs a single attempt under the per-cell deadline,
+// converting a panic into an error that names the stack — one
+// pathological cell must never take down the whole grid.
+func runCellOnce(ctx context.Context, fleet *scheduler.Fleet, j runJob, timeout time.Duration) (res *scheduler.Result, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	run := j.run
+	if run == nil {
+		run = func(ctx context.Context, fleet *scheduler.Fleet, sch scheduler.Scheme, cfg scheduler.RunConfig) (*scheduler.Result, error) {
+			return scheduler.RunCtx(ctx, fleet, sch, cfg)
+		}
+	}
+	return run(ctx, fleet, j.scheme, j.cfg)
 }
 
 func key(scheme string, x float64) string { return fmt.Sprintf("%s@%g", scheme, x) }

@@ -103,7 +103,7 @@ func energySweep(o Options, fleet *scheduler.Fleet, wtr *wind.Trace, xs []float6
 			})
 		}
 	}
-	results, err := runGrid(fleet, jobs, o.workers())
+	results, err := runGrid(fleet, jobs, o)
 	if err != nil {
 		return nil, err
 	}

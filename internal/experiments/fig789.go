@@ -41,7 +41,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 			},
 		})
 	}
-	results, err := runGrid(fleet, jobs, o.workers())
+	results, err := runGrid(fleet, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 			runJob{key: sch.Name + "/wet", scheme: sch, cfg: scheduler.RunConfig{Seed: o.Seed, Jobs: tr, Wind: wtr}},
 		)
 	}
-	results, err := runGrid(fleet, jobs, o.workers())
+	results, err := runGrid(fleet, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +159,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 			})
 		}
 	}
-	results, err := runGrid(fleet, jobs, o.workers())
+	results, err := runGrid(fleet, jobs, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/workload"
+)
+
+func gridFixture(t *testing.T) (*scheduler.Fleet, *workload.Trace, scheduler.Scheme) {
+	t.Helper()
+	fleet, err := scheduler.BuildFleet(scheduler.DefaultFleetSpec(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Synthesize(workload.DefaultSynthConfig(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.AssignDeadlines(workload.DefaultDeadlines(3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	return fleet, jobs, scheduler.Schemes()[0]
+}
+
+// TestRunGridPanicIsolation: a panicking cell becomes an error carrying
+// the cell key and a stack trace; the surviving cells' results are kept.
+func TestRunGridPanicIsolation(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	jobs := []runJob{
+		{key: "survivor-1", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
+		{key: "bomb", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good},
+			run: func(context.Context, *scheduler.Fleet, scheduler.Scheme, scheduler.RunConfig) (*scheduler.Result, error) {
+				panic("cell exploded")
+			}},
+		{key: "survivor-2", scheme: sch, cfg: scheduler.RunConfig{Seed: 2, Jobs: good}},
+	}
+	res, err := runGrid(fleet, jobs, Options{Parallelism: 3})
+	if err == nil {
+		t.Fatal("panicking cell reported no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bomb") || !strings.Contains(msg, "cell exploded") {
+		t.Fatalf("error does not name the panicking cell: %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") {
+		t.Fatalf("error carries no stack trace: %q", msg)
+	}
+	if len(res) != 2 || res["survivor-1"] == nil || res["survivor-2"] == nil {
+		t.Fatalf("surviving cells lost: got %d results", len(res))
+	}
+}
+
+// TestRunGridCellTimeout: a cell exceeding the per-cell deadline fails
+// with context.DeadlineExceeded without dragging down the grid.
+func TestRunGridCellTimeout(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	jobs := []runJob{
+		{key: "fast", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
+		{key: "stuck", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good},
+			run: func(ctx context.Context, _ *scheduler.Fleet, _ scheduler.Scheme, _ scheduler.RunConfig) (*scheduler.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}},
+	}
+	res, err := runGrid(fleet, jobs, Options{Parallelism: 2, CellTimeout: 20 * time.Millisecond})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("error does not name the timed-out cell: %q", err)
+	}
+	if res["fast"] == nil {
+		t.Fatal("fast cell's result lost")
+	}
+}
+
+// TestRunGridRetries: a transiently failing cell heals within the retry
+// budget; one that keeps failing reports the attempt count.
+func TestRunGridRetries(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	var calls atomic.Int32
+	jobs := []runJob{
+		{key: "flaky", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good},
+			run: func(ctx context.Context, f *scheduler.Fleet, s scheduler.Scheme, c scheduler.RunConfig) (*scheduler.Result, error) {
+				if calls.Add(1) < 3 {
+					return nil, errors.New("transient hiccup")
+				}
+				return scheduler.RunCtx(ctx, f, s, c)
+			}},
+	}
+	o := Options{Parallelism: 1, CellRetries: 2, RetryBackoff: time.Millisecond}
+	res, err := runGrid(fleet, jobs, o)
+	if err != nil {
+		t.Fatalf("flaky cell did not heal within the retry budget: %v", err)
+	}
+	if res["flaky"] == nil || calls.Load() != 3 {
+		t.Fatalf("got %d attempts, want 3", calls.Load())
+	}
+
+	// Permanently broken: the error names the attempt count.
+	jobs[0].run = func(context.Context, *scheduler.Fleet, scheduler.Scheme, scheduler.RunConfig) (*scheduler.Result, error) {
+		return nil, errors.New("hard failure")
+	}
+	_, err = runGrid(fleet, jobs, o)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("got %v, want attempt-count error", err)
+	}
+}
+
+// TestRunGridManifestResume is the satellite acceptance check: a grid
+// killed mid-flight re-runs only the cells absent from the manifest.
+func TestRunGridManifestResume(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	dir := t.TempDir()
+	var mu sync.Mutex
+	ran := map[string]int{}
+	counting := func(ctx context.Context, f *scheduler.Fleet, s scheduler.Scheme, c scheduler.RunConfig) (*scheduler.Result, error) {
+		return scheduler.RunCtx(ctx, f, s, c)
+	}
+	mk := func(fail map[string]bool) []runJob {
+		keys := []string{"a@1", "b@2", "c@3"}
+		jobs := make([]runJob, 0, len(keys))
+		for i, k := range keys {
+			k := k
+			jobs = append(jobs, runJob{
+				key: k, scheme: sch, cfg: scheduler.RunConfig{Seed: uint64(i + 1), Jobs: good},
+				run: func(ctx context.Context, f *scheduler.Fleet, s scheduler.Scheme, c scheduler.RunConfig) (*scheduler.Result, error) {
+					mu.Lock()
+					ran[k]++
+					mu.Unlock()
+					if fail[k] {
+						return nil, errors.New("injected failure")
+					}
+					return counting(ctx, f, s, c)
+				},
+			})
+		}
+		return jobs
+	}
+
+	// First flight: one cell fails, two complete into the manifest.
+	o := Options{Parallelism: 2, ManifestDir: dir}
+	res, err := runGrid(fleet, mk(map[string]bool{"b@2": true}), o)
+	if err == nil {
+		t.Fatal("failing cell reported no error")
+	}
+	if len(res) != 2 {
+		t.Fatalf("first flight kept %d results, want 2", len(res))
+	}
+
+	// Second flight: only the missing cell re-runs.
+	res, err = runGrid(fleet, mk(nil), o)
+	if err != nil {
+		t.Fatalf("resumed grid: %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("resumed grid returned %d results, want 3", len(res))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["a@1"] != 1 || ran["c@3"] != 1 {
+		t.Fatalf("completed cells re-ran: %v", ran)
+	}
+	if ran["b@2"] != 2 {
+		t.Fatalf("missing cell ran %d times, want 2", ran["b@2"])
+	}
+}
+
+// TestRunGridManifestCorruptCellReruns: a corrupt manifest entry is
+// treated as missing, never trusted.
+func TestRunGridManifestCorruptCellReruns(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	dir := t.TempDir()
+	o := Options{Parallelism: 1, ManifestDir: dir}
+	jobs := []runJob{{key: "only", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}}}
+	if _, err := runGrid(fleet, jobs, o); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("manifest entries: %v, err %v", entries, err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var reran atomic.Int32
+	jobs[0].run = func(ctx context.Context, f *scheduler.Fleet, s scheduler.Scheme, c scheduler.RunConfig) (*scheduler.Result, error) {
+		reran.Add(1)
+		return scheduler.RunCtx(ctx, f, s, c)
+	}
+	if _, err := runGrid(fleet, jobs, o); err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 1 {
+		t.Fatal("corrupt manifest entry was trusted instead of re-running the cell")
+	}
+}
+
+// TestRunGridCancellation: a canceled context stops the grid promptly
+// and reports the cancellation, keeping completed results.
+func TestRunGridCancellation(t *testing.T) {
+	fleet, good, sch := gridFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	block := make(chan struct{})
+	jobs := make([]runJob, 0, 8)
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, runJob{
+			key: key("cell", float64(i)), scheme: sch, cfg: scheduler.RunConfig{Seed: uint64(i + 1), Jobs: good},
+			run: func(ctx context.Context, f *scheduler.Fleet, s scheduler.Scheme, c scheduler.RunConfig) (*scheduler.Result, error) {
+				if started.Add(1) == 1 {
+					cancel()
+					close(block)
+				}
+				<-block
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return scheduler.RunCtx(ctx, f, s, c)
+			},
+		})
+	}
+	_, err := runGrid(fleet, jobs, Options{Parallelism: 1, Context: ctx})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 2 {
+		t.Fatalf("canceled grid still started %d cells", n)
+	}
+}

@@ -28,7 +28,7 @@ func TestRunGridReportsEveryFailure(t *testing.T) {
 		{key: "cell-b", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
 		{key: "cell-c", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: &workload.Trace{}}},
 	}
-	_, gerr := runGrid(fleet, jobs, 4)
+	_, gerr := runGrid(fleet, jobs, Options{Parallelism: 4})
 	if gerr == nil {
 		t.Fatal("grid with broken cells returned no error")
 	}
@@ -50,7 +50,7 @@ func TestRunGridReportsEveryFailure(t *testing.T) {
 		{key: "ok-1", scheme: sch, cfg: scheduler.RunConfig{Seed: 1, Jobs: good}},
 		{key: "ok-2", scheme: sch, cfg: scheduler.RunConfig{Seed: 2, Jobs: good}},
 	}
-	res, gerr := runGrid(fleet, okJobs, 2)
+	res, gerr := runGrid(fleet, okJobs, Options{Parallelism: 2})
 	if gerr != nil {
 		t.Fatal(gerr)
 	}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iscope/internal/checkpoint"
+	"iscope/internal/scheduler"
+)
+
+// manifest persists completed grid cells so an interrupted grid
+// resumes only the missing ones. Each cell is one file in the
+// directory, written atomically inside a checkpoint envelope; an
+// unreadable, corrupt or mismatched file is treated as missing and the
+// cell simply re-runs — the manifest can only skip work it can prove
+// was done.
+type manifest struct {
+	dir string
+}
+
+// cellRecord is the on-disk payload of one completed cell. Key guards
+// against file-name collisions after sanitization.
+type cellRecord struct {
+	Key    string
+	Result *scheduler.Result
+}
+
+func openManifest(dir string) (*manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: manifest dir: %w", err)
+	}
+	return &manifest{dir: dir}, nil
+}
+
+// cellPath maps a cell key to a file name: the sanitized key for
+// readability plus an fnv32 of the raw key for uniqueness.
+func (m *manifest) cellPath(key string) string {
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, key)
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return filepath.Join(m.dir, fmt.Sprintf("%s-%08x.cell", sanitized, h.Sum32()))
+}
+
+// load returns the stored result for key, or ok=false when the cell
+// must (re)run.
+func (m *manifest) load(key string) (*scheduler.Result, bool) {
+	var rec cellRecord
+	if err := checkpoint.ReadFile(m.cellPath(key), &rec); err != nil {
+		return nil, false
+	}
+	if rec.Key != key || rec.Result == nil {
+		return nil, false
+	}
+	return rec.Result, true
+}
+
+// store persists a completed cell.
+func (m *manifest) store(key string, res *scheduler.Result) error {
+	return checkpoint.WriteFile(m.cellPath(key), cellRecord{Key: key, Result: res})
+}

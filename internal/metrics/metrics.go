@@ -96,6 +96,44 @@ func (a *Account) Advance(now units.Seconds, demand, wind units.Watts) {
 	}
 }
 
+// AccountState is an Account snapshot for checkpointing. The integrals
+// are stored verbatim — re-integrating from t=0 would split intervals
+// differently and drift the floats off bit-identity.
+type AccountState struct {
+	Last             units.Seconds
+	Demand           units.Joules
+	WindUsed         units.Joules
+	Utility          units.Joules
+	WindAvailable    units.Joules
+	BatteryCharged   units.Joules
+	BatteryDelivered units.Joules
+}
+
+// CaptureState snapshots the account (the attached Battery snapshots
+// separately via battery.Battery.CaptureState).
+func (a *Account) CaptureState() AccountState {
+	return AccountState{
+		Last:             a.last,
+		Demand:           a.Demand,
+		WindUsed:         a.WindUsed,
+		Utility:          a.Utility,
+		WindAvailable:    a.WindAvailable,
+		BatteryCharged:   a.BatteryCharged,
+		BatteryDelivered: a.BatteryDelivered,
+	}
+}
+
+// RestoreState overlays a snapshot onto the account.
+func (a *Account) RestoreState(st AccountState) {
+	a.last = st.Last
+	a.Demand = st.Demand
+	a.WindUsed = st.WindUsed
+	a.Utility = st.Utility
+	a.WindAvailable = st.WindAvailable
+	a.BatteryCharged = st.BatteryCharged
+	a.BatteryDelivered = st.BatteryDelivered
+}
+
 // Total returns the total energy consumed by the datacenter.
 func (a *Account) Total() units.Joules { return a.Demand }
 

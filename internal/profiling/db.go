@@ -91,6 +91,44 @@ func (db *DB) Snapshot(id int) Record {
 	return out
 }
 
+// Records returns a deep copy of every record, for checkpointing.
+func (db *DB) Records() []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Record, len(db.recs))
+	for i, r := range db.recs {
+		out[i] = Record{
+			MinVdd:   append([]units.Volts(nil), r.MinVdd...),
+			Measured: append([]bool(nil), r.Measured...),
+			LastScan: r.LastScan,
+			Scans:    r.Scans,
+		}
+	}
+	return out
+}
+
+// RestoreRecords overlays checkpointed records onto the database. The
+// snapshot must match the database's shape.
+func (db *DB) RestoreRecords(recs []Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(recs) != len(db.recs) {
+		return fmt.Errorf("profiling: snapshot has %d records, DB has %d", len(recs), len(db.recs))
+	}
+	for i, r := range recs {
+		if len(r.MinVdd) != db.levels || len(r.Measured) != db.levels {
+			return fmt.Errorf("profiling: record %d has %d/%d levels, want %d", i, len(r.MinVdd), len(r.Measured), db.levels)
+		}
+		db.recs[i] = Record{
+			MinVdd:   append([]units.Volts(nil), r.MinVdd...),
+			Measured: append([]bool(nil), r.Measured...),
+			LastScan: r.LastScan,
+			Scans:    r.Scans,
+		}
+	}
+	return nil
+}
+
 // FullyProfiled reports whether every level of chip id has been scanned.
 func (db *DB) FullyProfiled(id int) bool {
 	db.mu.RLock()

@@ -17,14 +17,29 @@ import (
 
 // Rand is a deterministic random stream. It wraps math/rand/v2's PCG
 // generator and adds the distributions needed by the simulator.
+//
+// Rand implements encoding.BinaryMarshaler/BinaryUnmarshaler by
+// delegating to the underlying PCG state, so a stream can be
+// checkpointed mid-sequence and resumed bit-identically. None of the
+// derived distributions cache state between draws, so the PCG state is
+// the complete stream state.
 type Rand struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a stream seeded directly with (seed, stream).
 func New(seed, stream uint64) *Rand {
-	return &Rand{src: rand.New(rand.NewPCG(seed, stream))}
+	pcg := rand.NewPCG(seed, stream)
+	return &Rand{src: rand.New(pcg), pcg: pcg}
 }
+
+// MarshalBinary captures the stream's exact position.
+func (r *Rand) MarshalBinary() ([]byte, error) { return r.pcg.MarshalBinary() }
+
+// UnmarshalBinary rewinds (or fast-forwards) the stream to a captured
+// position; subsequent draws replay exactly.
+func (r *Rand) UnmarshalBinary(data []byte) error { return r.pcg.UnmarshalBinary(data) }
 
 // Named derives a stream from a master seed and a human-readable name.
 // Distinct names yield statistically independent streams.

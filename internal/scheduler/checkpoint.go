@@ -1,0 +1,486 @@
+package scheduler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"iscope/internal/battery"
+	"iscope/internal/checkpoint"
+	"iscope/internal/cluster"
+	"iscope/internal/faults"
+	"iscope/internal/metrics"
+	"iscope/internal/profiling"
+	"iscope/internal/simulator"
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+// tagKind enumerates the event descriptors the scheduler attaches to
+// every scheduled callback. Tags are what make the event queue
+// checkpointable: the callback closures cannot be serialized, but each
+// one can be rebuilt from its tag on resume.
+type tagKind uint8
+
+const (
+	tagArrival    tagKind = iota + 1 // A = job index
+	tagWindTick                      // periodic wind/matching tick
+	tagAuxTick                       // utility-only profiling/rebalance tick
+	tagSample                        // power-trace sampler tick
+	tagCheckpoint                    // periodic snapshot tick
+	tagCompletion                    // A = slice serial, B = generation
+	tagFinishScan                    // A = processor id
+	tagFaultEvent                    // A = index into the compiled fault plan
+	tagRepaired                      // A = processor id
+	tagMargin                        // A = slice serial, B = generation, C = level
+	tagReprofiled                    // A = processor id, FP = the tripped false pass
+)
+
+// eventTag is the serializable descriptor of one pending event. A
+// single concrete struct (rather than one type per kind) keeps gob
+// encoding free of interface registration.
+type eventTag struct {
+	Kind    tagKind
+	A, B, C int
+	FP      *faults.FalsePass
+}
+
+// snapMeta identifies the run a snapshot belongs to. Restore refuses a
+// snapshot whose meta does not match the resuming configuration —
+// resuming under different parameters would silently produce results
+// belonging to neither run.
+type snapMeta struct {
+	Scheme  string
+	Seed    uint64
+	Procs   int
+	Jobs    int
+	CfgHash uint64
+}
+
+// snapEvent is one pending engine event.
+type snapEvent struct {
+	At  units.Seconds
+	Seq uint64
+	Tag eventTag
+}
+
+// jobSnap is the per-job completion progress.
+type jobSnap struct {
+	Remaining int
+	Finish    units.Seconds
+}
+
+// faultSnap captures the fault-injection runtime. The compiled plan is
+// omitted: Compile is deterministic in (spec, seed), so resume rebuilds
+// an identical plan and pending plan events are restored by index.
+type faultSnap struct {
+	Stats         metrics.FaultStats
+	Victims       []faults.FalsePass
+	Override      []units.Volts
+	SupplyFactor  float64
+	Last          units.Seconds
+	FallbackSince []units.Seconds
+	RepairSince   []units.Seconds
+}
+
+// runSnapshot is the complete simulation state at one instant. Every
+// accumulated float is stored verbatim; nothing is re-derived on
+// restore except what is provably bit-identical to re-derive (the
+// fault plan, the knowledge regime, job definitions).
+type runSnapshot struct {
+	Meta snapMeta
+
+	Now    units.Seconds
+	Seq    uint64
+	Events []snapEvent
+
+	Cluster cluster.State
+	Account metrics.AccountState
+	Battery []battery.State // zero or one
+
+	Rand    []byte
+	EffPref []int
+
+	CurWind     units.Watts
+	NominalWind units.Watts
+
+	Trace []metrics.TracePoint
+
+	ProfilesDirty bool
+	ScanState     []byte
+	ScanLeft      int
+	ProfEnergy    units.Joules
+	Profiled      int
+	DBRecords     []profiling.Record
+
+	Jobs       []jobSnap
+	JobsLeft   int
+	Violations int
+	WorkDone   units.Seconds
+	SlicesDone int
+	SliceSeq   int
+
+	Faults []faultSnap // zero or one
+}
+
+// cfgHash fingerprints every RunConfig field that shapes the
+// simulation trajectory. Checkpoint and Resume are deliberately
+// excluded: where and how often a run snapshots does not change what
+// it computes.
+func cfgHash(cfg RunConfig) uint64 {
+	h := fnv.New64a()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format+"|", args...) }
+	put("cop=%v", cfg.COP)
+	put("prices=%v", cfg.Prices)
+	put("theta=%v", cfg.FairTheta)
+	put("sample=%v", cfg.SampleInterval)
+	put("match=%v", cfg.MatchInterval)
+	put("nomatch=%v", cfg.DisableMatching)
+	put("rebalance=%v", cfg.EnableRebalance)
+	put("randomcop=%v", cfg.RandomCOP)
+	put("guard=%v", cfg.ScanGuard)
+	if cfg.Battery != nil {
+		put("battery=%+v", *cfg.Battery)
+	}
+	if cfg.Online != nil {
+		put("online=%+v", *cfg.Online)
+	}
+	if cfg.Faults != nil {
+		put("faults=%+v", *cfg.Faults)
+	}
+	if cfg.Wind != nil {
+		put("wind=%v/%d", cfg.Wind.Interval, len(cfg.Wind.Samples))
+		for _, w := range cfg.Wind.Samples {
+			put("%v", w)
+		}
+	}
+	if cfg.Jobs != nil {
+		put("jobs=%d", len(cfg.Jobs.Jobs))
+		for i := range cfg.Jobs.Jobs {
+			j := &cfg.Jobs.Jobs[i]
+			put("%d,%v,%v,%v,%v,%v", j.ID, j.Submit, j.Runtime, j.Procs, j.Boundness, j.Deadline)
+		}
+	}
+	return h.Sum64()
+}
+
+func (s *sim) snapMeta() snapMeta {
+	return snapMeta{
+		Scheme:  s.scheme.Name,
+		Seed:    s.cfg.Seed,
+		Procs:   len(s.dc.Procs),
+		Jobs:    len(s.states),
+		CfgHash: cfgHash(s.cfg),
+	}
+}
+
+// snapshot captures the full simulation state.
+func (s *sim) snapshot() (*runSnapshot, error) {
+	pending := s.eng.PendingEvents()
+	events := make([]snapEvent, 0, len(pending))
+	for _, ev := range pending {
+		tag, ok := ev.Tag.(eventTag)
+		if !ok {
+			return nil, fmt.Errorf("scheduler: untagged event at t=%v cannot be checkpointed", ev.At)
+		}
+		events = append(events, snapEvent{At: ev.At, Seq: ev.Seq, Tag: tag})
+	}
+	randState, err := s.r.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: marshal rng: %w", err)
+	}
+	snap := &runSnapshot{
+		Meta:          s.snapMeta(),
+		Now:           s.eng.Now(),
+		Seq:           s.eng.Seq(),
+		Events:        events,
+		Cluster:       s.dc.CaptureState(func(j *workload.Job) int { return s.stateIdx[j] }),
+		Account:       s.account.CaptureState(),
+		Rand:          randState,
+		EffPref:       append([]int(nil), s.effPref...),
+		CurWind:       s.curWind,
+		NominalWind:   s.nominalWind,
+		ProfilesDirty: s.profilesDirty,
+		ProfEnergy:    s.profEnergy,
+		Profiled:      s.profiled,
+		JobsLeft:      s.jobsLeft,
+		Violations:    s.violations,
+		WorkDone:      s.workDone,
+		SlicesDone:    s.slicesDone,
+		SliceSeq:      s.sliceSeq,
+		ScanLeft:      s.scanLeft,
+	}
+	if s.account.Battery != nil {
+		snap.Battery = []battery.State{s.account.Battery.CaptureState()}
+	}
+	if s.sampler != nil {
+		snap.Trace = append([]metrics.TracePoint(nil), s.sampler.Points...)
+	}
+	if s.onlineActive {
+		snap.ScanState = append([]byte(nil), s.scanState...)
+		snap.DBRecords = s.db.Records()
+	}
+	snap.Jobs = make([]jobSnap, len(s.states))
+	for i := range s.states {
+		snap.Jobs[i] = jobSnap{Remaining: s.states[i].remaining, Finish: s.states[i].finish}
+	}
+	if s.faults != nil {
+		f := s.faults
+		victims := make([]faults.FalsePass, 0, len(f.victims))
+		for _, fp := range f.victims {
+			victims = append(victims, fp)
+		}
+		sort.Slice(victims, func(a, b int) bool {
+			if victims[a].Chip != victims[b].Chip {
+				return victims[a].Chip < victims[b].Chip
+			}
+			return victims[a].Level < victims[b].Level
+		})
+		snap.Faults = []faultSnap{{
+			Stats:         f.stats,
+			Victims:       victims,
+			Override:      append([]units.Volts(nil), f.override...),
+			SupplyFactor:  f.supplyFactor,
+			Last:          f.last,
+			FallbackSince: append([]units.Seconds(nil), f.fallbackSince...),
+			RepairSince:   append([]units.Seconds(nil), f.repairSince...),
+		}}
+	}
+	return snap, nil
+}
+
+// emitCheckpoint encodes the current state and hands it to the sink.
+// The first failure latches into s.ckptErr and fails the run — a
+// checkpointing run that silently stopped checkpointing would defeat
+// the point.
+func (s *sim) emitCheckpoint() {
+	if s.ckptErr != nil {
+		return
+	}
+	snap, err := s.snapshot()
+	if err != nil {
+		s.ckptErr = err
+		return
+	}
+	data, err := checkpoint.Encode(snap)
+	if err != nil {
+		s.ckptErr = fmt.Errorf("scheduler: encode checkpoint: %w", err)
+		return
+	}
+	if err := s.cfg.Checkpoint.Sink(data); err != nil {
+		s.ckptErr = fmt.Errorf("scheduler: checkpoint sink: %w", err)
+	}
+}
+
+// restore overlays a snapshot onto a freshly initialized sim. The sim
+// has already run its normal construction (consuming the init-only
+// random draws exactly as the original run did); restore then resets
+// the engine, overlays every piece of captured state, and re-injects
+// the pending events with their original sequence numbers so that
+// same-timestamp tie-breaking replays identically.
+func (s *sim) restore(data []byte) error {
+	var snap runSnapshot
+	if err := checkpoint.Decode(data, &snap); err != nil {
+		return fmt.Errorf("scheduler: resume: %w", err)
+	}
+	if want := s.snapMeta(); snap.Meta != want {
+		return fmt.Errorf("scheduler: resume: snapshot belongs to a different run (snapshot %+v, this run %+v)", snap.Meta, want)
+	}
+	if len(snap.Jobs) != len(s.states) {
+		return fmt.Errorf("scheduler: resume: snapshot has %d jobs, run has %d", len(snap.Jobs), len(s.states))
+	}
+	if err := s.r.UnmarshalBinary(snap.Rand); err != nil {
+		return fmt.Errorf("scheduler: resume: rng state: %w", err)
+	}
+	if len(snap.EffPref) != len(s.effPref) {
+		return fmt.Errorf("scheduler: resume: effPref length %d, want %d", len(snap.EffPref), len(s.effPref))
+	}
+	copy(s.effPref, snap.EffPref)
+	s.profilesDirty = snap.ProfilesDirty
+
+	slices, err := s.dc.RestoreState(snap.Cluster, func(ref int) (*workload.Job, error) {
+		if ref < 0 || ref >= len(s.states) {
+			return nil, fmt.Errorf("job ref %d out of range", ref)
+		}
+		return s.states[ref].job, nil
+	})
+	if err != nil {
+		return fmt.Errorf("scheduler: resume: %w", err)
+	}
+
+	s.account.RestoreState(snap.Account)
+	switch {
+	case len(snap.Battery) == 1 && s.account.Battery != nil:
+		if err := s.account.Battery.RestoreState(snap.Battery[0]); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+	case len(snap.Battery) != 0 || s.account.Battery != nil && len(snap.Battery) == 0:
+		return fmt.Errorf("scheduler: resume: battery presence mismatch")
+	}
+
+	if s.sampler != nil {
+		s.sampler.Points = append([]metrics.TracePoint(nil), snap.Trace...)
+	}
+	s.curWind = snap.CurWind
+	s.nominalWind = snap.NominalWind
+	s.profEnergy = snap.ProfEnergy
+	s.profiled = snap.Profiled
+	s.jobsLeft = snap.JobsLeft
+	s.violations = snap.Violations
+	s.workDone = snap.WorkDone
+	s.slicesDone = snap.SlicesDone
+	s.sliceSeq = snap.SliceSeq
+	s.fairValid = false
+
+	if s.onlineActive {
+		if len(snap.ScanState) != len(s.scanState) {
+			return fmt.Errorf("scheduler: resume: scan state length %d, want %d", len(snap.ScanState), len(s.scanState))
+		}
+		copy(s.scanState, snap.ScanState)
+		s.scanLeft = snap.ScanLeft
+		if err := s.db.RestoreRecords(snap.DBRecords); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+	}
+
+	for i := range s.states {
+		s.states[i].remaining = snap.Jobs[i].Remaining
+		s.states[i].finish = snap.Jobs[i].Finish
+	}
+
+	switch {
+	case s.faults != nil && len(snap.Faults) == 1:
+		f, fs := s.faults, snap.Faults[0]
+		if len(fs.Override) != len(f.override) ||
+			len(fs.FallbackSince) != len(f.fallbackSince) ||
+			len(fs.RepairSince) != len(f.repairSince) {
+			return fmt.Errorf("scheduler: resume: fault state shape mismatch")
+		}
+		f.stats = fs.Stats
+		f.victims = make(map[victimKey]faults.FalsePass, len(fs.Victims))
+		for _, fp := range fs.Victims {
+			f.victims[victimKey{fp.Chip, fp.Level}] = fp
+		}
+		copy(f.override, fs.Override)
+		f.supplyFactor = fs.SupplyFactor
+		f.last = fs.Last
+		copy(f.fallbackSince, fs.FallbackSince)
+		copy(f.repairSince, fs.RepairSince)
+	case s.faults == nil && len(snap.Faults) == 0:
+		// fault-free on both sides
+	default:
+		return fmt.Errorf("scheduler: resume: fault-injection presence mismatch")
+	}
+
+	// Rebuild the event queue with original (at, seq) pairs.
+	s.eng.Reset(snap.Now, snap.Seq)
+	ckptRestored := false
+	for _, ev := range snap.Events {
+		fn, keep, err := s.eventFn(ev.Tag, slices)
+		if err != nil {
+			return fmt.Errorf("scheduler: resume: event at t=%v: %w", ev.At, err)
+		}
+		if !keep {
+			continue
+		}
+		if ev.Tag.Kind == tagCheckpoint {
+			ckptRestored = true
+		}
+		if err := s.eng.Inject(ev.At, ev.Seq, ev.Tag, fn); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+	}
+	// The resumed run may enable checkpointing even when the snapshot
+	// holds no pending tick (the original run checkpointed only on
+	// cancellation, or not at all).
+	if !ckptRestored && s.cfg.Checkpoint != nil && s.cfg.Checkpoint.Every > 0 {
+		_ = s.eng.AfterTagged(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+	}
+	return nil
+}
+
+// eventFn rebuilds a pending event's callback from its tag. keep is
+// false for events that are provably no-ops in the restored world: a
+// completion or margin check whose slice no longer exists, or a
+// checkpoint tick when the resumed run disabled checkpointing.
+// Dropping a no-op instead of replaying it cannot change the
+// trajectory — the callbacks guard on (gen, running, level) and would
+// return immediately.
+func (s *sim) eventFn(tag eventTag, slices map[int]*cluster.Slice) (simulator.Callback, bool, error) {
+	switch tag.Kind {
+	case tagArrival:
+		idx := tag.A
+		if idx < 0 || idx >= len(s.states) {
+			return nil, false, fmt.Errorf("arrival index %d out of range", idx)
+		}
+		return func(now units.Seconds) { s.onArrival(idx, now) }, true, nil
+	case tagWindTick:
+		if s.cfg.Wind == nil {
+			return nil, false, fmt.Errorf("wind tick in a utility-only run")
+		}
+		return s.onWindTick, true, nil
+	case tagAuxTick:
+		return s.onAuxTick, true, nil
+	case tagSample:
+		if s.sampler == nil {
+			return nil, false, fmt.Errorf("sampler tick with sampling disabled")
+		}
+		return s.onSample, true, nil
+	case tagCheckpoint:
+		if s.cfg.Checkpoint == nil || s.cfg.Checkpoint.Every <= 0 {
+			return nil, false, nil
+		}
+		return s.onCheckpointTick, true, nil
+	case tagCompletion:
+		sl, ok := slices[tag.A]
+		if !ok {
+			return nil, false, nil // slice completed or replaced; stale no-op
+		}
+		gen := tag.B
+		return func(now units.Seconds) { s.onComplete(sl, gen, now) }, true, nil
+	case tagFinishScan:
+		id := tag.A
+		if id < 0 || id >= len(s.dc.Procs) {
+			return nil, false, fmt.Errorf("scan finish for processor %d out of range", id)
+		}
+		return func(now units.Seconds) { s.finishScan(id, now) }, true, nil
+	case tagFaultEvent:
+		if s.faults == nil {
+			return nil, false, fmt.Errorf("fault event with fault injection disabled")
+		}
+		if tag.A < 0 || tag.A >= len(s.faults.plan.Events) {
+			return nil, false, fmt.Errorf("fault plan index %d out of range", tag.A)
+		}
+		fn := s.faultEventFn(tag.A)
+		if fn == nil {
+			return nil, false, fmt.Errorf("fault plan event %d has no observer", tag.A)
+		}
+		return fn, true, nil
+	case tagRepaired:
+		id := tag.A
+		if s.faults == nil || id < 0 || id >= len(s.dc.Procs) {
+			return nil, false, fmt.Errorf("repair event for processor %d invalid", id)
+		}
+		return func(now units.Seconds) { s.onRepaired(id, now) }, true, nil
+	case tagMargin:
+		if s.faults == nil {
+			return nil, false, fmt.Errorf("margin event with fault injection disabled")
+		}
+		sl, ok := slices[tag.A]
+		if !ok {
+			return nil, false, nil // slice gone; stale no-op
+		}
+		gen, level := tag.B, tag.C
+		return func(now units.Seconds) { s.onMarginViolation(sl, gen, level, now) }, true, nil
+	case tagReprofiled:
+		if s.faults == nil || tag.FP == nil {
+			return nil, false, fmt.Errorf("reprofile event invalid")
+		}
+		id, fp := tag.A, *tag.FP
+		if id < 0 || id >= len(s.dc.Procs) {
+			return nil, false, fmt.Errorf("reprofile event for processor %d out of range", id)
+		}
+		return func(now units.Seconds) { s.onReprofiled(id, fp, now) }, true, nil
+	}
+	return nil, false, fmt.Errorf("unknown event tag kind %d", tag.Kind)
+}

@@ -4,6 +4,7 @@ import (
 	"iscope/internal/cluster"
 	"iscope/internal/faults"
 	"iscope/internal/metrics"
+	"iscope/internal/simulator"
 	"iscope/internal/units"
 )
 
@@ -103,21 +104,36 @@ func (s *sim) trueMinVdd(fp faults.FalsePass) units.Volts {
 // events are dropped in utility-only runs and fade events without a
 // battery — they would be no-ops with no one to observe them.
 func (s *sim) scheduleFaultEvents() {
-	for _, ev := range s.faults.plan.Events {
-		ev := ev
-		switch ev.Kind {
-		case faults.Crash:
-			_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onCrash(ev.Proc, ev.Dur, now) })
-		case faults.DerateStart, faults.DerateEnd:
-			if s.cfg.Wind != nil {
-				_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onSupplyFactor(ev.Factor, now) })
-			}
-		case faults.BatteryFade:
-			if s.account.Battery != nil {
-				_ = s.eng.Schedule(ev.At, func(now units.Seconds) { s.onBatteryFade(ev.Factor, now) })
-			}
+	for i, ev := range s.faults.plan.Events {
+		fn := s.faultEventFn(i)
+		if fn == nil {
+			continue
 		}
+		_ = s.eng.ScheduleTagged(ev.At, eventTag{Kind: tagFaultEvent, A: i}, fn)
 	}
+}
+
+// faultEventFn builds the callback for plan event i, or nil when the
+// event has no observer under this configuration. Because the plan is
+// recompiled deterministically from (spec, seed) on resume, the index
+// is a stable serializable handle for the pending event.
+func (s *sim) faultEventFn(i int) simulator.Callback {
+	ev := s.faults.plan.Events[i]
+	switch ev.Kind {
+	case faults.Crash:
+		return func(now units.Seconds) { s.onCrash(ev.Proc, ev.Dur, now) }
+	case faults.DerateStart, faults.DerateEnd:
+		if s.cfg.Wind == nil {
+			return nil
+		}
+		return func(now units.Seconds) { s.onSupplyFactor(ev.Factor, now) }
+	case faults.BatteryFade:
+		if s.account.Battery == nil {
+			return nil
+		}
+		return func(now units.Seconds) { s.onBatteryFade(ev.Factor, now) }
+	}
+	return nil
 }
 
 // onCrash fails processor id: the running slice (if any) is preempted
@@ -141,7 +157,8 @@ func (s *sim) onCrash(id int, repair, now units.Seconds) {
 		return
 	}
 	f.repairSince[id] = now
-	_ = s.eng.After(repair, func(when units.Seconds) { s.onRepaired(id, when) })
+	tag := eventTag{Kind: tagRepaired, A: id}
+	_ = s.eng.AfterTagged(repair, tag, func(when units.Seconds) { s.onRepaired(id, when) })
 }
 
 // onRepaired returns a crashed processor to service and restarts its
@@ -206,7 +223,8 @@ func (s *sim) armFalsePass(sl *cluster.Slice) {
 		latency = 0
 	}
 	gen, level := sl.Gen, sl.Level
-	_ = s.eng.After(latency, func(when units.Seconds) { s.onMarginViolation(sl, gen, level, when) })
+	tag := eventTag{Kind: tagMargin, A: sl.Serial, B: gen, C: level}
+	_ = s.eng.AfterTagged(latency, tag, func(when units.Seconds) { s.onMarginViolation(sl, gen, level, when) })
 }
 
 // onMarginViolation fires when a falsely-passed chip corrupts its
@@ -242,7 +260,9 @@ func (s *sim) onMarginViolation(sl *cluster.Slice, gen, level int, now units.Sec
 	if err := s.dc.ForceOffline(id, reprofileDraw); err != nil {
 		return
 	}
-	_ = s.eng.After(f.spec.ReprofileTime, func(when units.Seconds) { s.onReprofiled(id, fp, when) })
+	fpCopy := fp
+	tag := eventTag{Kind: tagReprofiled, A: id, FP: &fpCopy}
+	_ = s.eng.AfterTagged(f.spec.ReprofileTime, tag, func(when units.Seconds) { s.onReprofiled(id, fp, when) })
 }
 
 // onReprofiled completes a suspect chip's emergency re-scan: the

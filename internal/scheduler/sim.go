@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -75,6 +76,23 @@ type RunConfig struct {
 	// [0.6, 3.5], mean COP) instead of using a uniform value —
 	// cold-aisle vs hot-aisle placement variability.
 	RandomCOP bool
+	// Checkpoint enables periodic snapshots of the full simulation
+	// state. Snapshots are transparent: a checkpointed run produces
+	// results bit-identical to an unchecked one.
+	Checkpoint *CheckpointConfig
+	// Resume restores a snapshot produced by an earlier run with an
+	// identical configuration; the run continues from the captured time
+	// and finishes with results bit-identical to the uninterrupted run.
+	Resume []byte
+}
+
+// CheckpointConfig controls snapshotting. Every is the virtual-time
+// period between snapshots (0 disables periodic snapshots; a final one
+// is still written on cancellation). Sink receives each encoded
+// snapshot; a sink error fails the run.
+type CheckpointConfig struct {
+	Every units.Seconds
+	Sink  func([]byte) error
 }
 
 // OnlineProfiling configures in-simulation opportunistic scanning.
@@ -186,7 +204,8 @@ type sim struct {
 	online       OnlineProfiling
 	onlineActive bool
 	scanner      *profiling.Scanner
-	scanState    []byte // 0 untouched, 1 in progress, 2 done
+	db           *profiling.DB // online profile DB, checkpointed
+	scanState    []byte        // 0 untouched, 1 in progress, 2 done
 	scanLeft     int
 	scanDur      units.Seconds
 	profEnergy   units.Joules
@@ -210,6 +229,15 @@ type sim struct {
 	states     []jobState
 	stateIdx   map[*workload.Job]int
 
+	// sliceSeq issues checkpoint-stable slice serial numbers.
+	sliceSeq int
+	// tickInterval is the period of the wind/aux tick, stored so a
+	// restored tick event can re-arm itself.
+	tickInterval units.Seconds
+	// ckptErr latches the first snapshot/sink failure; it fails the run
+	// after the event loop drains.
+	ckptErr error
+
 	// fair-order cache, recomputed at most once per distinct time.
 	fairOrder   []int
 	fairOrderAt units.Seconds
@@ -227,6 +255,15 @@ type procAvail struct {
 
 // Run simulates one scheme over the fleet and workload.
 func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
+	return RunCtx(context.Background(), fleet, scheme, cfg)
+}
+
+// RunCtx simulates one scheme under a context. Cancellation is
+// cooperative: the event loop checks the context between events, and a
+// canceled run writes a final snapshot to the checkpoint sink (when
+// one is configured) before returning the context's error, so the work
+// done so far can be resumed.
+func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	if fleet == nil || len(fleet.Chips) == 0 {
 		return nil, fmt.Errorf("scheduler: nil or empty fleet")
 	}
@@ -248,22 +285,27 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	if cfg.FairTheta == 0 {
 		cfg.FairTheta = 1.0
 	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Sink == nil {
+		return nil, fmt.Errorf("scheduler: checkpoint config without a sink")
+	}
 
 	guard := cfg.ScanGuard
 	if guard == 0 {
 		guard = DefaultScanGuard
 	}
 	var (
-		know    Knowledge
-		err     error
-		scanner *profiling.Scanner
-		scanDur units.Seconds
+		know     Knowledge
+		err      error
+		scanner  *profiling.Scanner
+		onlineDB *profiling.DB
+		scanDur  units.Seconds
 	)
 	switch {
 	case cfg.Online != nil && scheme.Knowledge == KnowScan:
 		// Start on factory knowledge with an empty profile DB; the
 		// opportunistic scanner fills it during the run.
 		db := profiling.NewDB(len(fleet.Chips), fleet.PM.Table.NumLevels())
+		onlineDB = db
 		know, err = NewHybridKnowledge(fleet.Chips, fleet.PM, fleet.Binning, db, guard)
 		if err != nil {
 			return nil, err
@@ -348,6 +390,7 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		s.onlineActive = true
 		s.online = cfg.Online.withDefaults()
 		s.scanner = scanner
+		s.db = onlineDB
 		s.scanDur = scanDur
 		s.scanState = make([]byte, len(fleet.Chips))
 		s.scanLeft = len(fleet.Chips)
@@ -371,7 +414,8 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		s.states[i] = jobState{job: j}
 		s.stateIdx[j] = i
 		idx := i
-		if err := s.eng.Schedule(j.Submit, func(now units.Seconds) { s.onArrival(idx, now) }); err != nil {
+		tag := eventTag{Kind: tagArrival, A: idx}
+		if err := s.eng.ScheduleTagged(j.Submit, tag, func(now units.Seconds) { s.onArrival(idx, now) }); err != nil {
 			return nil, err
 		}
 	}
@@ -380,51 +424,24 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	if cfg.Wind != nil {
 		s.nominalWind = cfg.Wind.At(0)
 		s.curWind = s.nominalWind
-		interval := cfg.MatchInterval
-		if interval <= 0 {
-			interval = cfg.Wind.Interval
+		s.tickInterval = cfg.MatchInterval
+		if s.tickInterval <= 0 {
+			s.tickInterval = cfg.Wind.Interval
 		}
-		var tick simulator.Callback
-		tick = func(now units.Seconds) {
-			s.onTick(now)
-			if s.jobsLeft > 0 {
-				_ = s.eng.After(interval, tick)
-			}
-		}
-		_ = s.eng.Schedule(0, tick)
+		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagWindTick}, s.onWindTick)
 	} else if s.onlineActive || cfg.EnableRebalance {
 		// Utility-only run with online profiling or rebalancing: give
 		// them their own periodic opportunity check.
-		interval := cfg.MatchInterval
-		if interval <= 0 {
-			interval = units.Minutes(10)
+		s.tickInterval = cfg.MatchInterval
+		if s.tickInterval <= 0 {
+			s.tickInterval = units.Minutes(10)
 		}
-		var tick simulator.Callback
-		tick = func(now units.Seconds) {
-			s.sync(now)
-			s.maybeProfile(now)
-			if cfg.EnableRebalance {
-				s.rebalance(now)
-			}
-			again := s.jobsLeft > 0 && (cfg.EnableRebalance || s.scanLeft > 0)
-			if again {
-				_ = s.eng.After(interval, tick)
-			}
-		}
-		_ = s.eng.Schedule(0, tick)
+		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagAuxTick}, s.onAuxTick)
 	}
 
 	// Sampler ticks.
 	if s.sampler != nil {
-		var sample simulator.Callback
-		sample = func(now units.Seconds) {
-			s.sync(now)
-			s.sampler.Record(now, s.curWind, s.dc.Demand())
-			if s.jobsLeft > 0 {
-				_ = s.eng.After(s.sampler.Interval, sample)
-			}
-		}
-		_ = s.eng.Schedule(0, sample)
+		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagSample}, s.onSample)
 	}
 
 	// Fault plan events (no-op schedule when faults are disabled).
@@ -432,7 +449,37 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 		s.scheduleFaultEvents()
 	}
 
-	for s.jobsLeft > 0 && s.eng.Step() {
+	// Periodic checkpoint ticks. On resume the pending tick (captured
+	// inside the snapshot) is restored instead; restore arms a fresh one
+	// only when the snapshot holds none.
+	if cfg.Resume == nil && cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
+		_ = s.eng.AfterTagged(cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+	}
+
+	if cfg.Resume != nil {
+		if err := s.restore(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+
+	for s.jobsLeft > 0 {
+		if err := ctx.Err(); err != nil {
+			// Flush a final snapshot so the interrupted work is resumable.
+			if s.cfg.Checkpoint != nil {
+				s.emitCheckpoint()
+			}
+			cause := fmt.Errorf("scheduler: run canceled at t=%v with %d jobs unfinished: %w", s.eng.Now(), s.jobsLeft, err)
+			if s.ckptErr != nil {
+				return nil, fmt.Errorf("%w (final checkpoint failed: %v)", cause, s.ckptErr)
+			}
+			return nil, cause
+		}
+		if !s.eng.Step() {
+			break
+		}
+	}
+	if s.ckptErr != nil {
+		return nil, s.ckptErr
 	}
 	if s.jobsLeft > 0 {
 		return nil, fmt.Errorf("scheduler: simulation stalled with %d jobs unfinished", s.jobsLeft)
@@ -485,6 +532,50 @@ func (s *sim) sync(now units.Seconds) {
 	s.account.Advance(now, s.dc.Demand(), s.curWind)
 }
 
+// onWindTick is the periodic wind-budget/matching event; it re-arms
+// itself while jobs remain.
+func (s *sim) onWindTick(now units.Seconds) {
+	s.onTick(now)
+	if s.jobsLeft > 0 {
+		_ = s.eng.AfterTagged(s.tickInterval, eventTag{Kind: tagWindTick}, s.onWindTick)
+	}
+}
+
+// onAuxTick is the utility-only periodic opportunity check for online
+// profiling and rebalancing.
+func (s *sim) onAuxTick(now units.Seconds) {
+	s.sync(now)
+	s.maybeProfile(now)
+	if s.cfg.EnableRebalance {
+		s.rebalance(now)
+	}
+	if s.jobsLeft > 0 && (s.cfg.EnableRebalance || s.scanLeft > 0) {
+		_ = s.eng.AfterTagged(s.tickInterval, eventTag{Kind: tagAuxTick}, s.onAuxTick)
+	}
+}
+
+// onSample records one power-trace point and re-arms.
+func (s *sim) onSample(now units.Seconds) {
+	s.sync(now)
+	s.sampler.Record(now, s.curWind, s.dc.Demand())
+	if s.jobsLeft > 0 {
+		_ = s.eng.AfterTagged(s.sampler.Interval, eventTag{Kind: tagSample}, s.onSample)
+	}
+}
+
+// onCheckpointTick snapshots the run. The next tick is armed before
+// the snapshot is taken, so it is captured inside the snapshot and a
+// resumed run keeps checkpointing on the original cadence. The tick
+// deliberately does not sync() the energy account: advancing the
+// integrals here would split integration intervals differently from an
+// unchecked run and push the floats off bit-identity.
+func (s *sim) onCheckpointTick(now units.Seconds) {
+	if s.jobsLeft > 0 {
+		_ = s.eng.AfterTagged(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+	}
+	s.emitCheckpoint()
+}
+
 // onArrival places job idx on processors and starts idle ones.
 func (s *sim) onArrival(idx int, now units.Seconds) {
 	s.sync(now)
@@ -494,6 +585,8 @@ func (s *sim) onArrival(idx int, now units.Seconds) {
 	s.states[idx].remaining = len(placements)
 	for _, p := range placements {
 		sl := cluster.NewSlice(j, p.id, p.level)
+		sl.Serial = s.sliceSeq
+		s.sliceSeq++
 		if started := s.dc.Enqueue(sl, now); started != nil {
 			s.scheduleCompletion(started)
 		}
@@ -666,7 +759,8 @@ func (s *sim) chooseLevel(id int, j *workload.Job, maxTime units.Seconds, abunda
 // guarded by the slice's generation so level changes invalidate it.
 func (s *sim) scheduleCompletion(sl *cluster.Slice) {
 	gen := sl.Gen
-	_ = s.eng.Schedule(sl.Finish, func(now units.Seconds) { s.onComplete(sl, gen, now) })
+	tag := eventTag{Kind: tagCompletion, A: sl.Serial, B: gen}
+	_ = s.eng.ScheduleTagged(sl.Finish, tag, func(now units.Seconds) { s.onComplete(sl, gen, now) })
 	if s.faults != nil {
 		s.armFalsePass(sl)
 	}
@@ -840,7 +934,8 @@ func (s *sim) maybeProfile(now units.Seconds) {
 		s.scanState[id] = 1
 		limit--
 		id := id
-		_ = s.eng.After(s.scanDur, func(when units.Seconds) { s.finishScan(id, when) })
+		tag := eventTag{Kind: tagFinishScan, A: id}
+		_ = s.eng.AfterTagged(s.scanDur, tag, func(when units.Seconds) { s.finishScan(id, when) })
 	}
 }
 

@@ -8,6 +8,7 @@ package simulator
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"iscope/internal/units"
 )
@@ -18,7 +19,18 @@ type Callback func(now units.Seconds)
 type event struct {
 	at  units.Seconds
 	seq uint64 // insertion order, for deterministic tie-breaking
+	tag any    // serializable descriptor for checkpointing (nil = untagged)
 	fn  Callback
+}
+
+// PendingEvent describes one scheduled event for checkpointing. The Tag
+// is whatever descriptor the scheduler attached via ScheduleTagged; the
+// callback itself is not serializable and must be rebuilt from the tag
+// on restore.
+type PendingEvent struct {
+	At  units.Seconds
+	Seq uint64
+	Tag any
 }
 
 type eventHeap []*event
@@ -65,6 +77,14 @@ func (e *Engine) Pending() int { return len(e.pq) }
 // Schedule enqueues fn at virtual time at. Scheduling in the past is an
 // error — it would silently reorder causality.
 func (e *Engine) Schedule(at units.Seconds, fn Callback) error {
+	return e.ScheduleTagged(at, nil, fn)
+}
+
+// ScheduleTagged enqueues fn at virtual time at with a serializable
+// descriptor. Tags make the queue checkpointable: PendingEvents exposes
+// (at, seq, tag) triples, and Inject rebuilds them on resume with their
+// original sequence numbers so tie-breaking replays identically.
+func (e *Engine) ScheduleTagged(at units.Seconds, tag any, fn Callback) error {
 	if at < e.now {
 		return fmt.Errorf("simulator: scheduling at %v before now %v", at, e.now)
 	}
@@ -72,13 +92,66 @@ func (e *Engine) Schedule(at units.Seconds, fn Callback) error {
 		return fmt.Errorf("simulator: nil callback")
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, tag: tag, fn: fn})
 	return nil
 }
 
 // After enqueues fn delay after the current time.
 func (e *Engine) After(delay units.Seconds, fn Callback) error {
 	return e.Schedule(e.now+delay, fn)
+}
+
+// AfterTagged enqueues a tagged event delay after the current time.
+func (e *Engine) AfterTagged(delay units.Seconds, tag any, fn Callback) error {
+	return e.ScheduleTagged(e.now+delay, tag, fn)
+}
+
+// Seq returns the insertion-order counter, part of the engine's
+// checkpointable state.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingEvents returns a snapshot of the queue sorted by firing order
+// (at, then seq). The callbacks are omitted — restore rebuilds them
+// from the tags.
+func (e *Engine) PendingEvents() []PendingEvent {
+	out := make([]PendingEvent, 0, len(e.pq))
+	for _, ev := range e.pq {
+		out = append(out, PendingEvent{At: ev.at, Seq: ev.seq, Tag: ev.tag})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Reset empties the queue and sets the clock and sequence counter,
+// preparing the engine for Inject-based restoration from a checkpoint.
+func (e *Engine) Reset(now units.Seconds, seq uint64) {
+	e.pq = e.pq[:0]
+	heap.Init(&e.pq)
+	e.now = now
+	e.seq = seq
+}
+
+// Inject restores one checkpointed event with its original sequence
+// number. The sequence must not exceed the engine's counter (set by
+// Reset) so that newly scheduled events keep sorting after restored
+// ones.
+func (e *Engine) Inject(at units.Seconds, seq uint64, tag any, fn Callback) error {
+	if at < e.now {
+		return fmt.Errorf("simulator: injecting at %v before now %v", at, e.now)
+	}
+	if seq > e.seq {
+		return fmt.Errorf("simulator: injected seq %d beyond counter %d", seq, e.seq)
+	}
+	if fn == nil {
+		return fmt.Errorf("simulator: nil callback")
+	}
+	heap.Push(&e.pq, &event{at: at, seq: seq, tag: tag, fn: fn})
+	return nil
 }
 
 // Step fires the earliest event, advancing the clock. It returns false

@@ -37,6 +37,7 @@
 package iscope
 
 import (
+	"context"
 	"io"
 
 	"iscope/internal/battery"
@@ -107,6 +108,22 @@ func SchemeByName(name string) (Scheme, bool) { return scheduler.SchemeByName(na
 func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	return scheduler.Run(fleet, scheme, cfg)
 }
+
+// RunCtx is Run with cooperative cancellation: when ctx is canceled the
+// simulation stops at the next event boundary, writes a final snapshot
+// through RunConfig.Checkpoint (when configured) and returns the
+// context's error. A run resumed from such a snapshot finishes with
+// results bit-identical to an uninterrupted one.
+func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
+	return scheduler.RunCtx(ctx, fleet, scheme, cfg)
+}
+
+// CheckpointConfig enables periodic snapshots of the full simulation
+// state (RunConfig.Checkpoint): every Every simulated seconds the
+// scheduler serializes its state into a versioned, checksummed blob and
+// hands it to Sink. Feed such a blob back through RunConfig.Resume to
+// continue the run from where it stopped.
+type CheckpointConfig = scheduler.CheckpointConfig
 
 // SynthesizeWorkload generates an LLNL-Thunder-like job trace with
 // deadlines assigned: huFraction of jobs are high-urgency (deadline
