@@ -8,7 +8,7 @@
 //	experiments -run fig8 -manifest .cells -retries 2 -cell-timeout 10m
 //
 // Available targets: table1, table2, fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, all.
+// fig9, fig10, ablations, online, percore, brownout, all.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated targets (table1,table2,fig4..fig10,all)")
+		run     = flag.String("run", "all", "comma-separated targets (table1,table2,fig4..fig10,ablations,online,percore,brownout,all)")
 		scale   = flag.String("scale", "default", "experiment scale: quick, default, paper")
 		seed    = flag.Uint64("seed", 42, "master random seed")
 		procs   = flag.Int("procs", 0, "override fleet size")
@@ -73,7 +73,7 @@ func main() {
 
 	targets := strings.Split(*run, ",")
 	if *run == "all" {
-		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore"}
+		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore", "brownout"}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -219,8 +219,13 @@ func runOne(target string, opt experiments.Options, csvDir, plotDir string) erro
 		if r, err = experiments.PerCoreStudy(opt); err == nil {
 			err = r.WriteText(os.Stdout)
 		}
+	case "brownout":
+		var r *experiments.BrownoutStudyResult
+		if r, err = experiments.BrownoutStudy(opt); err == nil {
+			err = r.WriteText(os.Stdout)
+		}
 	default:
-		return fmt.Errorf("unknown target (want table1, table2, fig4..fig10, ablations, online, percore, all)")
+		return fmt.Errorf("unknown target (want table1, table2, fig4..fig10, ablations, online, percore, brownout, all)")
 	}
 	if err != nil {
 		return err

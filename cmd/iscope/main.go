@@ -7,6 +7,8 @@
 //	iscope -scheme BinRan -procs 4800 -jobs 4000 -rate 3
 //	iscope -swf thunder.swf -scheme ScanEffi -wind
 //	iscope -scheme ScanFair -wind -battery 30 -faults
+//	iscope -scheme ScanFair -wind -battery 5 -faults -brownout -invariants
+//	iscope -scheme ScanEffi -wind -brownout-spec t1=0.1,up=2m,hold=1h
 //	iscope -scheme ScanFair -wind -checkpoint run.ck -checkpoint-every 2h
 //	iscope -scheme ScanFair -wind -resume run.ck -checkpoint run.ck
 //
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"iscope"
+	"iscope/internal/brownout"
 	"iscope/internal/checkpoint"
 )
 
@@ -53,6 +56,11 @@ type options struct {
 	dropouts      float64
 	falsePass     float64
 	fadePerDay    float64
+
+	// Brownout/invariants section.
+	brownout     bool
+	brownoutSpec string
+	invariants   bool
 
 	// Checkpoint/resume section.
 	checkpointPath  string
@@ -85,6 +93,12 @@ func main() {
 	flag.Float64Var(&o.dropouts, "dropouts", 0, "renewable derating windows per day (0 = class off)")
 	flag.Float64Var(&o.falsePass, "false-pass", 0, "fraction of the fleet with optimistic scan reports (0 = class off)")
 	flag.Float64Var(&o.fadePerDay, "fade", 0, "daily battery capacity fade fraction (0 = class off)")
+
+	// Brownout ladder: staged graceful degradation under supply
+	// deficit, with an optional inline runtime-verification monitor.
+	flag.BoolVar(&o.brownout, "brownout", false, "enable the staged degradation ladder (needs -wind): DVFS down-leveling, admission deferral, battery reserve, load shedding")
+	flag.StringVar(&o.brownoutSpec, "brownout-spec", "", "ladder overrides as key=value pairs (t1..t4, up, down, reserve, downlevel, restarts, hold, slack); implies -brownout")
+	flag.BoolVar(&o.invariants, "invariants", false, "run the online invariant monitor (energy conservation, SoC bounds, slice conservation) and report violations")
 
 	// Checkpoint/resume: periodic snapshots of the full simulation
 	// state, plus a final one on SIGINT/SIGTERM, so a long run can be
@@ -202,6 +216,20 @@ func run(ctx context.Context, o options) error {
 	}
 	cfg.Faults = o.faultSpec()
 
+	if o.brownout || o.brownoutSpec != "" {
+		if !o.useWind {
+			return fmt.Errorf("-brownout watches the renewable supply; it needs -wind")
+		}
+		bc, err := iscope.ParseBrownoutSpec(o.brownoutSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Brownout = &bc
+	}
+	if o.invariants {
+		cfg.Invariants = &iscope.InvariantsConfig{Action: iscope.RecordInvariants}
+	}
+
 	if o.checkpointPath != "" && o.checkpointEvery > 0 {
 		path := o.checkpointPath
 		cfg.Checkpoint = &iscope.CheckpointConfig{
@@ -234,6 +262,30 @@ func run(ctx context.Context, o options) error {
 	if res.ProfiledChips > 0 {
 		fmt.Fprintf(tw, "online profiling\t%d chips scanned in-run, %s test energy\n",
 			res.ProfiledChips, res.ProfilingEnergy)
+	}
+	if cfg.Brownout != nil {
+		b := res.Brownout
+		fmt.Fprintf(tw, "brownout: stages\t%d transitions, peaked at %s, ended at %s\n",
+			b.Transitions, brownout.Stage(b.MaxStage), brownout.Stage(b.FinalStage))
+		var degraded iscope.Seconds
+		for st := 1; st < int(brownout.NumStages); st++ {
+			degraded += b.StageDwell[st]
+		}
+		fmt.Fprintf(tw, "brownout: degraded time\t%s (%d forced down-steps, %d jobs deferred, %d reserve holds)\n",
+			degraded, b.DownlevelSteps, b.JobsDeferred, b.ReserveHolds)
+		if b.SlicesShed > 0 {
+			fmt.Fprintf(tw, "brownout: shedding\t%d slices shed (%s work discarded), %d parks / %d releases (%d forced)\n",
+				b.SlicesShed, b.ShedWork, b.ProcsParked, b.ParkReleases, b.ForcedReleases)
+		}
+	}
+	if cfg.Invariants != nil {
+		iv := res.Invariants
+		if iv.Violations == 0 {
+			fmt.Fprintf(tw, "invariants\tclean (%d checks)\n", iv.Checks)
+		} else {
+			fmt.Fprintf(tw, "invariants\t%d violations in %d checks; first: %s\n",
+				iv.Violations, iv.Checks, iv.First)
+		}
 	}
 	if cfg.Faults != nil {
 		fs := res.Faults

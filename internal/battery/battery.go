@@ -9,6 +9,7 @@ package battery
 
 import (
 	"fmt"
+	"math"
 
 	"iscope/internal/units"
 )
@@ -71,6 +72,9 @@ func (s Spec) CapitalCost() units.USD {
 type Battery struct {
 	spec Spec
 	soc  units.Joules // stored energy
+	// reserveFrac is the state-of-charge floor (fraction of current
+	// capacity) Discharge will not draw below; 0 means no floor.
+	reserveFrac float64
 }
 
 // New builds a battery at its initial state of charge.
@@ -96,7 +100,9 @@ func (b *Battery) SoCFraction() float64 { return float64(b.soc) / float64(b.spec
 // untouched (fade degrades the electrode capacity, not the converter).
 // It returns the capacity removed.
 func (b *Battery) Fade(frac float64) units.Joules {
-	if frac <= 0 {
+	// NaN passes neither comparison below and would poison the capacity;
+	// treat it (like any non-positive input) as no fade.
+	if math.IsNaN(frac) || frac <= 0 {
 		return 0
 	}
 	if frac > 1 {
@@ -110,16 +116,39 @@ func (b *Battery) Fade(frac float64) units.Joules {
 	return lost
 }
 
+// SetReserveFrac sets the state-of-charge floor, as a fraction of
+// current capacity, below which Discharge will not draw — the brownout
+// ladder's reserve-stage action. Out-of-range values are clamped to
+// [0, 1]; 0 removes the floor.
+func (b *Battery) SetReserveFrac(frac float64) {
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	b.reserveFrac = frac
+}
+
+// ReserveFrac returns the current state-of-charge floor fraction.
+func (b *Battery) ReserveFrac() float64 { return b.reserveFrac }
+
+// reserveFloor is the stored energy the reserve fraction protects.
+func (b *Battery) reserveFloor() units.Joules {
+	return units.Joules(b.reserveFrac * float64(b.spec.Capacity))
+}
+
 // State is a battery snapshot for checkpointing. Capacity is part of
-// the state (not just the Spec) because Fade shrinks it during a run.
+// the state (not just the Spec) because Fade shrinks it during a run;
+// ReserveFrac is included because the brownout ladder toggles it.
 type State struct {
-	Capacity units.Joules
-	SoC      units.Joules
+	Capacity    units.Joules
+	SoC         units.Joules
+	ReserveFrac float64
 }
 
 // CaptureState snapshots the battery's mutable state.
 func (b *Battery) CaptureState() State {
-	return State{Capacity: b.spec.Capacity, SoC: b.soc}
+	return State{Capacity: b.spec.Capacity, SoC: b.soc, ReserveFrac: b.reserveFrac}
 }
 
 // RestoreState overlays a snapshot onto a freshly built battery.
@@ -127,8 +156,12 @@ func (b *Battery) RestoreState(st State) error {
 	if st.Capacity <= 0 || st.SoC < 0 || st.SoC > st.Capacity {
 		return fmt.Errorf("battery: invalid snapshot: capacity %v, SoC %v", st.Capacity, st.SoC)
 	}
+	if math.IsNaN(st.ReserveFrac) || st.ReserveFrac < 0 || st.ReserveFrac > 1 {
+		return fmt.Errorf("battery: invalid snapshot reserve fraction %v", st.ReserveFrac)
+	}
 	b.spec.Capacity = st.Capacity
 	b.soc = st.SoC
+	b.reserveFrac = st.ReserveFrac
 	return nil
 }
 
@@ -168,8 +201,12 @@ func (b *Battery) Discharge(deficit units.Watts, dt units.Seconds) units.Joules 
 	}
 	want := p.Over(dt) // load-side energy wanted
 	drawn := units.Joules(float64(want) / b.spec.DischargeEff)
-	if drawn > b.soc {
-		drawn = b.soc
+	avail := b.soc - b.reserveFloor()
+	if avail < 0 {
+		avail = 0
+	}
+	if drawn > avail {
+		drawn = avail
 		want = units.Joules(float64(drawn) * b.spec.DischargeEff)
 	}
 	b.soc -= drawn

@@ -154,12 +154,24 @@ func TestSoCInvariantProperty(t *testing.T) {
 		for _, op := range ops {
 			p := units.Watts(uint32(op) * 3)
 			dt := units.Seconds(1 + op%1800)
-			if op%2 == 0 {
+			switch op % 4 {
+			case 0:
 				b.Charge(p, dt)
-			} else {
+			case 1:
+				b.Discharge(p, dt)
+			case 2:
+				// Fade interleaved with flows, including hostile inputs:
+				// the clamp must keep the SoC bound regardless.
+				fracs := [...]float64{0.01, 0.3, -0.5, 1.5, math.NaN()}
+				b.Fade(fracs[op%uint16(len(fracs))])
+			case 3:
+				b.SetReserveFrac(float64(op%5) * 0.25) // 0 .. 1
 				b.Discharge(p, dt)
 			}
 			if b.SoC() < -1e-9 || b.SoC() > b.Spec().Capacity+1e-9 {
+				return false
+			}
+			if c := b.Spec().Capacity; c < 0 || math.IsNaN(float64(c)) {
 				return false
 			}
 		}
@@ -167,6 +179,56 @@ func TestSoCInvariantProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFadeClampsHostileFractions(t *testing.T) {
+	b := newBatt(t, 100)
+	cap0 := b.Spec().Capacity
+	if b.Fade(math.NaN()) != 0 || b.Spec().Capacity != cap0 {
+		t.Fatal("NaN fade changed the battery")
+	}
+	// A fraction above 1 is clamped to a full-capacity loss, never a
+	// negative capacity.
+	lost := b.Fade(2.5)
+	if math.Abs(float64(lost)-float64(cap0)) > 1e-6 {
+		t.Fatalf("over-unity fade removed %v, want full capacity %v", lost, cap0)
+	}
+	if b.Spec().Capacity < 0 || b.SoC() < 0 {
+		t.Fatalf("fade left capacity %v, SoC %v", b.Spec().Capacity, b.SoC())
+	}
+}
+
+func TestDischargeHonorsReserveFloor(t *testing.T) {
+	b := newBatt(t, 100) // 50 kWh stored
+	b.SetReserveFrac(0.25)
+	var out units.Joules
+	for i := 0; i < 200; i++ {
+		out += b.Discharge(50000, units.Hours(1))
+	}
+	// Only the 25 kWh above the floor is deliverable, at 90% efficiency.
+	if math.Abs(out.KWh()-25*0.9) > 1e-6 {
+		t.Fatalf("delivered %v kWh, want %v above the reserve floor", out.KWh(), 25*0.9)
+	}
+	if math.Abs(b.SoC().KWh()-25) > 1e-6 {
+		t.Fatalf("SoC %v kWh, want held at the 25 kWh floor", b.SoC().KWh())
+	}
+	// Lifting the floor releases the held energy.
+	b.SetReserveFrac(0)
+	if got := b.Discharge(50000, units.Hours(1000)); got == 0 {
+		t.Fatal("released reserve delivered nothing")
+	}
+	if b.SoC() > 1e-9 {
+		t.Fatalf("SoC %v after floor lifted, want empty", b.SoC())
+	}
+	// Hostile fractions clamp instead of corrupting the floor.
+	b.SetReserveFrac(math.NaN())
+	if b.ReserveFrac() != 0 {
+		t.Fatalf("NaN reserve fraction stored as %v", b.ReserveFrac())
+	}
+	b.SetReserveFrac(7)
+	if b.ReserveFrac() != 1 {
+		t.Fatalf("over-unity reserve fraction stored as %v", b.ReserveFrac())
 	}
 }
 

@@ -1,0 +1,291 @@
+// Package brownout implements a staged graceful-degradation controller
+// for sustained renewable-supply deficits. The paper's macro scheduler
+// matches demand to the wind budget with DVFS and buys the residual
+// from the grid; when the supply collapses for hours (deep dropout
+// windows, dead-calm days) that residual grows unboundedly and the
+// battery drains to zero. The brownout ladder trades service quality
+// for supply compliance in ordered stages instead:
+//
+//	0 normal     full service
+//	1 down-level force DVFS down on the least-efficient cores
+//	2 defer      hold new deferrable (low-urgency) jobs at admission
+//	3 reserve    enforce a battery state-of-charge floor
+//	4 shed       park busy processors, requeueing their slices
+//
+// The controller watches a pressure signal each evaluation — the demand
+// shortfall discounted by stored battery energy — and escalates one
+// stage at a time after an escalation dwell, de-escalating only after
+// the pressure has stayed below the ladder's current rung for a
+// recovery dwell. The two dwells are the hysteresis that prevents
+// oscillation around a threshold.
+//
+// The ladder itself is a pure state machine: it owns no cluster or
+// battery state and performs no actions. The scheduler feeds it
+// measurements and applies the stage's actions; that split keeps the
+// controller unit-testable and its state trivially checkpointable.
+package brownout
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// Stage is one rung of the degradation ladder.
+type Stage int
+
+const (
+	// StageNormal is full service.
+	StageNormal Stage = iota
+	// StageDownlevel forces DVFS down-steps on the least-efficient
+	// cores, past the deadline guards the matching loop honors.
+	StageDownlevel
+	// StageDefer holds new low-urgency jobs at admission.
+	StageDefer
+	// StageReserve enforces a battery state-of-charge floor.
+	StageReserve
+	// StageShed parks busy processors, requeueing their slices.
+	StageShed
+
+	// NumStages is the ladder's rung count (including normal).
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNormal:
+		return "normal"
+	case StageDownlevel:
+		return "down-level"
+	case StageDefer:
+		return "defer"
+	case StageReserve:
+		return "reserve"
+	case StageShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Config parametrizes the ladder. The zero value of any field selects
+// the default; build a complete configuration with WithDefaults.
+type Config struct {
+	// Thresholds are the pressure levels at which the controller's
+	// target becomes stage i+1; they must be strictly ascending in
+	// (0, 1]. Pressure is the fractional demand shortfall discounted by
+	// the battery's state of charge — see Pressure.
+	Thresholds [NumStages - 1]float64
+
+	// DwellUp is the minimum time between consecutive escalations, so a
+	// sudden collapse climbs the ladder one evaluation at a time rather
+	// than jumping straight to shedding.
+	DwellUp units.Seconds
+	// DwellDown is the recovery dwell: the pressure must stay below the
+	// current rung this long before the ladder steps down one stage.
+	DwellDown units.Seconds
+
+	// ReserveFrac is the battery state-of-charge floor (fraction of
+	// current capacity) enforced at StageReserve and above.
+	ReserveFrac float64
+	// DownlevelFrac bounds how much of the fleet (least-efficient
+	// first) one StageDownlevel evaluation may step down a level.
+	DownlevelFrac float64
+	// MaxRestarts bounds how many times one slice may be shed and
+	// requeued; at the bound the slice becomes immune to shedding, so
+	// shed work always finishes.
+	MaxRestarts int
+	// MaxHold is the backstop on any single deferral or park: a held
+	// job is admitted and a parked processor released after MaxHold
+	// regardless of stage, so degradation can never stall the run.
+	MaxHold units.Seconds
+	// DeferSlack guards deferral against deadline misses: a job is
+	// admitted immediately (or released) once now + DeferSlack x its
+	// runtime reaches the deadline.
+	DeferSlack float64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Thresholds:    [NumStages - 1]float64{0.15, 0.35, 0.55, 0.75},
+		DwellUp:       units.Minutes(5),
+		DwellDown:     units.Minutes(30),
+		ReserveFrac:   0.25,
+		DownlevelFrac: 0.25,
+		MaxRestarts:   3,
+		MaxHold:       units.Hours(2),
+		DeferSlack:    1.5,
+	}
+}
+
+// WithDefaults fills every zero field from DefaultConfig. The
+// thresholds default as a block: either configure all four or none.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	out := c
+	if out.Thresholds == ([NumStages - 1]float64{}) {
+		out.Thresholds = d.Thresholds
+	}
+	if out.DwellUp == 0 {
+		out.DwellUp = d.DwellUp
+	}
+	if out.DwellDown == 0 {
+		out.DwellDown = d.DwellDown
+	}
+	if out.ReserveFrac == 0 {
+		out.ReserveFrac = d.ReserveFrac
+	}
+	if out.DownlevelFrac == 0 {
+		out.DownlevelFrac = d.DownlevelFrac
+	}
+	if out.MaxRestarts == 0 {
+		out.MaxRestarts = d.MaxRestarts
+	}
+	if out.MaxHold == 0 {
+		out.MaxHold = d.MaxHold
+	}
+	if out.DeferSlack == 0 {
+		out.DeferSlack = d.DeferSlack
+	}
+	return out
+}
+
+// Validate reports malformed fields; call it on a complete (defaulted)
+// configuration.
+func (c Config) Validate() error {
+	prev := 0.0
+	for i, th := range c.Thresholds {
+		if th <= prev || th > 1 {
+			return fmt.Errorf("brownout: threshold %d is %v; thresholds must be strictly ascending in (0,1]", i+1, th)
+		}
+		prev = th
+	}
+	switch {
+	case c.DwellUp < 0 || c.DwellDown < 0:
+		return fmt.Errorf("brownout: dwells must be non-negative")
+	case c.ReserveFrac < 0 || c.ReserveFrac >= 1:
+		return fmt.Errorf("brownout: reserve fraction %v outside [0,1)", c.ReserveFrac)
+	case c.DownlevelFrac <= 0 || c.DownlevelFrac > 1:
+		return fmt.Errorf("brownout: down-level fraction %v outside (0,1]", c.DownlevelFrac)
+	case c.MaxRestarts < 0:
+		return fmt.Errorf("brownout: negative restart bound")
+	case c.MaxHold <= 0:
+		return fmt.Errorf("brownout: hold backstop must be positive")
+	case c.DeferSlack < 1:
+		return fmt.Errorf("brownout: deferral slack %v must be >= 1", c.DeferSlack)
+	}
+	return nil
+}
+
+// Pressure combines the two signals the ladder watches into one scalar
+// in [0, 1]: the fractional demand shortfall (how much of the current
+// draw the renewable supply cannot cover) discounted by the battery's
+// state of charge. A full battery absorbs any shortfall (pressure 0);
+// as it drains the shortfall bears through. Runs without a battery pass
+// soc = 0 and feel the raw shortfall.
+func Pressure(shortfall, soc float64) float64 {
+	if shortfall < 0 {
+		shortfall = 0
+	} else if shortfall > 1 {
+		shortfall = 1
+	}
+	if soc < 0 {
+		soc = 0
+	} else if soc > 1 {
+		soc = 1
+	}
+	return shortfall * (1 - soc)
+}
+
+// Ladder is the hysteresis state machine.
+type Ladder struct {
+	cfg   Config
+	stage Stage
+	// lastChange is when the stage last moved (either direction); the
+	// escalation dwell counts from here.
+	lastChange units.Seconds
+	// recoverSince is when the pressure first dropped below the current
+	// rung, -1 while it has not; the recovery dwell counts from here.
+	recoverSince units.Seconds
+}
+
+// New builds a ladder at StageNormal, defaulting and validating cfg.
+func New(cfg Config) (*Ladder, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ladder{cfg: cfg, recoverSince: -1}, nil
+}
+
+// Config returns the ladder's complete (defaulted) configuration.
+func (l *Ladder) Config() Config { return l.cfg }
+
+// Stage returns the current rung.
+func (l *Ladder) Stage() Stage { return l.stage }
+
+// target maps a pressure reading to the stage the thresholds call for.
+func (l *Ladder) target(p float64) Stage {
+	t := StageNormal
+	for i, th := range l.cfg.Thresholds {
+		if p >= th {
+			t = Stage(i + 1)
+		}
+	}
+	return t
+}
+
+// Observe feeds one (shortfall, state-of-charge) measurement at time
+// now and returns the resulting stage plus whether it changed. The
+// ladder moves at most one rung per observation: up only after DwellUp
+// since the last change, down only after the pressure has stayed below
+// the current rung for DwellDown.
+func (l *Ladder) Observe(now units.Seconds, shortfall, soc float64) (Stage, bool) {
+	target := l.target(Pressure(shortfall, soc))
+	switch {
+	case target > l.stage:
+		l.recoverSince = -1
+		if now-l.lastChange >= l.cfg.DwellUp {
+			l.stage++
+			l.lastChange = now
+			return l.stage, true
+		}
+	case target < l.stage:
+		if l.recoverSince < 0 {
+			l.recoverSince = now
+		} else if now-l.recoverSince >= l.cfg.DwellDown {
+			l.stage--
+			l.lastChange = now
+			// Each further rung down needs its own full recovery dwell.
+			l.recoverSince = now
+			return l.stage, true
+		}
+	default:
+		l.recoverSince = -1
+	}
+	return l.stage, false
+}
+
+// State is a ladder snapshot for checkpointing.
+type State struct {
+	Stage        Stage
+	LastChange   units.Seconds
+	RecoverSince units.Seconds
+}
+
+// CaptureState snapshots the ladder's mutable state.
+func (l *Ladder) CaptureState() State {
+	return State{Stage: l.stage, LastChange: l.lastChange, RecoverSince: l.recoverSince}
+}
+
+// RestoreState overlays a snapshot onto a freshly built ladder.
+func (l *Ladder) RestoreState(st State) error {
+	if st.Stage < StageNormal || st.Stage >= NumStages {
+		return fmt.Errorf("brownout: invalid snapshot stage %d", st.Stage)
+	}
+	l.stage = st.Stage
+	l.lastChange = st.LastChange
+	l.recoverSince = st.RecoverSince
+	return nil
+}

@@ -1,0 +1,194 @@
+package brownout
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func mustLadder(t *testing.T, cfg Config) *Ladder {
+	t.Helper()
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestPressure(t *testing.T) {
+	cases := []struct {
+		shortfall, soc, want float64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{1, 1, 0}, // full battery absorbs any shortfall
+		{0.5, 0.5, 0.25},
+		{-3, 0.5, 0}, // clamped
+		{2, -1, 1},   // clamped both ways
+	}
+	for _, c := range cases {
+		if got := Pressure(c.shortfall, c.soc); got != c.want {
+			t.Errorf("Pressure(%v, %v) = %v, want %v", c.shortfall, c.soc, got, c.want)
+		}
+	}
+}
+
+// TestLadderClimbsOneStagePerDwell: a sudden full collapse must walk
+// the ladder up one rung per escalation dwell, never jump.
+func TestLadderClimbsOneStagePerDwell(t *testing.T) {
+	l := mustLadder(t, Config{DwellUp: 100, DwellDown: 1000})
+	now := units.Seconds(0)
+	// First observation at t=0 cannot escalate (dwell counts from 0).
+	if st, changed := l.Observe(now, 1, 0); st != StageNormal || changed {
+		t.Fatalf("t=0: stage %v changed=%v, want normal unchanged", st, changed)
+	}
+	for want := StageDownlevel; want <= StageShed; want++ {
+		now += 100
+		st, changed := l.Observe(now, 1, 0)
+		if st != want || !changed {
+			t.Fatalf("t=%v: stage %v changed=%v, want %v", now, st, changed, want)
+		}
+	}
+	// Saturated at the top rung.
+	if st, changed := l.Observe(now+100, 1, 0); st != StageShed || changed {
+		t.Fatalf("top rung moved: %v changed=%v", st, changed)
+	}
+}
+
+// TestLadderRecoveryDwell: de-escalation requires the pressure to stay
+// low for the full recovery dwell, one rung per dwell.
+func TestLadderRecoveryDwell(t *testing.T) {
+	l := mustLadder(t, Config{DwellUp: 10, DwellDown: 500})
+	now := units.Seconds(0)
+	for l.Stage() < StageDefer {
+		now += 10
+		l.Observe(now, 1, 0)
+	}
+	// Pressure clears; the first low observation only starts the clock.
+	if st, changed := l.Observe(now+1, 0, 0); st != StageDefer || changed {
+		t.Fatalf("immediate de-escalation: %v changed=%v", st, changed)
+	}
+	// Still inside the dwell.
+	if st, _ := l.Observe(now+400, 0, 0); st != StageDefer {
+		t.Fatalf("de-escalated inside the dwell: %v", st)
+	}
+	// Dwell elapsed: one rung down.
+	if st, changed := l.Observe(now+502, 0, 0); st != StageDownlevel || !changed {
+		t.Fatalf("after dwell: %v changed=%v, want down-level", st, changed)
+	}
+	// The next rung needs its own full dwell.
+	if st, _ := l.Observe(now+600, 0, 0); st != StageDownlevel {
+		t.Fatalf("second rung fell too early: %v", st)
+	}
+	if st, _ := l.Observe(now+502+500, 0, 0); st != StageNormal {
+		t.Fatalf("want normal after two dwells, got %v", st)
+	}
+}
+
+// TestLadderHysteresisPreventsOscillation: pressure flapping around a
+// threshold faster than the dwells must not flap the stage.
+func TestLadderHysteresisPreventsOscillation(t *testing.T) {
+	l := mustLadder(t, Config{DwellUp: 60, DwellDown: 600})
+	now := units.Seconds(0)
+	for l.Stage() < StageDownlevel {
+		now += 60
+		l.Observe(now, 0.2, 0)
+	}
+	transitions := 0
+	for i := 0; i < 100; i++ {
+		now += 30
+		shortfall := 0.2
+		if i%2 == 0 {
+			shortfall = 0.1 // below the first threshold
+		}
+		if _, changed := l.Observe(now, shortfall, 0); changed {
+			transitions++
+		}
+	}
+	if transitions != 0 {
+		t.Fatalf("flapping pressure caused %d transitions, want 0", transitions)
+	}
+}
+
+// TestLadderRecoveryResetOnRelapse: a pressure spike during the
+// recovery dwell must restart the clock.
+func TestLadderRecoveryResetOnRelapse(t *testing.T) {
+	l := mustLadder(t, Config{DwellUp: 10, DwellDown: 300})
+	now := units.Seconds(0)
+	for l.Stage() < StageDownlevel {
+		now += 10
+		l.Observe(now, 1, 0)
+	}
+	l.Observe(now+10, 0, 0)    // recovery clock starts
+	l.Observe(now+200, 0.2, 0) // relapse to the current rung resets it
+	if st, _ := l.Observe(now+320, 0, 0); st != StageDownlevel {
+		t.Fatalf("relapse did not reset the recovery dwell: %v", st)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		func() Config { c := DefaultConfig(); c.Thresholds = [4]float64{0.5, 0.4, 0.6, 0.7}; return c }(),
+		func() Config { c := DefaultConfig(); c.Thresholds[3] = 1.5; return c }(),
+		func() Config { c := DefaultConfig(); c.ReserveFrac = 1; return c }(),
+		func() Config { c := DefaultConfig(); c.DownlevelFrac = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.MaxHold = -1; return c }(),
+		func() Config { c := DefaultConfig(); c.DeferSlack = 0.5; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCaptureRestoreState(t *testing.T) {
+	l := mustLadder(t, Config{})
+	now := units.Seconds(0)
+	for l.Stage() < StageDefer {
+		now += units.Minutes(10)
+		l.Observe(now, 1, 0)
+	}
+	st := l.CaptureState()
+	fresh := mustLadder(t, Config{})
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if fresh.CaptureState() != st {
+		t.Fatal("restored state differs from the capture")
+	}
+	if err := fresh.RestoreState(State{Stage: NumStages}); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("t1=0.1, t2=0.2, down=45m, reserve=0.3, restarts=5, hold=3600, slack=2")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if cfg.Thresholds[0] != 0.1 || cfg.Thresholds[1] != 0.2 {
+		t.Errorf("thresholds not applied: %v", cfg.Thresholds)
+	}
+	if cfg.DwellDown != units.Minutes(45) || cfg.MaxHold != 3600 {
+		t.Errorf("durations not applied: down=%v hold=%v", cfg.DwellDown, cfg.MaxHold)
+	}
+	if cfg.ReserveFrac != 0.3 || cfg.MaxRestarts != 5 || cfg.DeferSlack != 2 {
+		t.Errorf("scalars not applied: %+v", cfg)
+	}
+	// Untouched keys keep defaults.
+	if cfg.DwellUp != DefaultConfig().DwellUp {
+		t.Errorf("unset key lost its default: %v", cfg.DwellUp)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != DefaultConfig() {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"nope", "t9=1", "t1=x", "t1=0.9,t2=0.1", "up"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package brownout
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"iscope/internal/units"
+)
+
+// ParseSpec builds a Config from a compact comma-separated key=value
+// string, the cmd/iscope -brownout-spec syntax. Unset keys keep the
+// defaults. Keys:
+//
+//	t1..t4     stage thresholds (pressure fractions)
+//	up         escalation dwell (duration, e.g. 5m, or plain seconds)
+//	down       recovery dwell
+//	reserve    battery state-of-charge floor fraction
+//	downlevel  fleet fraction one down-level evaluation may touch
+//	restarts   per-slice shed bound
+//	hold       deferral/park backstop duration
+//	slack      deferral deadline-slack factor
+//
+// Example: "t1=0.1,t2=0.25,down=45m,reserve=0.3".
+func ParseSpec(spec string) (Config, error) {
+	cfg := DefaultConfig()
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("brownout: spec entry %q is not key=value", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "t1", "t2", "t3", "t4":
+			i := int(k[1] - '1')
+			cfg.Thresholds[i], err = parseFloat(v)
+		case "up":
+			cfg.DwellUp, err = parseDuration(v)
+		case "down":
+			cfg.DwellDown, err = parseDuration(v)
+		case "reserve":
+			cfg.ReserveFrac, err = parseFloat(v)
+		case "downlevel":
+			cfg.DownlevelFrac, err = parseFloat(v)
+		case "restarts":
+			cfg.MaxRestarts, err = strconv.Atoi(v)
+		case "hold":
+			cfg.MaxHold, err = parseDuration(v)
+		case "slack":
+			cfg.DeferSlack, err = parseFloat(v)
+		default:
+			return Config{}, fmt.Errorf("brownout: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("brownout: spec key %q: %w", k, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseFloat(v string) (float64, error) {
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseDuration accepts Go duration syntax ("45m", "2h") or a plain
+// number of seconds.
+func parseDuration(v string) (units.Seconds, error) {
+	if d, err := time.ParseDuration(v); err == nil {
+		return units.Seconds(d.Seconds()), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is neither a duration nor seconds", v)
+	}
+	return units.Seconds(f), nil
+}

@@ -6,13 +6,13 @@
 //
 //	offset  size  field
 //	0       4     magic "ISCK"
-//	4       2     format version (currently 1)
+//	4       2     format version (see Version)
 //	6       8     payload length in bytes
 //	14      n     payload: gob-encoded value
 //	14+n    4     CRC-32 (Castagnoli) over bytes [0, 14+n)
 //
 // Compatibility policy: a decoder accepts exactly the versions it
-// knows how to interpret (today: version 1). A file with a higher
+// knows how to interpret (today: only Version). A file with a higher
 // version was written by a newer build and is rejected with ErrVersion
 // rather than misread; downgrading readers never silently reinterpret
 // state. Any structural change to a payload type must bump Version.
@@ -34,8 +34,10 @@ import (
 // Magic identifies a checkpoint envelope.
 const Magic = "ISCK"
 
-// Version is the current envelope format version.
-const Version uint16 = 1
+// Version is the current envelope format version. Version 2 added the
+// brownout-ladder and invariant-monitor sections to run snapshots and
+// the reserve fraction to battery state.
+const Version uint16 = 2
 
 const headerLen = 4 + 2 + 8 // magic + version + payload length
 

@@ -533,6 +533,20 @@ func (dc *Datacenter) UtilTimes(now units.Seconds) []units.Seconds {
 	return out
 }
 
+// LiveSlices counts the fleet's in-flight work: slices currently
+// running and slices waiting in queues. Together they must equal the
+// scheduler's outstanding placements (the no-slice-leak invariant the
+// online monitor checks every tick).
+func (dc *Datacenter) LiveSlices() (running, queued int) {
+	for _, p := range dc.Procs {
+		if p.current != nil {
+			running++
+		}
+		queued += len(p.queue)
+	}
+	return running, queued
+}
+
 // BusyCount returns the number of processors currently running a slice.
 func (dc *Datacenter) BusyCount() int {
 	n := 0

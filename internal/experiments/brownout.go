@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iscope/internal/battery"
+	"iscope/internal/brownout"
+	"iscope/internal/faults"
+	"iscope/internal/invariants"
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+)
+
+// BrownoutRow is one scheme's behavior under a supply-deficit storm.
+type BrownoutRow struct {
+	Scheme       string
+	MaxStage     int
+	Transitions  int
+	DegradedFrac float64 // share of the run spent above the normal stage
+	Downlevels   int
+	Deferred     int
+	SlicesShed   int
+	ShedWork     units.Seconds // completed progress discarded by shedding
+	UtilityKWh   float64
+	EnergyKWh    float64
+	Misses       int
+	Violations   int // invariant monitor (record mode), always 0 in a correct build
+}
+
+// BrownoutStudyResult compares how the five schemes ride through an
+// identical dense-dropout fault plan with an identical (small) battery
+// and an identical degradation ladder. The headline is the shed-work
+// column: scan knowledge makes degradation cheaper, because the ladder's
+// forced DVFS down-steps land on the cores that really are the fleet's
+// least efficient, so the Scan schemes buy back more power per step and
+// reach the load-shedding stage with less work left to discard.
+type BrownoutStudyResult struct {
+	Rows []BrownoutRow
+	Spec faults.Spec
+}
+
+// brownoutStudySpec is the storm: frequent, deep, hour-scale renewable
+// dropouts (the dense profile of the fault-injection study), with the
+// other fault classes quiet so the scheme comparison isolates the
+// supply response.
+func brownoutStudySpec(span units.Seconds) faults.Spec {
+	return faults.Spec{
+		DropoutsPerDay: 8,
+		DropoutMeanDur: units.Minutes(40),
+		DropoutFloor:   0.05,
+		ForecastSigma:  0.2,
+		Horizon:        span,
+	}
+}
+
+// brownoutStudyConfig is the ladder every scheme runs: default stage
+// policy with thresholds low enough that a deep dropout climbs past the
+// admission-deferral stage at any experiment scale.
+func brownoutStudyConfig() *brownout.Config {
+	return &brownout.Config{
+		Thresholds: [brownout.NumStages - 1]float64{0.05, 0.12, 0.25, 0.45},
+		DwellUp:    units.Minutes(2),
+		DwellDown:  units.Minutes(15),
+	}
+}
+
+// BrownoutStudy runs the comparison at the given scale.
+func BrownoutStudy(o Options) (*BrownoutStudyResult, error) {
+	fleet, err := buildFleet(o)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(o, FixedHUForRateSweep, 1)
+	if err != nil {
+		return nil, err
+	}
+	w, err := buildWind(o, fleet, jobs)
+	if err != nil {
+		return nil, err
+	}
+	span := jobs.ComputeStats().Span
+	spec := brownoutStudySpec(span)
+
+	// A deliberately small battery — about a minute of fleet draw per
+	// 20 processors — so dropouts actually reach the ladder instead of
+	// being ridden out on stored energy.
+	batt := battery.DefaultSpec(units.FromKWh(float64(o.NumProcs) / 20))
+
+	var grid []runJob
+	for _, sch := range scheduler.Schemes() {
+		grid = append(grid, runJob{
+			key:    key(sch.Name, 0),
+			scheme: sch,
+			cfg: scheduler.RunConfig{
+				Seed:       o.Seed,
+				Jobs:       jobs,
+				Wind:       w,
+				Battery:    &batt,
+				Faults:     &spec,
+				Brownout:   brownoutStudyConfig(),
+				Invariants: &invariants.Config{Action: invariants.Record},
+			},
+		})
+	}
+	results, err := runGrid(fleet, grid, o)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BrownoutStudyResult{Spec: spec}
+	for _, sch := range scheduler.Schemes() {
+		r := results[key(sch.Name, 0)]
+		b := r.Brownout
+		var total, degraded units.Seconds
+		for st, d := range b.StageDwell {
+			total += d
+			if st > 0 {
+				degraded += d
+			}
+		}
+		row := BrownoutRow{
+			Scheme:      sch.Name,
+			MaxStage:    b.MaxStage,
+			Transitions: b.Transitions,
+			Downlevels:  b.DownlevelSteps,
+			Deferred:    b.JobsDeferred,
+			SlicesShed:  b.SlicesShed,
+			ShedWork:    b.ShedWork,
+			UtilityKWh:  r.UtilityEnergy.KWh(),
+			EnergyKWh:   r.TotalEnergy.KWh(),
+			Misses:      r.DeadlineViolations,
+			Violations:  r.Invariants.Violations,
+		}
+		if total > 0 {
+			row.DegradedFrac = float64(degraded) / float64(total)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the named scheme's row, or nil.
+func (r *BrownoutStudyResult) Row(scheme string) *BrownoutRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scheme == scheme {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// WriteText renders the study.
+func (r *BrownoutStudyResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "dense-dropout storm: %.0f/day, mean %s, floor %.2f; equal battery and ladder across schemes\n",
+		r.Spec.DropoutsPerDay, r.Spec.DropoutMeanDur, r.Spec.DropoutFloor)
+	tw := newTW(w)
+	fmt.Fprintln(tw, "scheme\tmax stage\tdegraded\tdownlevels\tdeferred\tshed\tshed work\tutility (kWh)\ttotal (kWh)\tmisses\tviolations")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%d\t%d\t%d\t%s\t%.1f\t%.1f\t%d\t%d\n",
+			row.Scheme, row.MaxStage, 100*row.DegradedFrac, row.Downlevels,
+			row.Deferred, row.SlicesShed, row.ShedWork, row.UtilityKWh,
+			row.EnergyKWh, row.Misses, row.Violations)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if scan, bin := r.Row("ScanEffi"), r.Row("BinEffi"); scan != nil && bin != nil {
+		fmt.Fprintf(w, "shed work under duress: ScanEffi %s vs BinEffi %s — profiled knowledge makes degradation cheaper\n",
+			scan.ShedWork, bin.ShedWork)
+	}
+	return nil
+}

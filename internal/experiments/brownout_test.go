@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"iscope/internal/brownout"
+)
+
+// TestBrownoutStudy is the degradation-cost acceptance check: under an
+// identical dropout storm, equal battery and equal ladder, the
+// scan-profiled scheduler must discard less completed work than the
+// factory-bin one — profiled knowledge pays precisely when the ladder
+// forces degradation.
+func TestBrownoutStudy(t *testing.T) {
+	r, err := BrownoutStudy(QuickOptions(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want all 5 schemes", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Violations != 0 {
+			t.Errorf("%s: %d invariant violations", row.Scheme, row.Violations)
+		}
+		if row.MaxStage < int(brownout.StageDefer) {
+			t.Errorf("%s: storm never pushed the ladder past stage %d", row.Scheme, row.MaxStage)
+		}
+		if row.DegradedFrac <= 0 || row.DegradedFrac >= 1 {
+			t.Errorf("%s: degraded fraction %v outside (0,1)", row.Scheme, row.DegradedFrac)
+		}
+	}
+	scan, bin := r.Row("ScanEffi"), r.Row("BinEffi")
+	if scan == nil || bin == nil {
+		t.Fatal("missing ScanEffi/BinEffi rows")
+	}
+	if bin.SlicesShed == 0 {
+		t.Fatalf("storm never forced BinEffi to shed; the comparison is vacuous: %+v", bin)
+	}
+	if scan.ShedWork > bin.ShedWork {
+		t.Errorf("ScanEffi shed %v of work vs BinEffi %v; scan knowledge should make degradation cheaper",
+			scan.ShedWork, bin.ShedWork)
+	}
+}

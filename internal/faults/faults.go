@@ -85,6 +85,30 @@ func DefaultSpec() Spec {
 
 // Validate reports malformed fields.
 func (s Spec) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"crash MTBF", float64(s.CrashMTBF)},
+		{"repair time", float64(s.RepairTime)},
+		{"dropout rate", s.DropoutsPerDay},
+		{"dropout duration", float64(s.DropoutMeanDur)},
+		{"dropout floor", s.DropoutFloor},
+		{"forecast sigma", s.ForecastSigma},
+		{"false-pass fraction", s.FalsePassFrac},
+		{"detection latency", float64(s.DetectLatency)},
+		{"reprofile time", float64(s.ReprofileTime)},
+		{"fade interval", float64(s.FadeInterval)},
+		{"fade fraction", s.FadeFrac},
+		{"horizon", float64(s.Horizon)},
+	} {
+		// NaN slips through ordered comparisons (NaN < 0 is false) and an
+		// infinite horizon or interval would make Compile's event loops
+		// spin forever, so finiteness is checked up front.
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("faults: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case s.CrashMTBF < 0 || s.RepairTime < 0:
 		return fmt.Errorf("faults: crash MTBF and repair time must be non-negative")
@@ -257,8 +281,12 @@ func Compile(spec Spec, procs, levels int, seed uint64) (*Plan, error) {
 			if dur < minGap {
 				dur = minGap
 			}
-			if t+dur > spec.Horizon {
-				dur = spec.Horizon - t
+			// Truncate windows at the horizon; the end time is clamped
+			// directly because t + (Horizon - t) can round one ulp past
+			// Horizon in floating point.
+			end := t + dur
+			if end > spec.Horizon {
+				end = spec.Horizon
 			}
 			factor := derateR.Uniform(spec.DropoutFloor, 1)
 			if spec.ForecastSigma > 0 {
@@ -267,13 +295,20 @@ func Compile(spec Spec, procs, levels int, seed uint64) (*Plan, error) {
 			factor = math.Min(math.Max(factor, 0), 1.25)
 			plan.Events = append(plan.Events,
 				Event{At: t, Kind: DerateStart, Factor: factor},
-				Event{At: t + dur, Kind: DerateEnd, Factor: 1})
-			t += dur
+				Event{At: end, Kind: DerateEnd, Factor: 1})
+			t = end
 		}
 	}
 
 	if spec.FadeInterval > 0 && spec.FadeFrac > 0 {
-		for t := spec.FadeInterval; t < spec.Horizon; t += spec.FadeInterval {
+		// Clamp the stride like every other fault window: a sub-minute
+		// interval would bloat the plan (and a denormal one would never
+		// advance t at all once t >> interval).
+		step := spec.FadeInterval
+		if step < minGap {
+			step = minGap
+		}
+		for t := step; t < spec.Horizon; t += step {
 			plan.Events = append(plan.Events, Event{At: t, Kind: BatteryFade, Factor: spec.FadeFrac})
 		}
 	}

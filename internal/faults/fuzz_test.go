@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// FuzzCompile hardens the plan compiler: arbitrary float specs must
+// either be rejected by Validate or compile — in bounded time — to a
+// plan whose every event lies inside the horizon with sane payloads.
+func FuzzCompile(f *testing.F) {
+	d := DefaultSpec()
+	f.Add(float64(d.CrashMTBF), float64(d.RepairTime), d.DropoutsPerDay,
+		float64(d.DropoutMeanDur), d.DropoutFloor, d.ForecastSigma,
+		d.FalsePassFrac, float64(d.DetectLatency), float64(d.ReprofileTime),
+		float64(d.FadeInterval), d.FadeFrac, float64(units.Days(10)), 8, 4, uint64(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1, 1, uint64(0))
+	f.Add(math.NaN(), -1.0, math.Inf(1), 1e-300, 2.0, -0.5,
+		1.5, math.Inf(-1), math.NaN(), 1e-300, 0.999, math.Inf(1), 3, 2, uint64(7))
+	f.Add(60.0, 60.0, 1000.0, 60.0, 0.0, 0.0, 1.0, 1.0, 1.0,
+		1e-12, 0.5, float64(units.Days(2)), 64, 8, uint64(42))
+	f.Fuzz(func(t *testing.T, mtbf, repair, perDay, dur, floor, sigma,
+		fpFrac, latency, reprofile, fadeIv, fadeFrac, horizon float64,
+		procs, levels int, seed uint64) {
+		// Keep the fuzzer inside the regime where Compile should succeed
+		// on valid specs in bounded time: modest fleet, bounded horizon.
+		procs = 1 + abs(procs)%64
+		levels = 1 + abs(levels)%8
+		if horizon > float64(units.Days(10)) {
+			horizon = math.Mod(horizon, float64(units.Days(10)))
+		}
+		spec := Spec{
+			CrashMTBF:      units.Seconds(mtbf),
+			RepairTime:     units.Seconds(repair),
+			DropoutsPerDay: perDay,
+			DropoutMeanDur: units.Seconds(dur),
+			DropoutFloor:   floor,
+			ForecastSigma:  sigma,
+			FalsePassFrac:  fpFrac,
+			DetectLatency:  units.Seconds(latency),
+			ReprofileTime:  units.Seconds(reprofile),
+			FadeInterval:   units.Seconds(fadeIv),
+			FadeFrac:       fadeFrac,
+			Horizon:        units.Seconds(horizon),
+		}
+		plan, err := Compile(spec, procs, levels, seed)
+		if err != nil {
+			return
+		}
+		prev := units.Seconds(0)
+		for i, ev := range plan.Events {
+			if ev.At < prev {
+				t.Fatalf("event %d out of order: %v after %v", i, ev.At, prev)
+			}
+			prev = ev.At
+			if ev.At < 0 || ev.At > plan.Horizon {
+				t.Fatalf("event %d at %v outside horizon [0, %v]", i, ev.At, plan.Horizon)
+			}
+			if math.IsNaN(ev.Factor) || ev.Factor < 0 || ev.Factor > 1.25 {
+				t.Fatalf("event %d factor %v outside [0, 1.25]", i, ev.Factor)
+			}
+			if ev.Kind == Crash {
+				if ev.Dur < 60 {
+					t.Fatalf("crash %d repair %v below the minimum gap", i, ev.Dur)
+				}
+				if ev.Proc < 0 || ev.Proc >= procs {
+					t.Fatalf("crash %d targets proc %d of %d", i, ev.Proc, procs)
+				}
+			}
+		}
+		for i, fp := range plan.FalsePasses {
+			if fp.Chip < 0 || fp.Chip >= procs || fp.Level < 0 || fp.Level >= levels {
+				t.Fatalf("false pass %d out of range: chip %d level %d", i, fp.Chip, fp.Level)
+			}
+			if fp.DriftFrac <= 0 || fp.DriftFrac >= 1 {
+				t.Fatalf("false pass %d drift %v outside (0,1)", i, fp.DriftFrac)
+			}
+		}
+	})
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == math.MinInt {
+			return 0
+		}
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+// Package invariants is an online runtime-verification layer for the
+// simulator: properties that must hold at every instant of a correct
+// run are checked continuously inside the event loop instead of once at
+// the end of a test. The scheduler registers these catalog entries:
+//
+//	clock                event times never decrease
+//	energy-conservation  the demand integral equals wind-direct +
+//	                     battery-delivered + utility within tolerance
+//	soc-bounds           battery state of charge stays in [0, capacity]
+//	slice-conservation   running + queued slices equal the unfinished
+//	                     placements in the job ledger (no slice leaks)
+//	shed-accounted       at run end no processor remains parked, no job
+//	                     remains deferred, and every shed park was
+//	                     matched by a release
+//
+// A Monitor carries a configurable violation action: FailFast returns
+// an error on the first violation (tests and chaos harnesses abort the
+// run immediately), Record collects violations and reports them at the
+// end (production runs keep serving). The monitor's own state is
+// checkpointable so resumed runs report identical totals.
+package invariants
+
+import (
+	"fmt"
+	"math"
+
+	"iscope/internal/units"
+)
+
+// Action selects what a violation does to the run.
+type Action int
+
+const (
+	// Record collects violations into the report and continues.
+	Record Action = iota
+	// FailFast turns the first violation into an error that aborts the
+	// run.
+	FailFast
+)
+
+func (a Action) String() string {
+	if a == FailFast {
+		return "fail-fast"
+	}
+	return "record"
+}
+
+// Config parametrizes a Monitor. The zero value records violations
+// with the default tolerances.
+type Config struct {
+	// Action is what a violation does: Record (default) or FailFast.
+	Action Action
+	// EnergyTol is the relative tolerance of the energy-conservation
+	// check; 0 uses 1e-9 (float drift over ~1e6 integration steps stays
+	// orders of magnitude below it).
+	EnergyTol float64
+	// MaxRecorded bounds the stored violation list in Record mode;
+	// 0 uses 64. Further violations are counted but not stored.
+	MaxRecorded int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EnergyTol == 0 {
+		c.EnergyTol = 1e-9
+	}
+	if c.MaxRecorded == 0 {
+		c.MaxRecorded = 64
+	}
+	return c
+}
+
+// Validate reports malformed fields.
+func (c Config) Validate() error {
+	switch {
+	case c.Action != Record && c.Action != FailFast:
+		return fmt.Errorf("invariants: unknown action %d", c.Action)
+	case c.EnergyTol < 0 || math.IsNaN(c.EnergyTol) || math.IsInf(c.EnergyTol, 0):
+		return fmt.Errorf("invariants: energy tolerance must be finite and non-negative")
+	case c.MaxRecorded < 0:
+		return fmt.Errorf("invariants: negative recording cap")
+	}
+	return nil
+}
+
+// Violation is one failed check.
+type Violation struct {
+	Name   string
+	Time   units.Seconds
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at t=%v: %s", v.Name, v.Time, v.Detail)
+}
+
+// ViolationError wraps the violation that aborted a fail-fast run.
+type ViolationError struct{ V Violation }
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("invariant violated: %s", e.V)
+}
+
+// Monitor evaluates checks and applies the configured action.
+type Monitor struct {
+	cfg        Config
+	lastNow    units.Seconds
+	checks     int
+	dropped    int
+	violations []Violation
+}
+
+// New builds a monitor with defaults applied.
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults()}
+}
+
+// Config returns the monitor's complete (defaulted) configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// fail records a violation and returns an error iff the action is
+// FailFast.
+func (m *Monitor) fail(v Violation) error {
+	if len(m.violations) < m.cfg.MaxRecorded {
+		m.violations = append(m.violations, v)
+	} else {
+		m.dropped++
+	}
+	if m.cfg.Action == FailFast {
+		return &ViolationError{V: v}
+	}
+	return nil
+}
+
+// Clock checks event-time monotonicity and advances the monitor's
+// clock. Call it once per observed event time.
+func (m *Monitor) Clock(now units.Seconds) error {
+	m.checks++
+	if now < m.lastNow {
+		return m.fail(Violation{Name: "clock", Time: now,
+			Detail: fmt.Sprintf("event time went backwards: %v after %v", now, m.lastNow)})
+	}
+	m.lastNow = now
+	return nil
+}
+
+// Checkf evaluates one named predicate. The detail message is only
+// formatted on failure, so hot-path checks cost a branch and a counter.
+func (m *Monitor) Checkf(name string, now units.Seconds, ok bool, format string, args ...any) error {
+	m.checks++
+	if ok {
+		return nil
+	}
+	return m.fail(Violation{Name: name, Time: now, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Within reports |a-b| <= tol * max(|a|, |b|, floor) — a relative
+// comparison with an absolute floor so near-zero quantities do not
+// demand impossible precision.
+func Within(a, b, tol, floor float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), floor)
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Violations returns the recorded violations (bounded by MaxRecorded).
+func (m *Monitor) Violations() []Violation { return m.violations }
+
+// Report is the monitor's end-of-run summary, embedded in the
+// scheduler's Result.
+type Report struct {
+	// Checks counts predicate evaluations; Violations counts failures
+	// (including Dropped ones beyond the recording cap).
+	Checks     int
+	Violations int
+	Dropped    int
+	// First describes the earliest recorded violation, "" when clean.
+	First string
+}
+
+// Report summarizes the monitor's lifetime.
+func (m *Monitor) Report() Report {
+	r := Report{
+		Checks:     m.checks,
+		Violations: len(m.violations) + m.dropped,
+		Dropped:    m.dropped,
+	}
+	if len(m.violations) > 0 {
+		r.First = m.violations[0].String()
+	}
+	return r
+}
+
+// State is a monitor snapshot for checkpointing.
+type State struct {
+	LastNow    units.Seconds
+	Checks     int
+	Dropped    int
+	Violations []Violation
+}
+
+// CaptureState snapshots the monitor's mutable state.
+func (m *Monitor) CaptureState() State {
+	return State{
+		LastNow:    m.lastNow,
+		Checks:     m.checks,
+		Dropped:    m.dropped,
+		Violations: append([]Violation(nil), m.violations...),
+	}
+}
+
+// RestoreState overlays a snapshot onto a freshly built monitor.
+func (m *Monitor) RestoreState(st State) error {
+	if st.Checks < 0 || st.Dropped < 0 {
+		return fmt.Errorf("invariants: invalid snapshot counters")
+	}
+	m.lastNow = st.LastNow
+	m.checks = st.Checks
+	m.dropped = st.Dropped
+	m.violations = append([]Violation(nil), st.Violations...)
+	return nil
+}

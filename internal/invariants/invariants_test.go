@@ -1,0 +1,128 @@
+package invariants
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func TestClockMonotonicity(t *testing.T) {
+	m := New(Config{Action: FailFast})
+	for _, now := range []float64{0, 1, 5, 5, 10} {
+		if err := m.Clock(nowSec(now)); err != nil {
+			t.Fatalf("Clock(%v): %v", now, err)
+		}
+	}
+	err := m.Clock(nowSec(9))
+	if err == nil {
+		t.Fatal("backwards clock accepted")
+	}
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.V.Name != "clock" {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestCheckfActions(t *testing.T) {
+	// FailFast turns the first failed check into an error.
+	ff := New(Config{Action: FailFast})
+	if err := ff.Checkf("x", 0, true, "fine"); err != nil {
+		t.Fatalf("passing check errored: %v", err)
+	}
+	if err := ff.Checkf("x", 1, false, "bad %d", 7); err == nil {
+		t.Fatal("failing check did not error")
+	} else if !strings.Contains(err.Error(), "bad 7") {
+		t.Fatalf("detail not formatted: %v", err)
+	}
+
+	// Record keeps going and reports at the end.
+	rec := New(Config{Action: Record, MaxRecorded: 2})
+	for i := 0; i < 5; i++ {
+		if err := rec.Checkf("y", nowSec(float64(i)), false, "v%d", i); err != nil {
+			t.Fatalf("record mode errored: %v", err)
+		}
+	}
+	r := rec.Report()
+	if r.Violations != 5 || r.Dropped != 3 || len(rec.Violations()) != 2 {
+		t.Fatalf("report %+v, stored %d", r, len(rec.Violations()))
+	}
+	if !strings.Contains(r.First, "v0") {
+		t.Fatalf("first violation lost: %q", r.First)
+	}
+}
+
+func TestReportClean(t *testing.T) {
+	m := New(Config{})
+	m.Checkf("a", 0, true, "")
+	m.Clock(1)
+	r := m.Report()
+	if r.Checks != 2 || r.Violations != 0 || r.First != "" {
+		t.Fatalf("clean report %+v", r)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol, floor float64
+		want             bool
+	}{
+		{100, 100 + 1e-6, 1e-9, 1, false},
+		{100, 100 + 1e-6, 1e-9, 1e9, true}, // floor dominates
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, 1, true},
+		{0, 0, 1e-9, 1, true},
+		{0, 1e-10, 1e-9, 1, true}, // absolute floor admits near-zero noise
+		{1, 2, 1e-9, 1, false},
+	}
+	for i, c := range cases {
+		if got := Within(c.a, c.b, c.tol, c.floor); got != c.want {
+			t.Errorf("case %d: Within(%v,%v,%v,%v) = %v", i, c.a, c.b, c.tol, c.floor, got)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{Action: Action(9)},
+		{EnergyTol: -1},
+		{MaxRecorded: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCaptureRestoreState(t *testing.T) {
+	m := New(Config{Action: Record, MaxRecorded: 1})
+	m.Clock(10)
+	m.Checkf("a", 10, false, "first")
+	m.Checkf("b", 11, false, "second") // dropped
+	st := m.CaptureState()
+
+	fresh := New(Config{Action: Record, MaxRecorded: 1})
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	want := m.Report()
+	if got := fresh.Report(); got != want {
+		t.Fatalf("restored report %+v, want %+v", got, want)
+	}
+	// The restored clock keeps enforcing monotonicity.
+	if err := fresh.Clock(5); err != nil {
+		t.Fatalf("record-mode clock errored: %v", err)
+	}
+	if fresh.Report().Violations != want.Violations+1 {
+		t.Fatal("restored clock did not catch regression")
+	}
+	if err := fresh.RestoreState(State{Checks: -1}); err == nil {
+		t.Fatal("negative counters accepted")
+	}
+}
+
+func nowSec(f float64) units.Seconds { return units.Seconds(f) }

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"iscope/internal/battery"
+	"iscope/internal/brownout"
 	"iscope/internal/units"
 )
 
@@ -187,6 +188,46 @@ type FaultStats struct {
 	RepairHours       float64
 	// BatteryCapacityLost is the total capacity removed by fade steps.
 	BatteryCapacityLost units.Joules
+}
+
+// BrownoutStats is the brownout ladder's degradation ledger: how long
+// the run spent at each rung, what each action cost, and proof that
+// every degradation was eventually undone (deferrals released, parked
+// processors returned).
+type BrownoutStats struct {
+	// Transitions counts stage changes in either direction; MaxStage is
+	// the highest rung reached and FinalStage the rung at run end (0 in
+	// any run whose supply recovered).
+	Transitions int
+	MaxStage    int
+	FinalStage  int
+
+	// StageDwell is the time spent at each rung; StageUtility is the
+	// grid energy bought while there.
+	StageDwell   [brownout.NumStages]units.Seconds
+	StageUtility [brownout.NumStages]units.Joules
+
+	// DownlevelSteps counts forced DVFS down-steps at the down-level
+	// stage and above.
+	DownlevelSteps int
+	// JobsDeferred counts admissions held at the defer stage;
+	// DeferredReleases counts holds later admitted. At run end they are
+	// equal — every deferral is eventually placed.
+	JobsDeferred     int
+	DeferredReleases int
+	// ReserveHolds counts activations of the battery reserve floor.
+	ReserveHolds int
+	// SlicesShed counts slices preempted at the shed stage; ShedWork is
+	// the progress they discarded, in CPU-seconds at the top DVFS level.
+	SlicesShed int
+	ShedWork   units.Seconds
+	// ProcsParked counts processors taken offline by shedding;
+	// ParkReleases counts returns to service (ForcedReleases of them by
+	// the MaxHold backstop rather than by pressure recovery). At run end
+	// ProcsParked == ParkReleases — no processor stays parked.
+	ProcsParked    int
+	ParkReleases   int
+	ForcedReleases int
 }
 
 // TracePoint is one sample of the Figure 7 power trace.

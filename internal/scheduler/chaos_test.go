@@ -1,0 +1,94 @@
+package scheduler
+
+import (
+	"testing"
+
+	"iscope/internal/battery"
+	"iscope/internal/brownout"
+	"iscope/internal/faults"
+	"iscope/internal/invariants"
+	"iscope/internal/rng"
+	"iscope/internal/units"
+)
+
+// chaosSpec draws a randomized dense fault environment from a dedicated
+// named stream: frequent deep supply dropouts (the ladder's trigger),
+// plus crashes, scanner false passes and battery fade all active at
+// once. The horizon stops at 12 h while the workload spans a day, so
+// every run has a fault-free tail in which the ladder must fully
+// unwind.
+func chaosSpec(seed uint64) *faults.Spec {
+	r := rng.Named(seed, "chaos-spec")
+	return &faults.Spec{
+		CrashMTBF:      units.Hours(r.Uniform(4, 12)),
+		RepairTime:     units.Minutes(r.Uniform(10, 40)),
+		DropoutsPerDay: r.Uniform(28, 40),
+		DropoutMeanDur: units.Minutes(r.Uniform(40, 80)),
+		DropoutFloor:   0,
+		ForecastSigma:  r.Uniform(0.05, 0.3),
+		FalsePassFrac:  r.Uniform(0.1, 0.5),
+		DetectLatency:  units.Seconds(r.Uniform(10, 120)),
+		ReprofileTime:  units.Minutes(r.Uniform(5, 20)),
+		FadeInterval:   units.Hours(r.Uniform(2, 6)),
+		FadeFrac:       r.Uniform(0.01, 0.1),
+		Horizon:        units.Hours(12),
+	}
+}
+
+// TestChaosLadderRecovery is the brownout/invariants acceptance
+// harness: every scheme, several seeds, a randomized dense fault plan,
+// a small battery that actually drains, and a fail-fast monitor. Each
+// run must (a) stay violation-free, (b) drive the ladder to at least
+// the admission-deferral stage while the supply is collapsing, and
+// (c) return to normal operation by the end of the run.
+func TestChaosLadderRecovery(t *testing.T) {
+	fleet := testFleet(t, 16)
+	for seed := uint64(0); seed < 3; seed++ {
+		jobs := testJobs(t, 500+seed, 90, 0.35)
+		w := testWind(t, fleet, 600+seed)
+		spec := chaosSpec(seed)
+		for _, sch := range Schemes() {
+			batt := battery.DefaultSpec(units.FromKWh(2))
+			cfg := RunConfig{
+				Seed:    seed,
+				Jobs:    jobs,
+				Wind:    w,
+				Battery: &batt,
+				Faults:  spec,
+				// Aggressive ladder: low thresholds and short dwells, so
+				// the staged response is exercised end to end inside the
+				// half-day fault window.
+				Brownout: &brownout.Config{
+					Thresholds: [brownout.NumStages - 1]float64{0.04, 0.1, 0.2, 0.4},
+					DwellUp:    units.Minutes(1),
+					DwellDown:  units.Minutes(10),
+				},
+				Invariants: &invariants.Config{Action: invariants.FailFast},
+			}
+			res, err := Run(fleet, sch, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sch.Name, err)
+			}
+			if res.Invariants.Violations != 0 {
+				t.Fatalf("seed %d %s: %d invariant violations, first: %s",
+					seed, sch.Name, res.Invariants.Violations, res.Invariants.First)
+			}
+			if res.Invariants.Checks == 0 {
+				t.Fatalf("seed %d %s: monitor ran no checks", seed, sch.Name)
+			}
+			b := res.Brownout
+			if b.MaxStage < int(brownout.StageDefer) {
+				t.Errorf("seed %d %s: ladder peaked at stage %d, want >= %d under dense dropouts (%+v)",
+					seed, sch.Name, b.MaxStage, int(brownout.StageDefer), b)
+			}
+			if b.FinalStage != int(brownout.StageNormal) {
+				t.Errorf("seed %d %s: run ended at stage %d, want full recovery to normal (%+v)",
+					seed, sch.Name, b.FinalStage, b)
+			}
+			if b.Transitions < 2 {
+				t.Errorf("seed %d %s: only %d stage transitions; the ladder must both climb and unwind",
+					seed, sch.Name, b.Transitions)
+			}
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"sort"
 
 	"iscope/internal/battery"
+	"iscope/internal/brownout"
 	"iscope/internal/checkpoint"
 	"iscope/internal/cluster"
 	"iscope/internal/faults"
+	"iscope/internal/invariants"
 	"iscope/internal/metrics"
 	"iscope/internal/profiling"
 	"iscope/internal/simulator"
@@ -70,6 +72,30 @@ type jobSnap struct {
 	Finish    units.Seconds
 }
 
+// deferredSnap is one held admission; restartCount is one slice's shed
+// tally (the map is stored as a sorted list for deterministic bytes).
+type deferredSnap struct {
+	Idx int
+	At  units.Seconds
+}
+
+type restartCount struct {
+	Serial int
+	Count  int
+}
+
+// brownSnap captures the brownout ladder's runtime: the controller's
+// hysteresis state plus the action bookkeeping.
+type brownSnap struct {
+	Stats       metrics.BrownoutStats
+	Ladder      brownout.State
+	Deferred    []deferredSnap
+	ParkedAt    []units.Seconds
+	Restarts    []restartCount
+	LastAdvance units.Seconds
+	LastUtility units.Joules
+}
+
 // faultSnap captures the fault-injection runtime. The compiled plan is
 // omitted: Compile is deterministic in (spec, seed), so resume rebuilds
 // an identical plan and pending plan events are restored by index.
@@ -120,7 +146,9 @@ type runSnapshot struct {
 	SlicesDone int
 	SliceSeq   int
 
-	Faults []faultSnap // zero or one
+	Faults   []faultSnap        // zero or one
+	Brownout []brownSnap        // zero or one
+	Monitor  []invariants.State // zero or one
 }
 
 // cfgHash fingerprints every RunConfig field that shapes the
@@ -147,6 +175,12 @@ func cfgHash(cfg RunConfig) uint64 {
 	}
 	if cfg.Faults != nil {
 		put("faults=%+v", *cfg.Faults)
+	}
+	if cfg.Brownout != nil {
+		put("brownout=%+v", *cfg.Brownout)
+	}
+	if cfg.Invariants != nil {
+		put("invariants=%+v", *cfg.Invariants)
 	}
 	if cfg.Wind != nil {
 		put("wind=%v/%d", cfg.Wind.Interval, len(cfg.Wind.Samples))
@@ -245,6 +279,30 @@ func (s *sim) snapshot() (*runSnapshot, error) {
 			FallbackSince: append([]units.Seconds(nil), f.fallbackSince...),
 			RepairSince:   append([]units.Seconds(nil), f.repairSince...),
 		}}
+	}
+	if s.brown != nil {
+		b := s.brown
+		deferred := make([]deferredSnap, len(b.deferred))
+		for i, d := range b.deferred {
+			deferred[i] = deferredSnap{Idx: d.idx, At: d.at}
+		}
+		restarts := make([]restartCount, 0, len(b.restarts))
+		for serial, c := range b.restarts {
+			restarts = append(restarts, restartCount{Serial: serial, Count: c})
+		}
+		sort.Slice(restarts, func(a, c int) bool { return restarts[a].Serial < restarts[c].Serial })
+		snap.Brownout = []brownSnap{{
+			Stats:       b.stats,
+			Ladder:      b.ladder.CaptureState(),
+			Deferred:    deferred,
+			ParkedAt:    append([]units.Seconds(nil), b.parkedAt...),
+			Restarts:    restarts,
+			LastAdvance: b.lastAdvance,
+			LastUtility: b.lastUtility,
+		}}
+	}
+	if s.mon != nil {
+		snap.Monitor = []invariants.State{s.mon.CaptureState()}
 	}
 	return snap, nil
 }
@@ -370,6 +428,49 @@ func (s *sim) restore(data []byte) error {
 		// fault-free on both sides
 	default:
 		return fmt.Errorf("scheduler: resume: fault-injection presence mismatch")
+	}
+
+	switch {
+	case s.brown != nil && len(snap.Brownout) == 1:
+		b, bs := s.brown, snap.Brownout[0]
+		if len(bs.ParkedAt) != len(b.parkedAt) {
+			return fmt.Errorf("scheduler: resume: brownout state shape mismatch")
+		}
+		if err := b.ladder.RestoreState(bs.Ladder); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+		b.stats = bs.Stats
+		b.deferred = b.deferred[:0]
+		for _, d := range bs.Deferred {
+			if d.Idx < 0 || d.Idx >= len(s.states) {
+				return fmt.Errorf("scheduler: resume: deferred job index %d out of range", d.Idx)
+			}
+			b.deferred = append(b.deferred, deferredJob{idx: d.Idx, at: d.At})
+		}
+		copy(b.parkedAt, bs.ParkedAt)
+		b.restarts = make(map[int]int, len(bs.Restarts))
+		for _, rc := range bs.Restarts {
+			b.restarts[rc.Serial] = rc.Count
+		}
+		b.lastAdvance = bs.LastAdvance
+		b.lastUtility = bs.LastUtility
+		// The battery's reserve floor travels in battery.State, already
+		// restored above.
+	case s.brown == nil && len(snap.Brownout) == 0:
+		// brownout disabled on both sides
+	default:
+		return fmt.Errorf("scheduler: resume: brownout presence mismatch")
+	}
+
+	switch {
+	case s.mon != nil && len(snap.Monitor) == 1:
+		if err := s.mon.RestoreState(snap.Monitor[0]); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+	case s.mon == nil && len(snap.Monitor) == 0:
+		// monitor disabled on both sides
+	default:
+		return fmt.Errorf("scheduler: resume: invariant-monitor presence mismatch")
 	}
 
 	// Rebuild the event queue with original (at, seq) pairs.

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"iscope/internal/battery"
+	"iscope/internal/brownout"
 	"iscope/internal/checkpoint"
+	"iscope/internal/invariants"
 	"iscope/internal/units"
 )
 
@@ -76,7 +78,10 @@ func TestResumeDeterminism(t *testing.T) {
 
 // TestResumeDeterminismKitchenSink exercises every optional subsystem
 // at once — battery, sampler trace, online profiling, rebalancing,
-// random COPs, faults — and still demands bit-identical resume.
+// random COPs, faults, the brownout ladder, and a fail-fast invariant
+// monitor — and still demands bit-identical resume. The monitor's
+// check/violation counters land in the Result, so DeepEqual also
+// proves the restored monitor replays exactly.
 func TestResumeDeterminismKitchenSink(t *testing.T) {
 	fleet := testFleet(t, 24)
 	jobs := testJobs(t, 77, 60, 0.4)
@@ -93,10 +98,24 @@ func TestResumeDeterminismKitchenSink(t *testing.T) {
 		EnableRebalance: true,
 		RandomCOP:       true,
 		Faults:          denseFaults(),
+		// Low thresholds and short dwells so the ladder actually climbs
+		// (and unwinds) inside the test horizon.
+		Brownout: &brownout.Config{
+			Thresholds: [brownout.NumStages - 1]float64{0.05, 0.15, 0.3, 0.5},
+			DwellUp:    units.Minutes(5),
+			DwellDown:  units.Minutes(10),
+		},
+		Invariants: &invariants.Config{Action: invariants.FailFast},
 	}
 	baseline, err := Run(fleet, sch, base)
 	if err != nil {
 		t.Fatalf("baseline: %v", err)
+	}
+	if baseline.Brownout.MaxStage == 0 {
+		t.Fatalf("brownout ladder never engaged, so resume would not cover it: %+v", baseline.Brownout)
+	}
+	if baseline.Invariants.Checks == 0 {
+		t.Fatal("invariant monitor ran no checks")
 	}
 	col := &snapCollector{}
 	ck := base

@@ -182,6 +182,11 @@ func (s *sim) onSupplyFactor(factor float64, now units.Seconds) {
 	s.sync(now)
 	s.faults.supplyFactor = factor
 	s.curWind = s.deratedWind(s.nominalWind)
+	// A supply step is exactly what the brownout ladder watches; give it
+	// an evaluation immediately instead of waiting for the next tick.
+	if s.brown != nil {
+		s.brownoutEvaluate(now)
+	}
 }
 
 // deratedWind maps the nominal renewable supply to the faulted one.

@@ -1,0 +1,86 @@
+package scheduler
+
+import (
+	"iscope/internal/invariants"
+	"iscope/internal/units"
+)
+
+// checkInvariants runs the online catalog at time now. The cheap
+// checks (clock, energy conservation, SoC bounds) run on every energy
+// sync; the structural slice-conservation check walks the fleet, so
+// only ticks pay for it. The monitor never mutates simulation state —
+// enabling it cannot change a run's trajectory, only abort it.
+func (s *sim) checkInvariants(now units.Seconds, structural bool) {
+	if s.mon == nil || s.invErr != nil {
+		return
+	}
+	m := s.mon
+	if err := m.Clock(now); err != nil {
+		s.invErr = err
+		return
+	}
+
+	// Energy conservation: the demand integral must equal its source
+	// split — wind served directly, battery-delivered energy, and grid
+	// purchases. (WindUsed counts energy absorbed into the battery, so
+	// the direct share is WindUsed - BatteryCharged.) The identity is
+	// exact modulo float rounding per integration step.
+	a := s.account
+	direct := float64(a.WindUsed) - float64(a.BatteryCharged)
+	split := direct + float64(a.BatteryDelivered) + float64(a.Utility)
+	if err := m.Checkf("energy-conservation", now,
+		invariants.Within(float64(a.Demand), split, m.Config().EnergyTol, 1),
+		"demand integral %v J != source split %v J", float64(a.Demand), split); err != nil {
+		s.invErr = err
+		return
+	}
+
+	if b := a.Battery; b != nil {
+		soc, capacity := float64(b.SoC()), float64(b.Spec().Capacity)
+		if err := m.Checkf("soc-bounds", now,
+			soc >= 0 && soc <= capacity,
+			"SoC %v J outside [0, %v]", soc, capacity); err != nil {
+			s.invErr = err
+			return
+		}
+	}
+
+	if structural {
+		running, queued := s.dc.LiveSlices()
+		rem := 0
+		for i := range s.states {
+			rem += s.states[i].remaining
+		}
+		if err := m.Checkf("slice-conservation", now, running+queued == rem,
+			"%d live slices (%d running, %d queued) vs %d outstanding placements",
+			running+queued, running, queued, rem); err != nil {
+			s.invErr = err
+		}
+	}
+}
+
+// finishInvariants runs the end-of-run checks: every degradation the
+// brownout ladder applied must have been undone — no job still
+// deferred, no processor still parked, every park matched by a
+// release.
+func (s *sim) finishInvariants(end units.Seconds) {
+	if s.mon == nil || s.invErr != nil || s.brown == nil {
+		return
+	}
+	b := s.brown
+	parked := 0
+	for _, at := range b.parkedAt {
+		if at >= 0 {
+			parked++
+		}
+	}
+	if err := s.mon.Checkf("shed-accounted", end,
+		parked == 0 && len(b.deferred) == 0 &&
+			b.stats.ProcsParked == b.stats.ParkReleases &&
+			b.stats.JobsDeferred == b.stats.DeferredReleases,
+		"%d procs still parked, %d jobs still deferred, %d parks vs %d releases, %d deferrals vs %d admissions",
+		parked, len(b.deferred), b.stats.ProcsParked, b.stats.ParkReleases,
+		b.stats.JobsDeferred, b.stats.DeferredReleases); err != nil {
+		s.invErr = err
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"sort"
 
 	"iscope/internal/battery"
+	"iscope/internal/brownout"
 	"iscope/internal/cluster"
 	"iscope/internal/faults"
+	"iscope/internal/invariants"
 	"iscope/internal/metrics"
 	"iscope/internal/power"
 	"iscope/internal/profiling"
@@ -76,6 +78,20 @@ type RunConfig struct {
 	// [0.6, 3.5], mean COP) instead of using a uniform value —
 	// cold-aisle vs hot-aisle placement variability.
 	RandomCOP bool
+	// Brownout enables the staged graceful-degradation ladder: under a
+	// sustained supply deficit the run escalates through forced DVFS
+	// down-levels, admission deferral, a battery reserve floor, and
+	// priority-ordered load shedding, de-escalating after a recovery
+	// dwell (see internal/brownout). Requires a wind trace. A pointer to
+	// the zero Config selects the defaults.
+	Brownout *brownout.Config
+	// Invariants enables the online runtime-verification monitor:
+	// energy conservation, SoC bounds, slice conservation, event-clock
+	// monotonicity, and shed accounting are checked inside the event
+	// loop. FailFast aborts the run on the first violation; Record
+	// collects them into Result.Invariants. The monitor only reads
+	// state, so enabling it never changes a run's results.
+	Invariants *invariants.Config
 	// Checkpoint enables periodic snapshots of the full simulation
 	// state. Snapshots are transparent: a checkpointed run produces
 	// results bit-identical to an unchecked one.
@@ -180,6 +196,12 @@ type Result struct {
 
 	// Faults is the fault-injection ledger (zero when disabled).
 	Faults metrics.FaultStats
+
+	// Brownout is the degradation ledger (zero when the ladder is
+	// disabled); Invariants is the online monitor's report (zero when
+	// the monitor is disabled).
+	Brownout   metrics.BrownoutStats
+	Invariants invariants.Report
 }
 
 type jobState struct {
@@ -220,6 +242,13 @@ type sim struct {
 
 	// faults is the active fault-injection state, nil when disabled.
 	faults *faultState
+
+	// brown is the brownout ladder's runtime, nil when disabled; mon is
+	// the invariant monitor, nil when disabled. invErr latches the first
+	// fail-fast violation and aborts the event loop.
+	brown  *brownoutState
+	mon    *invariants.Monitor
+	invErr error
 
 	workDone   units.Seconds // completed slice work at the top level
 	slicesDone int
@@ -265,28 +294,19 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 // done so far can be resumed.
 func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	if fleet == nil || len(fleet.Chips) == 0 {
-		return nil, fmt.Errorf("scheduler: nil or empty fleet")
+		return nil, &ConfigError{Field: "Fleet", Reason: "nil or empty fleet"}
 	}
-	if cfg.Jobs == nil || len(cfg.Jobs.Jobs) == 0 {
-		return nil, fmt.Errorf("scheduler: no jobs")
-	}
-	if err := cfg.Jobs.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.COP == 0 {
 		cfg.COP = 2.5
-	}
-	if cfg.COP < 0 {
-		return nil, fmt.Errorf("scheduler: negative COP")
 	}
 	if cfg.Prices == (metrics.Prices{}) {
 		cfg.Prices = metrics.DefaultPrices()
 	}
 	if cfg.FairTheta == 0 {
 		cfg.FairTheta = 1.0
-	}
-	if cfg.Checkpoint != nil && cfg.Checkpoint.Sink == nil {
-		return nil, fmt.Errorf("scheduler: checkpoint config without a sink")
 	}
 
 	guard := cfg.ScanGuard
@@ -331,15 +351,10 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 		return nil, err
 	}
 	var fstate *faultState
-	if cfg.Faults != nil {
-		if err := cfg.Faults.Validate(); err != nil {
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fstate, err = newFaultState(cfg, fleet, guard)
+		if err != nil {
 			return nil, err
-		}
-		if cfg.Faults.Enabled() {
-			fstate, err = newFaultState(cfg, fleet, guard)
-			if err != nil {
-				return nil, err
-			}
 		}
 	}
 	volt := func(id, l int) units.Volts { return know.Vdd(id, l) }
@@ -385,6 +400,15 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 			return nil, err
 		}
 		s.account.Battery = b
+	}
+	if cfg.Invariants != nil {
+		s.mon = invariants.New(*cfg.Invariants)
+	}
+	if cfg.Brownout != nil {
+		s.brown, err = newBrownoutState(*cfg.Brownout, len(fleet.Chips))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if scanner != nil {
 		s.onlineActive = true
@@ -474,6 +498,9 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 			}
 			return nil, cause
 		}
+		if s.invErr != nil {
+			break
+		}
 		if !s.eng.Step() {
 			break
 		}
@@ -481,12 +508,22 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	if s.ckptErr != nil {
 		return nil, s.ckptErr
 	}
+	if s.invErr != nil {
+		return nil, s.invErr
+	}
 	if s.jobsLeft > 0 {
 		return nil, fmt.Errorf("scheduler: simulation stalled with %d jobs unfinished", s.jobsLeft)
 	}
 	s.sync(s.eng.Now())
 	if s.faults != nil {
 		s.finalizeFaults(s.eng.Now())
+	}
+	if s.brown != nil {
+		s.finalizeBrownout(s.eng.Now())
+	}
+	s.finishInvariants(s.eng.Now())
+	if s.invErr != nil {
+		return nil, s.invErr
 	}
 
 	utils := dc.UtilTimes(s.eng.Now())
@@ -514,6 +551,12 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	if s.faults != nil {
 		res.Faults = s.faults.stats
 	}
+	if s.brown != nil {
+		res.Brownout = s.brown.stats
+	}
+	if s.mon != nil {
+		res.Invariants = s.mon.Report()
+	}
 	res.MeanSlowdown, res.P95Slowdown, res.MeanWait = s.qualityMetrics()
 	if s.account.Battery != nil {
 		res.BatteryFinalSoC = s.account.Battery.SoC()
@@ -530,6 +573,7 @@ func (s *sim) sync(now units.Seconds) {
 		s.faultAdvance(now)
 	}
 	s.account.Advance(now, s.dc.Demand(), s.curWind)
+	s.checkInvariants(now, false)
 }
 
 // onWindTick is the periodic wind-budget/matching event; it re-arms
@@ -576,9 +620,18 @@ func (s *sim) onCheckpointTick(now units.Seconds) {
 	s.emitCheckpoint()
 }
 
-// onArrival places job idx on processors and starts idle ones.
+// onArrival admits job idx — unless the brownout ladder is holding new
+// deferrable work, in which case the job waits for a release.
 func (s *sim) onArrival(idx int, now units.Seconds) {
 	s.sync(now)
+	if s.brown != nil && s.brownoutDefer(idx, now) {
+		return
+	}
+	s.place(idx, now)
+}
+
+// place puts job idx's slices on processors and starts idle ones.
+func (s *sim) place(idx int, now units.Seconds) {
 	s.fairValid = false // utilization evolves; invalidate the fair cache lazily
 	j := s.states[idx].job
 	placements := s.selectProcs(j, now)
@@ -838,6 +891,10 @@ func (s *sim) onTick(now units.Seconds) {
 	if s.cfg.EnableRebalance {
 		s.rebalance(now)
 	}
+	if s.brown != nil {
+		s.brownoutEvaluate(now)
+	}
+	s.checkInvariants(now, true)
 }
 
 // rebalance migrates queued slices that would miss their deadlines to

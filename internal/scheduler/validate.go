@@ -1,0 +1,79 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfigError reports a malformed RunConfig field by name, so callers
+// (CLIs, experiment grids) can point the user at the exact knob
+// instead of surfacing a mid-run failure.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("scheduler: invalid RunConfig.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration before the event loop starts. It
+// validates values as given — zero-valued knobs that default later
+// (COP, FairTheta, Prices) are legal here; only actively malformed
+// inputs are rejected.
+func (cfg *RunConfig) Validate() error {
+	if cfg.Jobs == nil || len(cfg.Jobs.Jobs) == 0 {
+		return &ConfigError{Field: "Jobs", Reason: "no jobs"}
+	}
+	if err := cfg.Jobs.Validate(); err != nil {
+		return &ConfigError{Field: "Jobs", Reason: err.Error()}
+	}
+	if cfg.COP < 0 || math.IsNaN(cfg.COP) {
+		return &ConfigError{Field: "COP", Reason: "negative COP"}
+	}
+	if cfg.FairTheta < 0 || math.IsNaN(cfg.FairTheta) {
+		// +Inf is legal: it disables ScanFair's abundance mode (ablation).
+		return &ConfigError{Field: "FairTheta", Reason: fmt.Sprintf("threshold %v must be non-negative", cfg.FairTheta)}
+	}
+	if cfg.SampleInterval < 0 {
+		return &ConfigError{Field: "SampleInterval", Reason: "negative sampling interval"}
+	}
+	if cfg.MatchInterval < 0 {
+		return &ConfigError{Field: "MatchInterval", Reason: "negative matching interval"}
+	}
+	if cfg.ScanGuard < 0 {
+		return &ConfigError{Field: "ScanGuard", Reason: fmt.Sprintf("negative guardband %v", cfg.ScanGuard)}
+	}
+	if cfg.Battery != nil {
+		if err := cfg.Battery.Validate(); err != nil {
+			return &ConfigError{Field: "Battery", Reason: err.Error()}
+		}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return &ConfigError{Field: "Faults", Reason: err.Error()}
+		}
+	}
+	if cfg.Checkpoint != nil {
+		if cfg.Checkpoint.Sink == nil {
+			return &ConfigError{Field: "Checkpoint", Reason: "checkpoint config without a sink"}
+		}
+		if cfg.Checkpoint.Every <= 0 {
+			return &ConfigError{Field: "Checkpoint", Reason: "zero snapshot interval (checkpointing without a period is disabled by a nil Checkpoint, not a zero Every)"}
+		}
+	}
+	if cfg.Brownout != nil {
+		if cfg.Wind == nil {
+			return &ConfigError{Field: "Brownout", Reason: "the brownout ladder watches the renewable supply; it needs a wind trace"}
+		}
+		if err := cfg.Brownout.WithDefaults().Validate(); err != nil {
+			return &ConfigError{Field: "Brownout", Reason: err.Error()}
+		}
+	}
+	if cfg.Invariants != nil {
+		if err := cfg.Invariants.Validate(); err != nil {
+			return &ConfigError{Field: "Invariants", Reason: err.Error()}
+		}
+	}
+	return nil
+}

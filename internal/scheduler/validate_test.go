@@ -1,0 +1,100 @@
+package scheduler
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"iscope/internal/brownout"
+	"iscope/internal/faults"
+	"iscope/internal/invariants"
+	"iscope/internal/units"
+)
+
+// TestValidateTypedErrors checks that malformed configurations are
+// rejected before the event loop starts, with a ConfigError naming the
+// offending field.
+func TestValidateTypedErrors(t *testing.T) {
+	fleet := testFleet(t, 8)
+	jobs := testJobs(t, 11, 10, 0.3)
+	w := testWind(t, fleet, 11)
+	valid := func() RunConfig { return RunConfig{Seed: 1, Jobs: jobs, Wind: w} }
+
+	if err := func() error { c := valid(); return c.Validate() }(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		field string
+		mut   func(*RunConfig)
+	}{
+		{"nil jobs", "Jobs", func(c *RunConfig) { c.Jobs = nil }},
+		{"negative COP", "COP", func(c *RunConfig) { c.COP = -1 }},
+		{"NaN COP", "COP", func(c *RunConfig) { c.COP = math.NaN() }},
+		{"negative fair theta", "FairTheta", func(c *RunConfig) { c.FairTheta = -0.5 }},
+		{"NaN fair theta", "FairTheta", func(c *RunConfig) { c.FairTheta = math.NaN() }},
+		{"negative sample interval", "SampleInterval", func(c *RunConfig) { c.SampleInterval = -1 }},
+		{"negative match interval", "MatchInterval", func(c *RunConfig) { c.MatchInterval = -1 }},
+		{"negative scan guard", "ScanGuard", func(c *RunConfig) { c.ScanGuard = -0.01 }},
+		{"NaN fault field", "Faults", func(c *RunConfig) {
+			c.Faults = &faults.Spec{CrashMTBF: units.Seconds(math.NaN())}
+		}},
+		{"infinite fault horizon", "Faults", func(c *RunConfig) {
+			c.Faults = &faults.Spec{DropoutsPerDay: 2, Horizon: units.Seconds(math.Inf(1))}
+		}},
+		{"sinkless checkpoint", "Checkpoint", func(c *RunConfig) {
+			c.Checkpoint = &CheckpointConfig{Every: units.Hours(1)}
+		}},
+		{"zero checkpoint interval", "Checkpoint", func(c *RunConfig) {
+			c.Checkpoint = &CheckpointConfig{Sink: func([]byte) error { return nil }}
+		}},
+		{"brownout without wind", "Brownout", func(c *RunConfig) {
+			c.Wind = nil
+			c.Brownout = &brownout.Config{}
+		}},
+		{"non-ascending brownout thresholds", "Brownout", func(c *RunConfig) {
+			c.Brownout = &brownout.Config{Thresholds: [brownout.NumStages - 1]float64{0.5, 0.3, 0.2, 0.1}}
+		}},
+		{"bad invariant action", "Invariants", func(c *RunConfig) {
+			c.Invariants = &invariants.Config{Action: invariants.Action(99)}
+		}},
+		{"negative energy tolerance", "Invariants", func(c *RunConfig) {
+			c.Invariants = &invariants.Config{EnergyTol: -1e-9}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := valid()
+		tc.mut(&cfg)
+		_, err := Run(fleet, Schemes()[0], cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: blamed field %q, want %q (%v)", tc.name, ce.Field, tc.field, err)
+		}
+		if !strings.Contains(ce.Error(), "RunConfig."+tc.field) {
+			t.Errorf("%s: message %q does not name the field path", tc.name, ce.Error())
+		}
+	}
+}
+
+// TestValidateNilFleet checks the one error Validate cannot see — the
+// fleet is a Run argument, not a config field — still arrives typed.
+func TestValidateNilFleet(t *testing.T) {
+	cfg := RunConfig{Seed: 1, Jobs: testJobs(t, 11, 4, 0)}
+	var ce *ConfigError
+	if _, err := Run(nil, Schemes()[0], cfg); !errors.As(err, &ce) || ce.Field != "Fleet" {
+		t.Fatalf("nil fleet: got %v, want ConfigError on Fleet", err)
+	}
+	if _, err := Run(&Fleet{}, Schemes()[0], cfg); !errors.As(err, &ce) || ce.Field != "Fleet" {
+		t.Fatalf("empty fleet: got %v, want ConfigError on Fleet", err)
+	}
+}

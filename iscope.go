@@ -41,8 +41,10 @@ import (
 	"io"
 
 	"iscope/internal/battery"
+	"iscope/internal/brownout"
 	"iscope/internal/experiments"
 	"iscope/internal/faults"
+	"iscope/internal/invariants"
 	"iscope/internal/metrics"
 	"iscope/internal/profiling"
 	"iscope/internal/scheduler"
@@ -205,6 +207,48 @@ type FaultStats = metrics.FaultStats
 // battery fade.
 func DefaultFaultSpec() FaultSpec { return faults.DefaultSpec() }
 
+// BrownoutConfig parametrizes the staged-degradation ladder
+// (RunConfig.Brownout): under a sustained supply deficit the scheduler
+// climbs through DVFS down-leveling, admission deferral, a battery
+// reserve floor and priority-ordered load shedding, then unwinds one
+// stage at a time after a recovery dwell. The zero value uses the
+// default thresholds and dwells.
+type BrownoutConfig = brownout.Config
+
+// BrownoutStats is the ladder's ledger (Result.Brownout): stage
+// transitions and dwell, per-stage grid energy, and the count/cost of
+// every degradation action taken.
+type BrownoutStats = metrics.BrownoutStats
+
+// DefaultBrownoutConfig returns the production ladder policy.
+func DefaultBrownoutConfig() BrownoutConfig { return brownout.DefaultConfig() }
+
+// ParseBrownoutSpec parses a "key=value,key=value" ladder override
+// string (keys t1..t4, up, down, reserve, downlevel, restarts, hold,
+// slack) on top of the defaults — the -brownout-spec CLI format.
+func ParseBrownoutSpec(spec string) (BrownoutConfig, error) { return brownout.ParseSpec(spec) }
+
+// InvariantsConfig enables the online runtime-verification monitor
+// (RunConfig.Invariants): energy conservation, SoC bounds, slice
+// conservation, event-clock monotonicity and shed accounting are
+// checked continuously during the run. The zero value records
+// violations and reports them in Result.Invariants; FailFastInvariants
+// aborts the run on the first one.
+type InvariantsConfig = invariants.Config
+
+// InvariantReport is the monitor's end-of-run summary
+// (Result.Invariants): checks evaluated, violations seen, and the
+// first violation's description.
+type InvariantReport = invariants.Report
+
+// Invariant monitor actions (InvariantsConfig.Action).
+const (
+	// RecordInvariants collects violations and keeps running.
+	RecordInvariants = invariants.Record
+	// FailFastInvariants aborts the run on the first violation.
+	FailFastInvariants = invariants.FailFast
+)
+
 // GenerateSolar synthesizes a photovoltaic power trace (California-like
 // site, 10-minute samples) compatible with RunConfig.Wind — the
 // scheduler treats any renewable budget alike.
@@ -254,6 +298,12 @@ func QuickScale(seed uint64) ExperimentOptions { return experiments.QuickOptions
 // Oracle bound, and the aging/re-scan policy grid).
 type AblationResult = experiments.AblationResult
 
+// BrownoutStudyResult compares how the five schemes ride through an
+// identical supply-deficit storm with an identical battery and ladder;
+// its shed-work column quantifies how much cheaper degradation is with
+// scanned hardware knowledge.
+type BrownoutStudyResult = experiments.BrownoutStudyResult
+
 // The experiment drivers.
 func Fig4(o ExperimentOptions) (*Fig4Result, error)          { return experiments.Fig4(o) }
 func Fig5(o ExperimentOptions) (*Fig5Result, error)          { return experiments.Fig5(o) }
@@ -263,3 +313,6 @@ func Fig8(o ExperimentOptions) (*Fig8Result, error)          { return experiment
 func Fig9(o ExperimentOptions) (*Fig9Result, error)          { return experiments.Fig9(o) }
 func Fig10(o ExperimentOptions) (*Fig10Result, error)        { return experiments.Fig10(o) }
 func Ablations(o ExperimentOptions) (*AblationResult, error) { return experiments.Ablations(o) }
+func BrownoutStudy(o ExperimentOptions) (*BrownoutStudyResult, error) {
+	return experiments.BrownoutStudy(o)
+}
