@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawSample = `goos: linux
+goarch: amd64
+pkg: iscope
+cpu: AMD EPYC 7B13
+BenchmarkScanChip-8        	 2000000	       600 ns/op	      48 B/op	       1 allocs/op
+BenchmarkScanChip-8        	 2000000	       580 ns/op	      48 B/op	       1 allocs/op
+BenchmarkScanChip-8        	 2000000	       590 ns/op	      48 B/op	       1 allocs/op
+BenchmarkSimulationRun-8   	     270	   4400000 ns/op	  977200 B/op	   15515 allocs/op
+PASS
+ok  	iscope	12.3s
+`
+
+func TestParseRawAggregates(t *testing.T) {
+	f, err := parse(strings.NewReader(rawSample))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.Pkg != "iscope" || f.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header metadata not captured: %+v", f)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	scan := f.Benchmarks[0]
+	if scan.Name != "BenchmarkScanChip" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", scan.Name)
+	}
+	if scan.Runs != 3 || scan.NsPerOp != 590 {
+		t.Errorf("median over 3 runs: got runs=%d ns=%v, want 3/590", scan.Runs, scan.NsPerOp)
+	}
+	if scan.BytesPerOp != 48 || scan.AllocsPerOp != 1 {
+		t.Errorf("memory stats: got %v B/op %v allocs/op", scan.BytesPerOp, scan.AllocsPerOp)
+	}
+	sim := f.Benchmarks[1]
+	if sim.Name != "BenchmarkSimulationRun" || sim.NsPerOp != 4400000 || sim.AllocsPerOp != 15515 {
+		t.Errorf("single-run benchmark: %+v", sim)
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	f, err := parse(strings.NewReader(rawSample))
+	if err != nil {
+		t.Fatalf("parse raw: %v", err)
+	}
+	// A benchjson document on stdin (gate mode against a JSON file)
+	// must decode to the same thing.
+	var sb strings.Builder
+	sb.WriteString(`{"benchmarks":[{"name":"BenchmarkScanChip","runs":3,"ns_per_op":590,"bytes_per_op":48,"allocs_per_op":1}]}`)
+	g, err := parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse json: %v", err)
+	}
+	if g.Benchmarks[0] != f.Benchmarks[0] {
+		t.Errorf("round trip mismatch: %+v vs %+v", g.Benchmarks[0], f.Benchmarks[0])
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 5, AllocsPerOp: 0},
+	}}
+	cases := []struct {
+		name string
+		cur  Benchmark
+		fail bool
+	}{
+		{"within budget", Benchmark{Name: "BenchmarkA", NsPerOp: 1050, AllocsPerOp: 10}, false},
+		{"improvement", Benchmark{Name: "BenchmarkA", NsPerOp: 400, AllocsPerOp: 1}, false},
+		{"ns regression", Benchmark{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 10}, true},
+		{"alloc regression", Benchmark{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 12}, true},
+		{"unknown benchmark never fails", Benchmark{Name: "BenchmarkNew", NsPerOp: 9e9, AllocsPerOp: 9e9}, false},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		cur := &File{Benchmarks: []Benchmark{tc.cur}}
+		if got := gate(&out, base, cur, 0.10, 0.10); got != tc.fail {
+			t.Errorf("%s: gate=%v, want %v\n%s", tc.name, got, tc.fail, out.String())
+		}
+		if !strings.Contains(out.String(), "BenchmarkGone") {
+			t.Errorf("%s: missing-benchmark note absent from report", tc.name)
+		}
+	}
+}
+
+func TestRatioZeroBase(t *testing.T) {
+	if r := ratio(0, 0); r != 0 {
+		t.Errorf("ratio(0,0)=%v, want 0", r)
+	}
+	// Going from zero allocations to any allocations is a regression.
+	if r := ratio(3, 0); r <= 0.10 {
+		t.Errorf("ratio(3,0)=%v, want > gate budget", r)
+	}
+}

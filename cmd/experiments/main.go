@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"iscope/internal/experiments"
+	"iscope/internal/profiles"
 )
 
 func main() {
@@ -40,6 +41,10 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per grid cell (0 = unlimited)")
 		retries     = flag.Int("retries", 0, "extra attempts for a failed grid cell")
 		manifestDir = flag.String("manifest", "", "persist completed grid cells here; an interrupted run resumes only the missing ones")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		execTrace  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -75,27 +80,52 @@ func main() {
 	if *run == "all" {
 		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore", "brownout"}
 	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+
+	// Profiles flush on every exit path below — including the
+	// signal-cancelled one, which returns through the same code —
+	// so an interrupted grid still leaves usable collector output.
+	prof, err := profiles.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	code := runAll(targets, opt, *csvDir, *plotDir, *manifestDir)
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// runAll drives every requested target and returns the process exit
+// code, so main can flush the profiling collectors before exiting.
+func runAll(targets []string, opt experiments.Options, csvDir, plotDir, manifestDir string) int {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	for _, tgt := range targets {
 		tgt = strings.TrimSpace(tgt)
-		if *manifestDir != "" {
+		if manifestDir != "" {
 			// One manifest subdirectory per target: cell keys are only
 			// unique within a figure's grid.
-			opt.ManifestDir = filepath.Join(*manifestDir, tgt)
+			opt.ManifestDir = filepath.Join(manifestDir, tgt)
 		}
-		if err := runOne(tgt, opt, *csvDir, *plotDir); err != nil {
+		if err := runOne(tgt, opt, csvDir, plotDir); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
-			if errors.Is(err, context.Canceled) && *manifestDir != "" {
-				fmt.Fprintf(os.Stderr, "experiments: completed cells saved; re-run with -manifest %s to resume\n", *manifestDir)
+			if errors.Is(err, context.Canceled) && manifestDir != "" {
+				fmt.Fprintf(os.Stderr, "experiments: completed cells saved; re-run with -manifest %s to resume\n", manifestDir)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // csvWriter is implemented by every figure result with a CSV dump.

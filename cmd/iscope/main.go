@@ -31,6 +31,7 @@ import (
 	"iscope"
 	"iscope/internal/brownout"
 	"iscope/internal/checkpoint"
+	"iscope/internal/profiles"
 )
 
 // options collects every flag; one struct keeps run's signature sane.
@@ -66,6 +67,12 @@ type options struct {
 	checkpointPath  string
 	checkpointEvery time.Duration
 	resumePath      string
+
+	// Runtime profiling section. (-trace is already the power-trace
+	// sampler, so the execution trace goes by -exectrace.)
+	cpuProfile string
+	memProfile string
+	execTrace  string
 }
 
 func main() {
@@ -106,6 +113,13 @@ func main() {
 	flag.StringVar(&o.checkpointPath, "checkpoint", "", "write snapshots of the simulation state to this file (atomically, overwriting)")
 	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", time.Hour, "simulated time between snapshots (with -checkpoint)")
 	flag.StringVar(&o.resumePath, "resume", "", "resume the run from a snapshot file written by -checkpoint")
+
+	// Runtime profiling: collectors flush on clean exit and on
+	// SIGINT/SIGTERM alike, because a signal cancels the run
+	// cooperatively and the normal return path still executes.
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&o.execTrace, "exectrace", "", "write a runtime execution trace to this file (-trace is the power-trace sampler)")
 	flag.Parse()
 
 	// A signal cancels the run cooperatively: the scheduler stops at
@@ -152,7 +166,17 @@ func (o options) faultSpec() *iscope.FaultSpec {
 	return &spec
 }
 
-func run(ctx context.Context, o options) error {
+func run(ctx context.Context, o options) (err error) {
+	prof, err := profiles.Start(o.cpuProfile, o.memProfile, o.execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
 	scheme, ok := iscope.SchemeByName(o.scheme)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", o.scheme)

@@ -73,7 +73,7 @@ type Processor struct {
 	ID   int
 	Chip *variation.Chip
 
-	queue   []*Slice
+	queue   sliceQueue
 	current *Slice
 
 	// UtilTime accumulates busy time — the lifetime-wear proxy of the
@@ -98,7 +98,77 @@ func (p *Processor) Offline() bool { return p.offline }
 func (p *Processor) Current() *Slice { return p.current }
 
 // QueueLen returns the number of waiting slices.
-func (p *Processor) QueueLen() int { return len(p.queue) }
+func (p *Processor) QueueLen() int { return p.queue.len() }
+
+// sliceQueue is a FIFO of waiting slices with amortized allocation-free
+// push and pop. Popping advances a head index instead of re-slicing;
+// the vacated front capacity is reclaimed by compaction on a later
+// push. The append(queue[1:], ...) idiom this replaces lost the front
+// capacity forever, so every processor queue kept re-allocating its
+// backing array for the whole run — the single largest allocation
+// source in the simulation hot path.
+type sliceQueue struct {
+	buf  []*Slice
+	head int
+}
+
+func (q *sliceQueue) len() int { return len(q.buf) - q.head }
+
+// items returns the live window for iteration. The returned slice is
+// valid only until the next queue mutation.
+func (q *sliceQueue) items() []*Slice { return q.buf[q.head:] }
+
+func (q *sliceQueue) at(i int) *Slice { return q.buf[q.head+i] }
+
+func (q *sliceQueue) push(s *Slice) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil // release for GC
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, s)
+}
+
+func (q *sliceQueue) popFront() *Slice {
+	s := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return s
+}
+
+func (q *sliceQueue) pushFront(s *Slice) {
+	if q.head > 0 {
+		q.head--
+		q.buf[q.head] = s
+		return
+	}
+	q.buf = append(q.buf, nil)
+	copy(q.buf[1:], q.buf)
+	q.buf[0] = s
+}
+
+// removeAt deletes the i-th waiting slice, preserving queue order.
+func (q *sliceQueue) removeAt(i int) {
+	idx := q.head + i
+	copy(q.buf[idx:], q.buf[idx+1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+}
+
+func (q *sliceQueue) reset() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
 
 // Datacenter is the simulated facility.
 type Datacenter struct {
@@ -109,6 +179,17 @@ type Datacenter struct {
 	cops []float64 // per-processor cooling coefficient
 
 	demand units.Watts // aggregate draw including cooling
+
+	// Memoized ProcPower, indexed id*nLevels+level. ProcPower is a pure
+	// function of (id, level) between voltage-regime changes — the volt
+	// function reads profiling knowledge and fault overrides that only
+	// move at discrete events — so callers must InvalidatePower whenever
+	// the regime for a processor changes. The cache is pure memoization:
+	// it never alters a computed value, so results stay bit-identical.
+	nLevels   int
+	pcache    []units.Watts
+	pcacheOK  []bool
+	pcacheOff bool
 }
 
 // New builds a datacenter of len(chips) processors with a uniform
@@ -144,11 +225,15 @@ func NewWithCOPs(chips []*variation.Chip, pm *power.Model, volt VoltageFn, cops 
 			return nil, fmt.Errorf("cluster: processor %d has non-positive COP %v", i, c)
 		}
 	}
+	nLevels := pm.Table.NumLevels()
 	dc := &Datacenter{
-		Procs: make([]*Processor, len(chips)),
-		pm:    pm,
-		volt:  volt,
-		cops:  append([]float64(nil), cops...),
+		Procs:    make([]*Processor, len(chips)),
+		pm:       pm,
+		volt:     volt,
+		cops:     append([]float64(nil), cops...),
+		nLevels:  nLevels,
+		pcache:   make([]units.Watts, len(chips)*nLevels),
+		pcacheOK: make([]bool, len(chips)*nLevels),
 	}
 	for i, ch := range chips {
 		dc.Procs[i] = &Processor{ID: i, Chip: ch}
@@ -164,10 +249,48 @@ func (dc *Datacenter) PowerModel() *power.Model { return dc.pm }
 
 // ProcPower returns the total draw (with cooling) of processor id
 // running at the given level under the datacenter's voltage regime.
+// Results are memoized per (id, level); see InvalidatePower.
 func (dc *Datacenter) ProcPower(id, level int) units.Watts {
+	idx := id*dc.nLevels + level
+	if dc.pcacheOK[idx] {
+		return dc.pcache[idx]
+	}
 	ch := dc.Procs[id].Chip
 	cpu := dc.pm.CPUPower(ch.Alpha, ch.Beta, level, dc.volt(id, level))
-	return power.WithCooling(cpu, dc.cops[id])
+	w := power.WithCooling(cpu, dc.cops[id])
+	if !dc.pcacheOff {
+		dc.pcache[idx] = w
+		dc.pcacheOK[idx] = true
+	}
+	return w
+}
+
+// DisablePowerCache makes every ProcPower call recompute from the
+// voltage regime. The reference (naive) scheduler path runs with the
+// cache off so equivalence tests compare memoized draws against
+// always-fresh ones — a missing invalidation then shows up as a
+// divergence rather than being masked on both sides.
+func (dc *Datacenter) DisablePowerCache() {
+	dc.pcacheOff = true
+	dc.InvalidateAllPower()
+}
+
+// InvalidatePower drops the memoized draws for one processor. Call it
+// whenever the voltage regime for that processor changes: a profiling
+// database update, a fault voltage override, a guardband fallback.
+func (dc *Datacenter) InvalidatePower(id int) {
+	lo := id * dc.nLevels
+	for i := lo; i < lo+dc.nLevels; i++ {
+		dc.pcacheOK[i] = false
+	}
+}
+
+// InvalidateAllPower drops every memoized draw — the safe hammer for
+// fleet-wide regime changes (e.g. a supply-voltage derating event).
+func (dc *Datacenter) InvalidateAllPower() {
+	for i := range dc.pcacheOK {
+		dc.pcacheOK[i] = false
+	}
 }
 
 // SliceDuration returns the slice's full execution time at level l.
@@ -198,7 +321,7 @@ func (dc *Datacenter) AvailableAt(id int, now units.Seconds) units.Seconds {
 // III.C).
 func (dc *Datacenter) SetOffline(id int, draw units.Watts) error {
 	p := dc.Procs[id]
-	if p.current != nil || len(p.queue) > 0 {
+	if p.current != nil || p.queue.len() > 0 {
 		return fmt.Errorf("cluster: processor %d is not idle", id)
 	}
 	return dc.ForceOffline(id, draw)
@@ -258,7 +381,7 @@ func (dc *Datacenter) Requeue(s *Slice) {
 		return
 	}
 	p := dc.Procs[s.ProcID]
-	p.queue = append([]*Slice{s}, p.queue...)
+	p.queue.pushFront(s)
 	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
 }
 
@@ -283,11 +406,10 @@ func (dc *Datacenter) SetOnline(id int, now units.Seconds) *Slice {
 	p.offline = false
 	dc.demand -= p.offlineDraw
 	p.offlineDraw = 0
-	if p.current != nil || len(p.queue) == 0 {
+	if p.current != nil || p.queue.len() == 0 {
 		return nil
 	}
-	next := p.queue[0]
-	p.queue = p.queue[1:]
+	next := p.queue.popFront()
 	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
 	if p.backlog < 0 {
 		p.backlog = 0
@@ -306,9 +428,9 @@ func (dc *Datacenter) Unqueue(s *Slice) bool {
 		return false
 	}
 	p := dc.Procs[s.ProcID]
-	for i, q := range p.queue {
+	for i, q := range p.queue.items() {
 		if q == s {
-			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.queue.removeAt(i)
 			p.backlog -= dc.SliceDuration(s, s.AssignedLevel)
 			if p.backlog < 0 {
 				p.backlog = 0
@@ -324,7 +446,7 @@ func (dc *Datacenter) Unqueue(s *Slice) bool {
 func (dc *Datacenter) QueuedSlices(dst []*Slice) []*Slice {
 	dst = dst[:0]
 	for _, p := range dc.Procs {
-		dst = append(dst, p.queue...)
+		dst = append(dst, p.queue.items()...)
 	}
 	return dst
 }
@@ -348,14 +470,14 @@ func (dc *Datacenter) Migrate(s *Slice, toProc, level int, now units.Seconds) (*
 // profiling session (offline processor) get a +Inf estimate.
 func (dc *Datacenter) QueueEstimates(fn func(s *Slice, estStart units.Seconds)) {
 	for _, p := range dc.Procs {
-		if len(p.queue) == 0 {
+		if p.queue.len() == 0 {
 			continue
 		}
 		t := units.Seconds(math.Inf(1))
 		if p.current != nil {
 			t = p.current.Finish
 		}
-		for _, q := range p.queue {
+		for _, q := range p.queue.items() {
 			fn(q, t)
 			t += dc.SliceDuration(q, q.AssignedLevel)
 		}
@@ -394,7 +516,7 @@ func (dc *Datacenter) Enqueue(s *Slice, now units.Seconds) *Slice {
 		dc.start(p, s, now)
 		return s
 	}
-	p.queue = append(p.queue, s)
+	p.queue.push(s)
 	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
 	return nil
 }
@@ -427,11 +549,10 @@ func (dc *Datacenter) Complete(id int, now units.Seconds) *Slice {
 	s.remaining = 0
 	p.UtilTime += now - p.busySince
 	p.current = nil
-	if len(p.queue) == 0 {
+	if p.queue.len() == 0 {
 		return nil
 	}
-	next := p.queue[0]
-	p.queue = p.queue[1:]
+	next := p.queue.popFront()
 	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
 	if p.backlog < 0 {
 		p.backlog = 0
@@ -497,7 +618,7 @@ func (dc *Datacenter) QueueSlack(id int, now units.Seconds) units.Seconds {
 		return slackMin
 	}
 	t := p.current.Finish
-	for _, q := range p.queue {
+	for _, q := range p.queue.items() {
 		t += dc.SliceDuration(q, q.AssignedLevel)
 		if q.Job.Deadline > 0 {
 			if s := q.Job.Deadline - t; s < slackMin {
@@ -523,14 +644,21 @@ func (dc *Datacenter) RunningSlices(dst []*Slice) []*Slice {
 // UtilTimes returns each processor's accumulated busy time, adding the
 // in-flight busy span for processors currently running.
 func (dc *Datacenter) UtilTimes(now units.Seconds) []units.Seconds {
-	out := make([]units.Seconds, len(dc.Procs))
-	for i, p := range dc.Procs {
-		out[i] = p.UtilTime
+	return dc.UtilTimesInto(make([]units.Seconds, 0, len(dc.Procs)), now)
+}
+
+// UtilTimesInto is UtilTimes into a reused buffer, for per-sync callers
+// that must not allocate.
+func (dc *Datacenter) UtilTimesInto(dst []units.Seconds, now units.Seconds) []units.Seconds {
+	dst = dst[:0]
+	for _, p := range dc.Procs {
+		u := p.UtilTime
 		if p.current != nil {
-			out[i] += now - p.busySince
+			u += now - p.busySince
 		}
+		dst = append(dst, u)
 	}
-	return out
+	return dst
 }
 
 // LiveSlices counts the fleet's in-flight work: slices currently
@@ -542,7 +670,7 @@ func (dc *Datacenter) LiveSlices() (running, queued int) {
 		if p.current != nil {
 			running++
 		}
-		queued += len(p.queue)
+		queued += p.queue.len()
 	}
 	return running, queued
 }
@@ -556,4 +684,34 @@ func (dc *Datacenter) BusyCount() int {
 		}
 	}
 	return n
+}
+
+// SliceArena bulk-allocates slices in fixed chunks so the placement
+// loop does not pay one heap allocation per slice. Slices are never
+// recycled within a run — a pointer handed out stays valid and uniquely
+// owned for the run's lifetime, exactly as an individually allocated
+// slice would — so the arena trades bounded memory growth for zero
+// aliasing risk. Chunks whose slices all become unreachable are
+// collected normally.
+type SliceArena struct {
+	chunk []Slice
+}
+
+const arenaChunk = 256
+
+// New returns a fresh unstarted slice, equivalent to NewSlice.
+func (a *SliceArena) New(j *workload.Job, procID, level int) *Slice {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]Slice, 0, arenaChunk)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	s := &a.chunk[len(a.chunk)-1]
+	*s = Slice{
+		Job:           j,
+		ProcID:        procID,
+		AssignedLevel: level,
+		Level:         level,
+		remaining:     1,
+	}
+	return s
 }

@@ -298,3 +298,107 @@ func TestNewWithCOPsValidation(t *testing.T) {
 		t.Fatalf("COP 1 proc power = %v, want %v", p0, cpu0*2)
 	}
 }
+
+// The ProcPower memo must be transparent: same values as direct
+// computation, stale values dropped on invalidation.
+func TestProcPowerCacheInvalidation(t *testing.T) {
+	m, err := variation.NewModel(variation.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := power.NewModel(power.DefaultTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mutable voltage regime standing in for profiling updates and
+	// fault overrides.
+	bump := make([]units.Volts, 4)
+	volt := func(id, l int) units.Volts { return pm.Table.Levels[l].Vnom + bump[id] }
+	dc, err := New(m.GenerateFleet(4), pm, volt, power.DefaultCOP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := func(id, l int) units.Watts {
+		ch := dc.Procs[id].Chip
+		return power.WithCooling(pm.CPUPower(ch.Alpha, ch.Beta, l, volt(id, l)), dc.cops[id])
+	}
+	for id := 0; id < 4; id++ {
+		for l := 0; l < pm.Table.NumLevels(); l++ {
+			if got, want := dc.ProcPower(id, l), direct(id, l); got != want {
+				t.Fatalf("ProcPower(%d,%d) = %v, want %v", id, l, got, want)
+			}
+		}
+	}
+	// Regime change without invalidation: memo intentionally serves the
+	// old value (that is the contract callers must uphold).
+	bump[2] = 0.05
+	stale := dc.ProcPower(2, 0)
+	if stale == direct(2, 0) {
+		t.Fatal("test regime change had no effect; cannot exercise invalidation")
+	}
+	dc.InvalidatePower(2)
+	if got, want := dc.ProcPower(2, 0), direct(2, 0); got != want {
+		t.Fatalf("after InvalidatePower: ProcPower = %v, want %v", got, want)
+	}
+	// Other processors untouched by the per-id invalidation.
+	if got, want := dc.ProcPower(1, 0), direct(1, 0); got != want {
+		t.Fatalf("ProcPower(1,0) = %v, want %v", got, want)
+	}
+	bump[1] = 0.02
+	dc.InvalidateAllPower()
+	if got, want := dc.ProcPower(1, 0), direct(1, 0); got != want {
+		t.Fatalf("after InvalidateAllPower: ProcPower = %v, want %v", got, want)
+	}
+}
+
+func TestUtilTimesIntoMatchesUtilTimes(t *testing.T) {
+	dc := testDC(t, 4)
+	top := dc.PowerModel().Table.Top()
+	dc.Enqueue(NewSlice(job(1, 100, 1), 0, top), 0)
+	dc.Enqueue(NewSlice(job(2, 50, 0.5), 2, top), 5)
+	dc.Complete(0, 100)
+	want := dc.UtilTimes(120)
+	buf := make([]units.Seconds, 0, 4)
+	got := dc.UtilTimesInto(buf, 120)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UtilTimesInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		got = dc.UtilTimesInto(got, 120)
+	})
+	if allocs != 0 {
+		t.Fatalf("UtilTimesInto allocated %v per run, want 0", allocs)
+	}
+}
+
+// Arena-built slices behave exactly like NewSlice ones and stay
+// distinct across chunk boundaries.
+func TestSliceArenaEquivalentToNewSlice(t *testing.T) {
+	var a SliceArena
+	j := job(1, 100, 0.7)
+	got := a.New(j, 3, 2)
+	want := NewSlice(j, 3, 2)
+	if *got != *want {
+		t.Fatalf("arena slice = %+v, want %+v", *got, *want)
+	}
+	seen := make(map[*Slice]bool)
+	for i := 0; i < 3*arenaChunk; i++ {
+		s := a.New(j, i, 1)
+		if seen[s] {
+			t.Fatal("arena handed out the same slice twice")
+		}
+		seen[s] = true
+		if s.ProcID != i || s.Remaining() != 1 || s.Running() || s.Done() {
+			t.Fatalf("arena slice %d corrupt: %+v", i, *s)
+		}
+	}
+	// Earlier chunks stay intact after later allocations.
+	if got.ProcID != 3 || got.AssignedLevel != 2 {
+		t.Fatalf("first arena slice mutated: %+v", *got)
+	}
+}

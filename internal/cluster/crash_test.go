@@ -84,7 +84,7 @@ func TestRequeueFrontOrdering(t *testing.T) {
 	dc.Enqueue(waiting, 0)
 	pre := dc.Preempt(0, 50)
 	dc.Requeue(pre)
-	if dc.Procs[0].queue[0] != pre {
+	if dc.Procs[0].queue.at(0) != pre {
 		t.Fatal("preempted slice not at queue front")
 	}
 }

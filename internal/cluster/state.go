@@ -78,7 +78,7 @@ func (dc *Datacenter) CaptureState(jobRef func(*workload.Job) int) State {
 		if p.current != nil {
 			ps.Current = []SliceState{cap(p.current)}
 		}
-		for _, q := range p.queue {
+		for _, q := range p.queue.items() {
 			ps.Queue = append(ps.Queue, cap(q))
 		}
 		st.Procs[i] = ps
@@ -128,7 +128,7 @@ func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error
 		p.offline = ps.Offline
 		p.offlineDraw = ps.OfflineDraw
 		p.current = nil
-		p.queue = nil
+		p.queue.reset()
 		if len(ps.Current) > 1 {
 			return nil, fmt.Errorf("cluster: processor %d snapshot has %d running slices", i, len(ps.Current))
 		}
@@ -144,9 +144,13 @@ func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error
 			if err != nil {
 				return nil, err
 			}
-			p.queue = append(p.queue, s)
+			p.queue.push(s)
 		}
 	}
 	dc.demand = st.Demand
+	// The caller typically restores voltage-regime state (profiling
+	// knowledge, fault overrides) after this overlay, so any draw
+	// memoized before or during the restore could be stale.
+	dc.InvalidateAllPower()
 	return slices, nil
 }

@@ -1,0 +1,97 @@
+// Package profiles wires Go's runtime collectors (CPU profile, heap
+// profile, execution trace) into the command-line binaries with one
+// call. The binaries run their workload under a signal-cancelled
+// context, so Stop runs on the normal return path for both clean exits
+// and SIGINT/SIGTERM — profiles land on disk either way.
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Session holds the active collectors; Stop flushes and closes them.
+type Session struct {
+	cpuFile   *os.File
+	memPath   string
+	traceFile *os.File
+	stopped   bool
+}
+
+// Start begins the collectors whose paths are non-empty. On any error
+// it stops whatever it already started and returns the error; a nil
+// *Session is safe to Stop.
+func Start(cpuPath, memPath, tracePath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			s.memPath = "" // don't write a heap profile on the error path
+			s.Stop()
+			return nil, fmt.Errorf("execution trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.memPath = ""
+			s.Stop()
+			return nil, fmt.Errorf("execution trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// Stop flushes every active collector. The heap profile is written
+// here — after the workload — preceded by a GC so it reflects live
+// memory rather than garbage. Stop is idempotent and nil-safe; the
+// first error wins but every collector is still closed.
+func (s *Session) Stop() error {
+	if s == nil || s.stopped {
+		return nil
+	}
+	s.stopped = true
+	var first error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("execution trace: %w", err)
+		}
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,74 @@
+package profiles
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "exec.trace")
+	s, err := Start(cpu, mem, tr)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU and heap so the collectors have content.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	if err := s.Stop(); err != nil {
+		t.Errorf("second Stop not idempotent: %v", err)
+	}
+}
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	s, err := Start("", "", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	var nilSession *Session
+	if err := nilSession.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+func TestStartErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	// A directory path cannot be created as a file.
+	if _, err := Start(dir, "", ""); err == nil {
+		t.Fatal("expected error for unwritable cpu profile path")
+	}
+	// A failed trace start must stop the already-running CPU profile so
+	// a later Start succeeds.
+	cpu := filepath.Join(dir, "cpu.pprof")
+	if _, err := Start(cpu, "", dir); err == nil {
+		t.Fatal("expected error for unwritable trace path")
+	}
+	s, err := Start(cpu, "", "")
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}

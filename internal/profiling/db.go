@@ -3,6 +3,7 @@ package profiling
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"iscope/internal/units"
 )
@@ -28,6 +29,11 @@ type DB struct {
 	mu     sync.RWMutex
 	recs   []Record
 	levels int
+	// version counts completed writes. Readers that keep derived caches
+	// (ScanKnowledge's voltage table) compare it against the version
+	// they cached at, so the steady-state read path costs one atomic
+	// load instead of an RWMutex round trip per lookup.
+	version atomic.Uint64
 }
 
 // NewDB creates an empty database for n chips and the given number of
@@ -65,7 +71,25 @@ func (db *DB) Update(id int, minVdd []units.Volts, now units.Seconds) error {
 	}
 	r.LastScan = now
 	r.Scans++
+	db.version.Add(1)
 	return nil
+}
+
+// Version returns the database's write counter. A derived cache built
+// at version v is current as long as Version still returns v.
+func (db *DB) Version() uint64 { return db.version.Load() }
+
+// CopyTables copies the flattened (chip × level) MinVdd and Measured
+// arrays into the caller's buffers, which must each hold
+// NumChips()*levels entries. One locked bulk copy replaces per-lookup
+// locking for readers that cache.
+func (db *DB) CopyTables(minVdd []units.Volts, measured []bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for id := range db.recs {
+		copy(minVdd[id*db.levels:], db.recs[id].MinVdd)
+		copy(measured[id*db.levels:], db.recs[id].Measured)
+	}
 }
 
 // Lookup returns the measured MinVdd of chip id at level l and whether
@@ -119,6 +143,8 @@ func (db *DB) RestoreRecords(recs []Record) error {
 		if len(r.MinVdd) != db.levels || len(r.Measured) != db.levels {
 			return fmt.Errorf("profiling: record %d has %d/%d levels, want %d", i, len(r.MinVdd), len(r.Measured), db.levels)
 		}
+	}
+	for i, r := range recs {
 		db.recs[i] = Record{
 			MinVdd:   append([]units.Volts(nil), r.MinVdd...),
 			Measured: append([]bool(nil), r.Measured...),
@@ -126,6 +152,7 @@ func (db *DB) RestoreRecords(recs []Record) error {
 			Scans:    r.Scans,
 		}
 	}
+	db.version.Add(1)
 	return nil
 }
 

@@ -140,6 +140,18 @@ func (r *Rand) Poisson(mean float64) int {
 // Perm returns a random permutation of [0,n).
 func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
 
+// PermInto writes a random permutation of [0,len(dst)) into dst. It
+// consumes the stream exactly as Perm(len(dst)) would — rand/v2's Perm
+// is an identity fill followed by Shuffle — so the two are
+// interchangeable without perturbing downstream draws; PermInto just
+// skips the allocation.
+func (r *Rand) PermInto(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	r.src.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 

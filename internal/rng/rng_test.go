@@ -237,3 +237,32 @@ func TestWeibullPositive(t *testing.T) {
 		}
 	}
 }
+
+// PermInto must consume the stream exactly as Perm does: same
+// permutation from the same state, and identical follow-up draws.
+func TestPermIntoStreamEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 500} {
+		a := New(42, uint64(n))
+		b := New(42, uint64(n))
+		want := a.Perm(n)
+		got := make([]int, n)
+		b.PermInto(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto = %v, want %v", n, got, want)
+			}
+		}
+		if au, bu := a.Uint64(), b.Uint64(); au != bu {
+			t.Fatalf("n=%d: streams diverged after permutation: %d vs %d", n, au, bu)
+		}
+	}
+}
+
+func TestPermIntoAllocFree(t *testing.T) {
+	r := New(1, 2)
+	buf := make([]int, 96)
+	allocs := testing.AllocsPerRun(100, func() { r.PermInto(buf) })
+	if allocs != 0 {
+		t.Fatalf("PermInto allocated %v per run, want 0", allocs)
+	}
+}

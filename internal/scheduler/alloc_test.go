@@ -1,0 +1,111 @@
+package scheduler
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// warmSim builds a mid-simulation sim by stepping the event loop until
+// roughly half the jobs have finished, so the scratch buffers have
+// reached their steady-state capacities and the hot paths can be
+// measured in a representative state.
+func warmSim(t *testing.T) *sim {
+	t.Helper()
+	fleet := testFleet(t, 16)
+	jobs := testJobs(t, 42, 40, 0.3)
+	w := testWind(t, fleet, 300)
+	sch, ok := SchemeByName("ScanFair")
+	if !ok {
+		t.Fatal("ScanFair scheme missing")
+	}
+	cfg := RunConfig{Seed: 1, Jobs: jobs, Wind: w, EnableRebalance: true}
+	s, err := newSim(fleet, sch, cfg)
+	if err != nil {
+		t.Fatalf("newSim: %v", err)
+	}
+	half := len(cfg.Jobs.Jobs) / 2
+	for s.jobsLeft > half {
+		if !s.eng.Step() {
+			t.Fatal("event queue drained before the warmup point")
+		}
+	}
+	return s
+}
+
+// measure asserts fn performs zero steady-state heap allocations. One
+// untimed call first lets lazily sized buffers reach capacity — growth
+// on first use is fine; growth per call is the regression these tests
+// guard against.
+func measure(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn()
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s allocated %v times per call in steady state, want 0", name, allocs)
+	}
+}
+
+func TestSelectProcsAllocFree(t *testing.T) {
+	s := warmSim(t)
+	now := s.eng.Now()
+	j := s.states[len(s.states)-1].job
+	measure(t, "selectProcs", func() {
+		s.fairValid = false // force the fair order to re-sort every call
+		_ = s.selectProcs(j, now)
+	})
+}
+
+func TestMatchAllocFree(t *testing.T) {
+	s := warmSim(t)
+	now := s.eng.Now()
+	measure(t, "match(deficit)", func() {
+		s.curWind = s.dc.Demand() / 2 // deficit: sort + step-down walk
+		_ = s.match(now)
+	})
+	measure(t, "match(surplus)", func() {
+		s.curWind = s.dc.Demand() * 2 // surplus: sort + restore walk
+		_ = s.match(now)
+	})
+}
+
+func TestRebalanceAllocFree(t *testing.T) {
+	s := warmSim(t)
+	now := s.eng.Now()
+	measure(t, "rebalance", func() {
+		s.fairValid = false
+		s.rebalance(now)
+	})
+}
+
+func TestQualityMetricsAllocFree(t *testing.T) {
+	s := warmSim(t)
+	measure(t, "qualityMetrics", func() {
+		_, _, _ = s.qualityMetrics()
+	})
+}
+
+// TestLeastUsedOrderAllocFree pins the fair order's refresh path, the
+// single hottest sort in the profile of the seed implementation.
+func TestLeastUsedOrderAllocFree(t *testing.T) {
+	s := warmSim(t)
+	now := s.eng.Now()
+	measure(t, "leastUsedOrder", func() {
+		s.fairValid = false
+		_ = s.leastUsedOrder(now)
+	})
+	// The efficiency order's re-sort is the other static-order hot path.
+	measure(t, "refreshEffOrder", func() {
+		s.refreshEffOrder()
+	})
+}
+
+// TestUtilTimesIntoNoEscape guards the helper the fair order depends
+// on: filling the reused buffer must not allocate.
+func TestUtilTimesIntoNoEscape(t *testing.T) {
+	s := warmSim(t)
+	now := s.eng.Now()
+	buf := make([]units.Seconds, 0, len(s.dc.Procs))
+	measure(t, "UtilTimesInto", func() {
+		buf = s.dc.UtilTimesInto(buf[:0], now)
+	})
+}

@@ -13,7 +13,6 @@ import (
 	"iscope/internal/invariants"
 	"iscope/internal/metrics"
 	"iscope/internal/profiling"
-	"iscope/internal/simulator"
 	"iscope/internal/units"
 	"iscope/internal/workload"
 )
@@ -35,16 +34,27 @@ const (
 	tagFaultEvent                    // A = index into the compiled fault plan
 	tagRepaired                      // A = processor id
 	tagMargin                        // A = slice serial, B = generation, C = level
-	tagReprofiled                    // A = processor id, FP = the tripped false pass
+	tagReprofiled                    // A = processor id, FP* = the tripped false pass
 )
 
 // eventTag is the serializable descriptor of one pending event. A
 // single concrete struct (rather than one type per kind) keeps gob
-// encoding free of interface registration.
+// encoding free of interface registration. The fields are int32 and the
+// false-pass payload is inlined as scalars, which keeps the tag — and
+// with it the event engine's heap node — small and pointer-free: sift
+// copies are short memmoves with no GC write barriers, a measurable
+// share of the hot loop. FPDrift 0 (which a compiled false pass can
+// never have) marks "no false-pass payload".
 type eventTag struct {
-	Kind    tagKind
-	A, B, C int
-	FP      *faults.FalsePass
+	Kind            tagKind
+	A, B, C         int32
+	FPChip, FPLevel int32
+	FPDrift         float64
+}
+
+// fp reassembles the inlined false-pass payload of a tagReprofiled tag.
+func (t eventTag) fp() faults.FalsePass {
+	return faults.FalsePass{Chip: int(t.FPChip), Level: int(t.FPLevel), DriftFrac: t.FPDrift}
 }
 
 // snapMeta identifies the run a snapshot belongs to. Restore refuses a
@@ -213,11 +223,10 @@ func (s *sim) snapshot() (*runSnapshot, error) {
 	pending := s.eng.PendingEvents()
 	events := make([]snapEvent, 0, len(pending))
 	for _, ev := range pending {
-		tag, ok := ev.Tag.(eventTag)
-		if !ok {
+		if ev.Closure {
 			return nil, fmt.Errorf("scheduler: untagged event at t=%v cannot be checkpointed", ev.At)
 		}
-		events = append(events, snapEvent{At: ev.At, Seq: ev.Seq, Tag: tag})
+		events = append(events, snapEvent{At: ev.At, Seq: ev.Seq, Tag: ev.Tag})
 	}
 	randState, err := s.r.MarshalBinary()
 	if err != nil {
@@ -365,6 +374,7 @@ func (s *sim) restore(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("scheduler: resume: %w", err)
 	}
+	s.rebuildSerialIndex(slices)
 
 	s.account.RestoreState(snap.Account)
 	switch {
@@ -477,7 +487,7 @@ func (s *sim) restore(data []byte) error {
 	s.eng.Reset(snap.Now, snap.Seq)
 	ckptRestored := false
 	for _, ev := range snap.Events {
-		fn, keep, err := s.eventFn(ev.Tag, slices)
+		keep, err := s.validateTag(ev.Tag, slices)
 		if err != nil {
 			return fmt.Errorf("scheduler: resume: event at t=%v: %w", ev.At, err)
 		}
@@ -487,7 +497,7 @@ func (s *sim) restore(data []byte) error {
 		if ev.Tag.Kind == tagCheckpoint {
 			ckptRestored = true
 		}
-		if err := s.eng.Inject(ev.At, ev.Seq, ev.Tag, fn); err != nil {
+		if err := s.eng.InjectTag(ev.At, ev.Seq, ev.Tag); err != nil {
 			return fmt.Errorf("scheduler: resume: %w", err)
 		}
 	}
@@ -495,93 +505,85 @@ func (s *sim) restore(data []byte) error {
 	// holds no pending tick (the original run checkpointed only on
 	// cancellation, or not at all).
 	if !ckptRestored && s.cfg.Checkpoint != nil && s.cfg.Checkpoint.Every > 0 {
-		_ = s.eng.AfterTagged(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+		_ = s.eng.AfterTag(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
 	}
 	return nil
 }
 
-// eventFn rebuilds a pending event's callback from its tag. keep is
-// false for events that are provably no-ops in the restored world: a
-// completion or margin check whose slice no longer exists, or a
-// checkpoint tick when the resumed run disabled checkpointing.
-// Dropping a no-op instead of replaying it cannot change the
-// trajectory — the callbacks guard on (gen, running, level) and would
-// return immediately.
-func (s *sim) eventFn(tag eventTag, slices map[int]*cluster.Slice) (simulator.Callback, bool, error) {
+// validateTag vets a pending event against the restored world. keep is
+// false for events that are provably no-ops there: a completion or
+// margin check whose slice no longer exists, or a checkpoint tick when
+// the resumed run disabled checkpointing. Dropping a no-op instead of
+// replaying it cannot change the trajectory — the dispatcher guards on
+// (serial, gen, running, level) and would return immediately. Kept
+// events need no callback rebuilt: the engine routes their tags back
+// through the same dispatcher the live run uses.
+func (s *sim) validateTag(tag eventTag, slices map[int]*cluster.Slice) (bool, error) {
 	switch tag.Kind {
 	case tagArrival:
-		idx := tag.A
-		if idx < 0 || idx >= len(s.states) {
-			return nil, false, fmt.Errorf("arrival index %d out of range", idx)
+		if tag.A < 0 || int(tag.A) >= len(s.states) {
+			return false, fmt.Errorf("arrival index %d out of range", tag.A)
 		}
-		return func(now units.Seconds) { s.onArrival(idx, now) }, true, nil
+		return true, nil
 	case tagWindTick:
 		if s.cfg.Wind == nil {
-			return nil, false, fmt.Errorf("wind tick in a utility-only run")
+			return false, fmt.Errorf("wind tick in a utility-only run")
 		}
-		return s.onWindTick, true, nil
+		return true, nil
 	case tagAuxTick:
-		return s.onAuxTick, true, nil
+		return true, nil
 	case tagSample:
 		if s.sampler == nil {
-			return nil, false, fmt.Errorf("sampler tick with sampling disabled")
+			return false, fmt.Errorf("sampler tick with sampling disabled")
 		}
-		return s.onSample, true, nil
+		return true, nil
 	case tagCheckpoint:
 		if s.cfg.Checkpoint == nil || s.cfg.Checkpoint.Every <= 0 {
-			return nil, false, nil
+			return false, nil
 		}
-		return s.onCheckpointTick, true, nil
+		return true, nil
 	case tagCompletion:
-		sl, ok := slices[tag.A]
-		if !ok {
-			return nil, false, nil // slice completed or replaced; stale no-op
+		if _, ok := slices[int(tag.A)]; !ok {
+			return false, nil // slice completed or replaced; stale no-op
 		}
-		gen := tag.B
-		return func(now units.Seconds) { s.onComplete(sl, gen, now) }, true, nil
+		return true, nil
 	case tagFinishScan:
-		id := tag.A
-		if id < 0 || id >= len(s.dc.Procs) {
-			return nil, false, fmt.Errorf("scan finish for processor %d out of range", id)
+		if tag.A < 0 || int(tag.A) >= len(s.dc.Procs) {
+			return false, fmt.Errorf("scan finish for processor %d out of range", tag.A)
 		}
-		return func(now units.Seconds) { s.finishScan(id, now) }, true, nil
+		return true, nil
 	case tagFaultEvent:
 		if s.faults == nil {
-			return nil, false, fmt.Errorf("fault event with fault injection disabled")
+			return false, fmt.Errorf("fault event with fault injection disabled")
 		}
-		if tag.A < 0 || tag.A >= len(s.faults.plan.Events) {
-			return nil, false, fmt.Errorf("fault plan index %d out of range", tag.A)
+		if tag.A < 0 || int(tag.A) >= len(s.faults.plan.Events) {
+			return false, fmt.Errorf("fault plan index %d out of range", tag.A)
 		}
-		fn := s.faultEventFn(tag.A)
-		if fn == nil {
-			return nil, false, fmt.Errorf("fault plan event %d has no observer", tag.A)
+		if !s.faultEventObserved(int(tag.A)) {
+			return false, fmt.Errorf("fault plan event %d has no observer", tag.A)
 		}
-		return fn, true, nil
+		return true, nil
 	case tagRepaired:
-		id := tag.A
-		if s.faults == nil || id < 0 || id >= len(s.dc.Procs) {
-			return nil, false, fmt.Errorf("repair event for processor %d invalid", id)
+		if s.faults == nil || tag.A < 0 || int(tag.A) >= len(s.dc.Procs) {
+			return false, fmt.Errorf("repair event for processor %d invalid", tag.A)
 		}
-		return func(now units.Seconds) { s.onRepaired(id, now) }, true, nil
+		return true, nil
 	case tagMargin:
 		if s.faults == nil {
-			return nil, false, fmt.Errorf("margin event with fault injection disabled")
+			return false, fmt.Errorf("margin event with fault injection disabled")
 		}
-		sl, ok := slices[tag.A]
-		if !ok {
-			return nil, false, nil // slice gone; stale no-op
+		if _, ok := slices[int(tag.A)]; !ok {
+			return false, nil // slice gone; stale no-op
 		}
-		gen, level := tag.B, tag.C
-		return func(now units.Seconds) { s.onMarginViolation(sl, gen, level, now) }, true, nil
+		return true, nil
 	case tagReprofiled:
-		if s.faults == nil || tag.FP == nil {
-			return nil, false, fmt.Errorf("reprofile event invalid")
+		if s.faults == nil || tag.FPDrift <= 0 {
+			return false, fmt.Errorf("reprofile event invalid")
 		}
-		id, fp := tag.A, *tag.FP
-		if id < 0 || id >= len(s.dc.Procs) {
-			return nil, false, fmt.Errorf("reprofile event for processor %d out of range", id)
+		if tag.A < 0 || int(tag.A) >= len(s.dc.Procs) {
+			return false, fmt.Errorf("reprofile event for processor %d out of range", tag.A)
 		}
-		return func(now units.Seconds) { s.onReprofiled(id, fp, now) }, true, nil
+		return true, nil
 	}
-	return nil, false, fmt.Errorf("unknown event tag kind %d", tag.Kind)
+	return false, fmt.Errorf("unknown event tag kind %d", tag.Kind)
 }

@@ -4,7 +4,6 @@ import (
 	"iscope/internal/cluster"
 	"iscope/internal/faults"
 	"iscope/internal/metrics"
-	"iscope/internal/simulator"
 	"iscope/internal/units"
 )
 
@@ -105,35 +104,43 @@ func (s *sim) trueMinVdd(fp faults.FalsePass) units.Volts {
 // battery — they would be no-ops with no one to observe them.
 func (s *sim) scheduleFaultEvents() {
 	for i, ev := range s.faults.plan.Events {
-		fn := s.faultEventFn(i)
-		if fn == nil {
+		if !s.faultEventObserved(i) {
 			continue
 		}
-		_ = s.eng.ScheduleTagged(ev.At, eventTag{Kind: tagFaultEvent, A: i}, fn)
+		_ = s.eng.ScheduleTag(ev.At, eventTag{Kind: tagFaultEvent, A: int32(i)})
 	}
 }
 
-// faultEventFn builds the callback for plan event i, or nil when the
-// event has no observer under this configuration. Because the plan is
-// recompiled deterministically from (spec, seed) on resume, the index
-// is a stable serializable handle for the pending event.
-func (s *sim) faultEventFn(i int) simulator.Callback {
+// faultEventObserved reports whether plan event i has an observer under
+// this configuration. Because the plan is recompiled deterministically
+// from (spec, seed) on resume, the index is a stable serializable
+// handle for the pending event.
+func (s *sim) faultEventObserved(i int) bool {
+	if i < 0 || i >= len(s.faults.plan.Events) {
+		return false
+	}
+	switch s.faults.plan.Events[i].Kind {
+	case faults.Crash:
+		return true
+	case faults.DerateStart, faults.DerateEnd:
+		return s.cfg.Wind != nil
+	case faults.BatteryFade:
+		return s.account.Battery != nil
+	}
+	return false
+}
+
+// onFaultEvent fires plan event i from the tag dispatcher.
+func (s *sim) onFaultEvent(i int, now units.Seconds) {
 	ev := s.faults.plan.Events[i]
 	switch ev.Kind {
 	case faults.Crash:
-		return func(now units.Seconds) { s.onCrash(ev.Proc, ev.Dur, now) }
+		s.onCrash(ev.Proc, ev.Dur, now)
 	case faults.DerateStart, faults.DerateEnd:
-		if s.cfg.Wind == nil {
-			return nil
-		}
-		return func(now units.Seconds) { s.onSupplyFactor(ev.Factor, now) }
+		s.onSupplyFactor(ev.Factor, now)
 	case faults.BatteryFade:
-		if s.account.Battery == nil {
-			return nil
-		}
-		return func(now units.Seconds) { s.onBatteryFade(ev.Factor, now) }
+		s.onBatteryFade(ev.Factor, now)
 	}
-	return nil
 }
 
 // onCrash fails processor id: the running slice (if any) is preempted
@@ -157,8 +164,7 @@ func (s *sim) onCrash(id int, repair, now units.Seconds) {
 		return
 	}
 	f.repairSince[id] = now
-	tag := eventTag{Kind: tagRepaired, A: id}
-	_ = s.eng.AfterTagged(repair, tag, func(when units.Seconds) { s.onRepaired(id, when) })
+	_ = s.eng.AfterTag(repair, eventTag{Kind: tagRepaired, A: int32(id)})
 }
 
 // onRepaired returns a crashed processor to service and restarts its
@@ -227,9 +233,7 @@ func (s *sim) armFalsePass(sl *cluster.Slice) {
 	if latency < 0 {
 		latency = 0
 	}
-	gen, level := sl.Gen, sl.Level
-	tag := eventTag{Kind: tagMargin, A: sl.Serial, B: gen, C: level}
-	_ = s.eng.AfterTagged(latency, tag, func(when units.Seconds) { s.onMarginViolation(sl, gen, level, when) })
+	_ = s.eng.AfterTag(latency, eventTag{Kind: tagMargin, A: int32(sl.Serial), B: int32(sl.Gen), C: int32(sl.Level)})
 }
 
 // onMarginViolation fires when a falsely-passed chip corrupts its
@@ -259,15 +263,18 @@ func (s *sim) onMarginViolation(sl *cluster.Slice, gen, level int, now units.Sec
 	for l := 0; l < f.levels; l++ {
 		f.override[id*f.levels+l] = s.fleet.Binning.Vdd(id, l)
 	}
+	// The worst-case fallback changes this chip's operating voltages.
+	s.dc.InvalidatePower(id)
 	f.fallbackSince[id] = now
 	delete(f.victims, victimKey{id, level})
 
 	if err := s.dc.ForceOffline(id, reprofileDraw); err != nil {
 		return
 	}
-	fpCopy := fp
-	tag := eventTag{Kind: tagReprofiled, A: id, FP: &fpCopy}
-	_ = s.eng.AfterTagged(f.spec.ReprofileTime, tag, func(when units.Seconds) { s.onReprofiled(id, fp, when) })
+	_ = s.eng.AfterTag(f.spec.ReprofileTime, eventTag{
+		Kind: tagReprofiled, A: int32(id),
+		FPChip: int32(fp.Chip), FPLevel: int32(fp.Level), FPDrift: fp.DriftFrac,
+	})
 }
 
 // onReprofiled completes a suspect chip's emergency re-scan: the
@@ -290,6 +297,9 @@ func (s *sim) onReprofiled(id int, fp faults.FalsePass, now units.Seconds) {
 		corrected = safe
 	}
 	f.override[id*f.levels+fp.Level] = corrected
+	// Lifting the fallback (and pinning the corrected level) is another
+	// voltage-regime change for this chip.
+	s.dc.InvalidatePower(id)
 	if started := s.dc.SetOnline(id, now); started != nil {
 		s.scheduleCompletion(started)
 	}

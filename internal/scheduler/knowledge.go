@@ -96,6 +96,19 @@ type ScanKnowledge struct {
 	// granularity must be covered.
 	Guard units.Volts
 	rank  []float64
+
+	// Vdd/EstPower are on the scheduler's hottest paths (level choice,
+	// power accounting), so both are cached as flat chip×level tables
+	// rebuilt only when the DB's write version moves: the steady-state
+	// lookup is one atomic load and an index instead of an RWMutex round
+	// trip and a power-model evaluation per call. The cached values are
+	// computed by exactly the code the uncached path ran, so regimes
+	// over a static DB are bit-identical with or without the cache.
+	cacheVer uint64
+	vddCache []units.Volts
+	pwrCache []units.Watts
+	minBuf   []units.Volts
+	measBuf  []bool
 }
 
 // DefaultScanGuard is the in-cloud guardband (one scan voltage step).
@@ -110,6 +123,7 @@ func NewScanKnowledge(chips []*variation.Chip, pm *power.Model, db *profiling.DB
 		return nil, fmt.Errorf("scheduler: negative scan guard")
 	}
 	k := &ScanKnowledge{chips: chips, pm: pm, db: db, Guard: guard}
+	k.refresh(db.Version())
 	top := pm.Table.Top()
 	k.rank = make([]float64, len(chips))
 	for id := range chips {
@@ -118,25 +132,57 @@ func NewScanKnowledge(chips []*variation.Chip, pm *power.Model, db *profiling.DB
 	return k, nil
 }
 
+// refresh rebuilds the cached voltage and power tables from the DB
+// state at write-version ver. A version moving mid-copy only means the
+// next lookup refreshes again.
+func (k *ScanKnowledge) refresh(ver uint64) {
+	n, levels := len(k.chips), k.pm.Table.NumLevels()
+	if k.vddCache == nil {
+		k.vddCache = make([]units.Volts, n*levels)
+		k.pwrCache = make([]units.Watts, n*levels)
+		k.minBuf = make([]units.Volts, n*levels)
+		k.measBuf = make([]bool, n*levels)
+	}
+	k.db.CopyTables(k.minBuf, k.measBuf)
+	for id := 0; id < n; id++ {
+		ch := k.chips[id]
+		for l := 0; l < levels; l++ {
+			i := id*levels + l
+			vnom := k.pm.Table.Levels[l].Vnom
+			out := vnom
+			if v := k.minBuf[i]; k.measBuf[i] && v > 0 {
+				out = v + k.Guard
+				if out > vnom {
+					out = vnom
+				}
+			}
+			k.vddCache[i] = out
+			k.pwrCache[i] = k.pm.CPUPower(ch.Alpha, ch.Beta, l, out)
+		}
+	}
+	k.cacheVer = ver
+}
+
+// ensure revalidates the cache against the DB's write version. Cheap on
+// the fast path (one atomic load); the rebuild runs only after a scan
+// actually lands.
+func (k *ScanKnowledge) ensure() {
+	if v := k.db.Version(); v != k.cacheVer {
+		k.refresh(v)
+	}
+}
+
 // Vdd returns the scanned MinVdd plus the in-cloud guardband, capped at
 // the level's nominal voltage; unprofiled levels fall back to nominal.
 func (k *ScanKnowledge) Vdd(id, l int) units.Volts {
-	vnom := k.pm.Table.Levels[l].Vnom
-	v, ok := k.db.Lookup(id, l)
-	if !ok || v <= 0 {
-		return vnom
-	}
-	out := v + k.Guard
-	if out > vnom {
-		out = vnom
-	}
-	return out
+	k.ensure()
+	return k.vddCache[id*k.pm.Table.NumLevels()+l]
 }
 
 // EstPower returns the metered power at the scanned operating voltage.
 func (k *ScanKnowledge) EstPower(id, l int) units.Watts {
-	ch := k.chips[id]
-	return k.pm.CPUPower(ch.Alpha, ch.Beta, l, k.Vdd(id, l))
+	k.ensure()
+	return k.pwrCache[id*k.pm.Table.NumLevels()+l]
 }
 
 // EffRank returns estimated power per GHz at the top level.
@@ -252,8 +298,16 @@ func effOrder(n int, k Knowledge, tiebreak []int) []int {
 	for i, id := range tiebreak {
 		pos[id] = i
 	}
+	// Ranks are precomputed so the comparator doesn't re-derive them
+	// O(n log n) times. The sort stays stable: tiebreak need not be a
+	// permutation (tests pass all-zero tiebreaks), so (rank, pos) is not
+	// necessarily a strict order and insertion order must break the rest.
+	rank := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rank[i] = k.EffRank(i)
+	}
 	sort.SliceStable(out, func(a, b int) bool {
-		ra, rb := k.EffRank(out[a]), k.EffRank(out[b])
+		ra, rb := rank[out[a]], rank[out[b]]
 		if ra != rb {
 			return ra < rb
 		}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"iscope/internal/battery"
 	"iscope/internal/brownout"
@@ -100,6 +100,14 @@ type RunConfig struct {
 	// identical configuration; the run continues from the captured time
 	// and finishes with results bit-identical to the uninterrupted run.
 	Resume []byte
+
+	// naive switches the scheduler's hot paths to the retained reference
+	// implementations (full re-sorts, fresh scratch allocations, no
+	// memoized power) — the oracle the equivalence tests compare the
+	// optimized paths against, byte for byte. Test-only, hence
+	// unexported; it is excluded from cfgHash because it must not change
+	// any result.
+	naive bool
 }
 
 // CheckpointConfig controls snapshotting. Every is the virtual-time
@@ -211,7 +219,7 @@ type jobState struct {
 }
 
 type sim struct {
-	eng    *simulator.Engine
+	eng    *simulator.Engine[eventTag]
 	dc     *cluster.Datacenter
 	fleet  *Fleet
 	know   Knowledge
@@ -260,6 +268,25 @@ type sim struct {
 
 	// sliceSeq issues checkpoint-stable slice serial numbers.
 	sliceSeq int
+	// bySerial resolves a completion/margin event's serial to its live
+	// slice — the event queue stores only serializable tags, and this
+	// index is how the dispatcher gets back to the object. Serials are
+	// issued densely by sliceSeq, so a slice indexed by serial replaces
+	// the previous map (and its hash/assign/delete cost on every
+	// placement and completion). Entries are set at placement and
+	// cleared at completion, so a nil (or out-of-range) entry means the
+	// event is stale and a no-op, the same contract the old closure
+	// guards enforced. On resume it is rebuilt from the restored cluster
+	// state.
+	bySerial []*cluster.Slice
+	// runStamp is an epoch-stamped membership set over serials used by
+	// sortRunningBySlack to detect slices that started running since the
+	// previous matching pass; it grows in lockstep with bySerial.
+	runStamp []int64
+	runEpoch int64
+	// arena bulk-allocates slices; entries are never recycled within a
+	// run, so slice pointers behave exactly like individual allocations.
+	arena cluster.SliceArena
 	// tickInterval is the period of the wind/aux tick, stored so a
 	// restored tick event can re-arm itself.
 	tickInterval units.Seconds
@@ -272,14 +299,64 @@ type sim struct {
 	fairOrderAt units.Seconds
 	fairValid   bool
 
-	// scratch buffers reused across events.
-	runBuf   []*cluster.Slice
-	availBuf []procAvail
+	// Scratch buffers reused across events; all steady-state
+	// allocation-free. takenMark is an epoch-stamped membership set
+	// (takenMark[id] == takenEpoch means taken this placement) that
+	// replaces a per-placement map.
+	runBuf        []*cluster.Slice
+	runSorted     []*cluster.Slice
+	lastSlackDesc bool
+	availBuf      []procAvail
+	placeBuf      []placement
+	takenMark     []int64
+	takenEpoch    int64
+	utilBuf       []units.Seconds
+	fairKeys      []utilKey
+	slackBuf      []slackEntry
+	changedBuf    []*cluster.Slice
+	candBuf       []rebalCand
+	slowsBuf      []float64
+	permBuf       []int
+	effKeys       []effKey
 }
 
 type procAvail struct {
 	id    int
 	avail units.Seconds
+}
+
+// utilKey pairs a processor with its utilization sort key so the fair
+// order sorts precomputed values instead of re-deriving them per
+// comparison.
+type utilKey struct {
+	u  units.Seconds
+	id int
+}
+
+// slackEntry pairs a running slice (by position in the scratch slice
+// being sorted) with its deadline slack, computed once before the
+// matching sort. Pointer-free on purpose: the sort's O(n log n) swaps
+// then move plain scalars with no GC write barriers, and only the final
+// O(n) permutation writeback touches pointer memory.
+type slackEntry struct {
+	slack  units.Seconds
+	idx    int32 // position in the pre-sort running slice
+	procID int32 // deadline tiebreak; one running slice per processor
+}
+
+// rebalCand is one queued slice endangered by its estimated start.
+type rebalCand struct {
+	sl       *cluster.Slice
+	estStart units.Seconds
+}
+
+// effKey carries a processor's efficiency rank and tiebreak position,
+// precomputed so the preference re-sort calls EffRank n times instead
+// of O(n log n) times (Hybrid's rank does a DB lookup per call).
+type effKey struct {
+	rank float64
+	pos  int32
+	id   int32
 }
 
 // Run simulates one scheme over the fleet and workload.
@@ -293,6 +370,24 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 // one is configured) before returning the context's error, so the work
 // done so far can be resumed.
 func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
+	s, err := newSim(fleet, scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Resume != nil {
+		if err := s.restore(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	return s.run(ctx)
+}
+
+// newSim builds a fully armed simulation: knowledge regime, datacenter,
+// fault plan, arrival and tick events. The construction order (and in
+// particular the sequence of random draws) is part of the determinism
+// contract — restore() assumes a fresh sim consumed exactly the draws
+// the original run's construction did.
+func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
 	if fleet == nil || len(fleet.Chips) == 0 {
 		return nil, &ConfigError{Field: "Fleet", Reason: "nil or empty fleet"}
 	}
@@ -383,16 +478,25 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	}
 
 	s := &sim{
-		eng:     simulator.New(),
-		dc:      dc,
-		fleet:   fleet,
-		know:    know,
-		scheme:  scheme,
-		cfg:     cfg,
-		r:       rng.Named(cfg.Seed, "sim-"+scheme.Name),
-		account: metrics.NewAccount(0),
-		runBuf:  make([]*cluster.Slice, 0, len(fleet.Chips)),
-		faults:  fstate,
+		// Pending events peak at the not-yet-arrived jobs (all scheduled
+		// up front) plus one completion per processor and a few ticks.
+		eng:       simulator.NewWithCapacity[eventTag](len(cfg.Jobs.Jobs) + len(fleet.Chips) + 16),
+		dc:        dc,
+		fleet:     fleet,
+		know:      know,
+		scheme:    scheme,
+		cfg:       cfg,
+		r:         rng.Named(cfg.Seed, "sim-"+scheme.Name),
+		account:   metrics.NewAccount(0),
+		runBuf:    make([]*cluster.Slice, 0, len(fleet.Chips)),
+		faults:    fstate,
+		bySerial:  make([]*cluster.Slice, 0, 2*len(fleet.Chips)),
+		runStamp:  make([]int64, 0, 2*len(fleet.Chips)),
+		takenMark: make([]int64, len(fleet.Chips)),
+	}
+	s.eng.SetDispatcher(s.dispatch)
+	if cfg.naive {
+		dc.DisablePowerCache()
 	}
 	if cfg.Battery != nil {
 		b, err := battery.New(*cfg.Battery)
@@ -437,9 +541,7 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 		// (jobs wider than the fleet are clamped to one slice per CPU).
 		s.states[i] = jobState{job: j}
 		s.stateIdx[j] = i
-		idx := i
-		tag := eventTag{Kind: tagArrival, A: idx}
-		if err := s.eng.ScheduleTagged(j.Submit, tag, func(now units.Seconds) { s.onArrival(idx, now) }); err != nil {
+		if err := s.eng.ScheduleTag(j.Submit, eventTag{Kind: tagArrival, A: int32(i)}); err != nil {
 			return nil, err
 		}
 	}
@@ -452,7 +554,7 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 		if s.tickInterval <= 0 {
 			s.tickInterval = cfg.Wind.Interval
 		}
-		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagWindTick}, s.onWindTick)
+		_ = s.eng.ScheduleTag(0, eventTag{Kind: tagWindTick})
 	} else if s.onlineActive || cfg.EnableRebalance {
 		// Utility-only run with online profiling or rebalancing: give
 		// them their own periodic opportunity check.
@@ -460,12 +562,12 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 		if s.tickInterval <= 0 {
 			s.tickInterval = units.Minutes(10)
 		}
-		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagAuxTick}, s.onAuxTick)
+		_ = s.eng.ScheduleTag(0, eventTag{Kind: tagAuxTick})
 	}
 
 	// Sampler ticks.
 	if s.sampler != nil {
-		_ = s.eng.ScheduleTagged(0, eventTag{Kind: tagSample}, s.onSample)
+		_ = s.eng.ScheduleTag(0, eventTag{Kind: tagSample})
 	}
 
 	// Fault plan events (no-op schedule when faults are disabled).
@@ -477,15 +579,14 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	// inside the snapshot) is restored instead; restore arms a fresh one
 	// only when the snapshot holds none.
 	if cfg.Resume == nil && cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
-		_ = s.eng.AfterTagged(cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+		_ = s.eng.AfterTag(cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
 	}
 
-	if cfg.Resume != nil {
-		if err := s.restore(cfg.Resume); err != nil {
-			return nil, err
-		}
-	}
+	return s, nil
+}
 
+// run drains the event loop and assembles the Result.
+func (s *sim) run(ctx context.Context) (*Result, error) {
 	for s.jobsLeft > 0 {
 		if err := ctx.Err(); err != nil {
 			// Flush a final snapshot so the interrupted work is resumable.
@@ -526,16 +627,16 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 		return nil, s.invErr
 	}
 
-	utils := dc.UtilTimes(s.eng.Now())
+	utils := s.dc.UtilTimes(s.eng.Now())
 	res := &Result{
-		Scheme:             scheme.Name,
+		Scheme:             s.scheme.Name,
 		UtilityEnergy:      s.account.Utility,
 		WindEnergy:         s.account.WindUsed,
 		WindAvailable:      s.account.WindAvailable,
 		TotalEnergy:        s.account.Total(),
-		Cost:               s.account.Cost(cfg.Prices),
-		UtilityCost:        s.account.UtilityCost(cfg.Prices),
-		JobsCompleted:      len(cfg.Jobs.Jobs),
+		Cost:               s.account.Cost(s.cfg.Prices),
+		UtilityCost:        s.account.UtilityCost(s.cfg.Prices),
+		JobsCompleted:      len(s.cfg.Jobs.Jobs),
 		DeadlineViolations: s.violations,
 		Makespan:           s.eng.Now(),
 		UtilTimes:          utils,
@@ -567,6 +668,80 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	return res, nil
 }
 
+// dispatch routes a fired tag event to its handler — the single live
+// counterpart of the restore-path tag validation, so an event behaves
+// identically whether it fires in the original run or after a resume.
+// Completion and margin events resolve their slice through the serial
+// index; a missing serial means the slice already completed and the
+// event is a stale no-op (the same guard the per-event closures used
+// to carry).
+func (s *sim) dispatch(tag eventTag, now units.Seconds) {
+	switch tag.Kind {
+	case tagArrival:
+		s.onArrival(int(tag.A), now)
+	case tagWindTick:
+		s.onWindTick(now)
+	case tagAuxTick:
+		s.onAuxTick(now)
+	case tagSample:
+		s.onSample(now)
+	case tagCheckpoint:
+		s.onCheckpointTick(now)
+	case tagCompletion:
+		if sl := s.sliceFor(int(tag.A)); sl != nil {
+			s.onComplete(sl, int(tag.B), now)
+		}
+	case tagFinishScan:
+		s.finishScan(int(tag.A), now)
+	case tagFaultEvent:
+		s.onFaultEvent(int(tag.A), now)
+	case tagRepaired:
+		s.onRepaired(int(tag.A), now)
+	case tagMargin:
+		if sl := s.sliceFor(int(tag.A)); sl != nil {
+			s.onMarginViolation(sl, int(tag.B), int(tag.C), now)
+		}
+	case tagReprofiled:
+		s.onReprofiled(int(tag.A), tag.fp(), now)
+	default:
+		panic(fmt.Sprintf("scheduler: dispatch of unknown tag kind %d", tag.Kind))
+	}
+}
+
+// sliceFor resolves an event serial to its live slice; nil means the
+// slice already completed and the event is stale.
+func (s *sim) sliceFor(serial int) *cluster.Slice {
+	if serial >= 0 && serial < len(s.bySerial) {
+		return s.bySerial[serial]
+	}
+	return nil
+}
+
+// indexSlice registers a freshly placed slice in the serial index,
+// growing it (and the parallel run-stamp set) to cover the serial.
+func (s *sim) indexSlice(sl *cluster.Slice) {
+	for len(s.bySerial) <= sl.Serial {
+		s.bySerial = append(s.bySerial, nil)
+		s.runStamp = append(s.runStamp, 0)
+	}
+	s.bySerial[sl.Serial] = sl
+}
+
+// rebuildSerialIndex reloads the serial index from a restored cluster
+// state and drops sort caches that referenced pre-restore slices.
+func (s *sim) rebuildSerialIndex(live map[int]*cluster.Slice) {
+	s.bySerial = s.bySerial[:0]
+	s.runStamp = s.runStamp[:0]
+	for serial, sl := range live {
+		for len(s.bySerial) <= serial {
+			s.bySerial = append(s.bySerial, nil)
+			s.runStamp = append(s.runStamp, 0)
+		}
+		s.bySerial[serial] = sl
+	}
+	s.runSorted = s.runSorted[:0]
+}
+
 // sync integrates energy up to now at the current demand and wind.
 func (s *sim) sync(now units.Seconds) {
 	if s.faults != nil {
@@ -581,7 +756,7 @@ func (s *sim) sync(now units.Seconds) {
 func (s *sim) onWindTick(now units.Seconds) {
 	s.onTick(now)
 	if s.jobsLeft > 0 {
-		_ = s.eng.AfterTagged(s.tickInterval, eventTag{Kind: tagWindTick}, s.onWindTick)
+		_ = s.eng.AfterTag(s.tickInterval, eventTag{Kind: tagWindTick})
 	}
 }
 
@@ -594,7 +769,7 @@ func (s *sim) onAuxTick(now units.Seconds) {
 		s.rebalance(now)
 	}
 	if s.jobsLeft > 0 && (s.cfg.EnableRebalance || s.scanLeft > 0) {
-		_ = s.eng.AfterTagged(s.tickInterval, eventTag{Kind: tagAuxTick}, s.onAuxTick)
+		_ = s.eng.AfterTag(s.tickInterval, eventTag{Kind: tagAuxTick})
 	}
 }
 
@@ -603,7 +778,7 @@ func (s *sim) onSample(now units.Seconds) {
 	s.sync(now)
 	s.sampler.Record(now, s.curWind, s.dc.Demand())
 	if s.jobsLeft > 0 {
-		_ = s.eng.AfterTagged(s.sampler.Interval, eventTag{Kind: tagSample}, s.onSample)
+		_ = s.eng.AfterTag(s.sampler.Interval, eventTag{Kind: tagSample})
 	}
 }
 
@@ -615,7 +790,7 @@ func (s *sim) onSample(now units.Seconds) {
 // unchecked run and push the floats off bit-identity.
 func (s *sim) onCheckpointTick(now units.Seconds) {
 	if s.jobsLeft > 0 {
-		_ = s.eng.AfterTagged(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint}, s.onCheckpointTick)
+		_ = s.eng.AfterTag(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
 	}
 	s.emitCheckpoint()
 }
@@ -637,9 +812,15 @@ func (s *sim) place(idx int, now units.Seconds) {
 	placements := s.selectProcs(j, now)
 	s.states[idx].remaining = len(placements)
 	for _, p := range placements {
-		sl := cluster.NewSlice(j, p.id, p.level)
+		var sl *cluster.Slice
+		if s.cfg.naive {
+			sl = cluster.NewSlice(j, p.id, p.level)
+		} else {
+			sl = s.arena.New(j, p.id, p.level)
+		}
 		sl.Serial = s.sliceSeq
 		s.sliceSeq++
+		s.indexSlice(sl)
 		if started := s.dc.Enqueue(sl, now); started != nil {
 			s.scheduleCompletion(started)
 		}
@@ -654,16 +835,25 @@ type placement struct {
 // selectProcs implements the placement policies. It walks the policy's
 // preference order taking feasible processors (deadline met given the
 // queue backlog), and falls back to the earliest-available processors
-// when fewer than the requested number are feasible.
+// when fewer than the requested number are feasible. The returned slice
+// aliases a scratch buffer valid until the next call. The fallback pops
+// the k earliest-available processors off a binary heap instead of
+// fully sorting the remainder — the heap's (avail, id) order is a
+// strict total order, so the popped prefix is exactly the prefix of the
+// full sort the reference implementation does.
 func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
+	if s.cfg.naive {
+		return s.naiveSelectProcs(j, now)
+	}
 	n := j.Procs
 	if n > len(s.dc.Procs) {
 		n = len(s.dc.Procs)
 	}
 	abundant := s.scheme.Policy == FairPolicy && s.windAbundant()
 	order := s.candidateOrder(now, abundant)
-	out := make([]placement, 0, n)
-	taken := make(map[int]bool, n)
+	out := s.placeBuf[:0]
+	s.takenEpoch++
+	epoch := s.takenEpoch
 
 	for _, id := range order {
 		if len(out) == n {
@@ -682,7 +872,7 @@ func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
 			continue
 		}
 		out = append(out, placement{id: id, level: level})
-		taken[id] = true
+		s.takenMark[id] = epoch
 	}
 
 	if len(out) < n {
@@ -691,28 +881,69 @@ func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
 		// are recorded at completion).
 		s.availBuf = s.availBuf[:0]
 		for id := range s.dc.Procs {
-			if !taken[id] {
+			if s.takenMark[id] != epoch {
 				s.availBuf = append(s.availBuf, procAvail{id: id, avail: s.dc.AvailableAt(id, now)})
 			}
 		}
-		sort.Slice(s.availBuf, func(a, b int) bool {
-			if s.availBuf[a].avail != s.availBuf[b].avail {
-				return s.availBuf[a].avail < s.availBuf[b].avail
-			}
-			return s.availBuf[a].id < s.availBuf[b].id
-		})
+		heapifyAvail(s.availBuf)
+		h := s.availBuf
 		top := s.fleet.PM.Table.Top()
-		for _, pa := range s.availBuf {
-			if len(out) == n {
-				break
-			}
+		for len(out) < n && len(h) > 0 {
+			var pa procAvail
+			h, pa = popAvail(h)
 			out = append(out, placement{id: pa.id, level: top})
 		}
 	}
+	s.placeBuf = out
 	return out
 }
 
-// candidateOrder returns the policy's processor preference order.
+// availLess orders the fallback heap by earliest availability, ties by
+// processor id — a strict total order.
+func availLess(a, b procAvail) bool {
+	if a.avail != b.avail {
+		return a.avail < b.avail
+	}
+	return a.id < b.id
+}
+
+func heapifyAvail(h []procAvail) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownAvail(h, i)
+	}
+}
+
+func siftDownAvail(h []procAvail, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && availLess(h[r], h[l]) {
+			m = r
+		}
+		if !availLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func popAvail(h []procAvail) ([]procAvail, procAvail) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	siftDownAvail(h, 0)
+	return h, top
+}
+
+// candidateOrder returns the policy's processor preference order. The
+// Random policy's permutation lands in a reused buffer; PermInto
+// consumes the stream exactly as Perm does, so the draw sequence is
+// unchanged.
 func (s *sim) candidateOrder(now units.Seconds, abundant bool) []int {
 	switch s.scheme.Policy {
 	case Efficiency:
@@ -723,7 +954,14 @@ func (s *sim) candidateOrder(now units.Seconds, abundant bool) []int {
 		}
 		return s.efficiencyOrder()
 	default:
-		return s.r.Perm(len(s.dc.Procs))
+		if s.cfg.naive {
+			return s.r.Perm(len(s.dc.Procs))
+		}
+		if s.permBuf == nil {
+			s.permBuf = make([]int, len(s.dc.Procs))
+		}
+		s.r.PermInto(s.permBuf)
+		return s.permBuf
 	}
 }
 
@@ -731,10 +969,40 @@ func (s *sim) candidateOrder(now units.Seconds, abundant bool) []int {
 // when online profiling has refined the knowledge since the last use.
 func (s *sim) efficiencyOrder() []int {
 	if s.profilesDirty {
-		s.effPref = effOrder(len(s.dc.Procs), s.know, s.effPref)
+		if s.cfg.naive {
+			s.effPref = effOrder(len(s.dc.Procs), s.know, s.effPref)
+		} else {
+			s.refreshEffOrder()
+		}
 		s.profilesDirty = false
 	}
 	return s.effPref
+}
+
+// refreshEffOrder re-sorts effPref in place with precomputed (rank,
+// position) keys. The current order serves as its own tiebreak — the
+// same evolution effOrder implements — and because positions form a
+// permutation the key pairs are all distinct, so this unstable sort is
+// deterministically equal to effOrder's stable one.
+func (s *sim) refreshEffOrder() {
+	if s.effKeys == nil {
+		s.effKeys = make([]effKey, len(s.effPref))
+	}
+	for i, id := range s.effPref {
+		s.effKeys[i] = effKey{rank: s.know.EffRank(id), pos: int32(i), id: int32(id)}
+	}
+	slices.SortFunc(s.effKeys, func(a, b effKey) int {
+		if a.rank != b.rank {
+			if a.rank < b.rank {
+				return -1
+			}
+			return 1
+		}
+		return int(a.pos) - int(b.pos)
+	})
+	for i := range s.effKeys {
+		s.effPref[i] = int(s.effKeys[i].id)
+	}
 }
 
 // windAbundant implements ScanFair's mode switch: renewable power
@@ -750,27 +1018,50 @@ func (s *sim) windAbundant() bool {
 
 // leastUsedOrder sorts processors by accumulated utilization time
 // ascending ("historically least-used CPUs"), cached per event time.
+// The sort runs over precomputed (utilization, id) keys — a strict
+// total order, so the unstable sort matches the reference — in buffers
+// reused across calls.
 func (s *sim) leastUsedOrder(now units.Seconds) []int {
+	if s.cfg.naive {
+		return s.naiveLeastUsedOrder(now)
+	}
 	if s.fairValid && s.fairOrderAt == now {
 		return s.fairOrder
 	}
-	utils := s.dc.UtilTimes(now)
+	s.utilBuf = s.dc.UtilTimesInto(s.utilBuf, now)
 	if s.fairOrder == nil {
-		s.fairOrder = make([]int, len(utils))
-	}
-	for i := range s.fairOrder {
-		s.fairOrder[i] = i
-	}
-	sort.Slice(s.fairOrder, func(a, b int) bool {
-		ua, ub := utils[s.fairOrder[a]], utils[s.fairOrder[b]]
-		if ua != ub {
-			return ua < ub
+		s.fairOrder = make([]int, len(s.utilBuf))
+		for i := range s.fairOrder {
+			s.fairOrder[i] = i
 		}
-		return s.fairOrder[a] < s.fairOrder[b]
-	})
+		s.fairKeys = make([]utilKey, len(s.utilBuf))
+	}
+	// Seed the keys in the previous sorted order: busy processors all
+	// accrue utilization at the same rate, so between two syncs the
+	// order only changes where a busy processor overtakes an idle one.
+	// The nearly-sorted input hits pdqsort's partial-insertion fast
+	// path, and because (u, id) is a strict total order the result is
+	// identical from any starting permutation.
+	for i, id := range s.fairOrder {
+		s.fairKeys[i] = utilKey{u: s.utilBuf[id], id: id}
+	}
+	slices.SortFunc(s.fairKeys, utilAsc)
+	for i, k := range s.fairKeys {
+		s.fairOrder[i] = k.id
+	}
 	s.fairOrderAt = now
 	s.fairValid = true
 	return s.fairOrder
+}
+
+func utilAsc(a, b utilKey) int {
+	if a.u != b.u {
+		if a.u < b.u {
+			return -1
+		}
+		return 1
+	}
+	return a.id - b.id
 }
 
 // chooseLevel picks the slice's starting DVFS level on processor id.
@@ -811,9 +1102,7 @@ func (s *sim) chooseLevel(id int, j *workload.Job, maxTime units.Seconds, abunda
 // scheduleCompletion arms the completion event for a running slice,
 // guarded by the slice's generation so level changes invalidate it.
 func (s *sim) scheduleCompletion(sl *cluster.Slice) {
-	gen := sl.Gen
-	tag := eventTag{Kind: tagCompletion, A: sl.Serial, B: gen}
-	_ = s.eng.ScheduleTagged(sl.Finish, tag, func(now units.Seconds) { s.onComplete(sl, gen, now) })
+	_ = s.eng.ScheduleTag(sl.Finish, eventTag{Kind: tagCompletion, A: int32(sl.Serial), B: int32(sl.Gen)})
 	if s.faults != nil {
 		s.armFalsePass(sl)
 	}
@@ -828,6 +1117,7 @@ func (s *sim) onComplete(sl *cluster.Slice, gen int, now units.Seconds) {
 	s.sync(now)
 	s.fairValid = false
 	next := s.dc.Complete(sl.ProcID, now)
+	s.bySerial[sl.Serial] = nil
 	s.finishSlice(sl.Job, now)
 	if next != nil {
 		s.scheduleCompletion(next)
@@ -848,9 +1138,16 @@ func (s *sim) finishSlice(j *workload.Job, now units.Seconds) {
 	}
 }
 
-// qualityMetrics computes the bounded-slowdown and wait statistics.
+// qualityMetrics computes the bounded-slowdown and wait statistics into
+// a reused buffer. The full ascending sort is retained deliberately:
+// the mean is summed over the *sorted* values, and float addition is
+// not associative, so a partial selection for the p95 alone would
+// change the mean's low bits and break bit-identity with the reference.
 func (s *sim) qualityMetrics() (meanSlow, p95Slow float64, meanWait units.Seconds) {
-	slows := make([]float64, 0, len(s.states))
+	if s.cfg.naive {
+		return s.naiveQualityMetrics()
+	}
+	slows := s.slowsBuf[:0]
 	var waitSum float64
 	for i := range s.states {
 		st := &s.states[i]
@@ -861,10 +1158,11 @@ func (s *sim) qualityMetrics() (meanSlow, p95Slow float64, meanWait units.Second
 			waitSum += w
 		}
 	}
+	s.slowsBuf = slows
 	if len(slows) == 0 {
 		return 0, 0, 0
 	}
-	sort.Float64s(slows)
+	slices.Sort(slows)
 	var sum float64
 	for _, v := range slows {
 		sum += v
@@ -899,34 +1197,39 @@ func (s *sim) onTick(now units.Seconds) {
 
 // rebalance migrates queued slices that would miss their deadlines to
 // processors where they still fit, walking the policy's preference
-// order for targets.
+// order for targets. Candidates accumulate in a reused buffer and sort
+// by the strict total order (estStart desc, job, proc).
 func (s *sim) rebalance(now units.Seconds) {
-	type cand struct {
-		sl       *cluster.Slice
-		estStart units.Seconds
+	if s.cfg.naive {
+		s.naiveRebalance(now)
+		return
 	}
-	var cands []cand
+	cands := s.candBuf[:0]
 	s.dc.QueueEstimates(func(sl *cluster.Slice, estStart units.Seconds) {
 		d := sl.Job.Deadline
 		if d <= 0 {
 			return
 		}
 		if estStart+s.dc.SliceDuration(sl, sl.AssignedLevel) > d {
-			cands = append(cands, cand{sl, estStart})
+			cands = append(cands, rebalCand{sl, estStart})
 		}
 	})
+	s.candBuf = cands
 	if len(cands) == 0 {
 		return
 	}
 	// Most-endangered first (latest estimated start), deterministic ties.
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].estStart != cands[b].estStart {
-			return cands[a].estStart > cands[b].estStart
+	slices.SortFunc(cands, func(a, b rebalCand) int {
+		if a.estStart != b.estStart {
+			if a.estStart > b.estStart {
+				return -1
+			}
+			return 1
 		}
-		if cands[a].sl.Job.ID != cands[b].sl.Job.ID {
-			return cands[a].sl.Job.ID < cands[b].sl.Job.ID
+		if a.sl.Job.ID != b.sl.Job.ID {
+			return a.sl.Job.ID - b.sl.Job.ID
 		}
-		return cands[a].sl.ProcID < cands[b].sl.ProcID
+		return a.sl.ProcID - b.sl.ProcID
 	})
 	order := s.candidateOrder(now, false)
 	for _, c := range cands {
@@ -990,9 +1293,7 @@ func (s *sim) maybeProfile(now units.Seconds) {
 		}
 		s.scanState[id] = 1
 		limit--
-		id := id
-		tag := eventTag{Kind: tagFinishScan, A: id}
-		_ = s.eng.AfterTagged(s.scanDur, tag, func(when units.Seconds) { s.finishScan(id, when) })
+		_ = s.eng.AfterTag(s.scanDur, eventTag{Kind: tagFinishScan, A: int32(id)})
 	}
 }
 
@@ -1002,6 +1303,9 @@ func (s *sim) finishScan(id int, now units.Seconds) {
 	s.sync(now)
 	rep := s.scanner.ScanChip(id, now-s.scanDur)
 	s.profEnergy += rep.Energy
+	// The scan rewrites this chip's profile record, which feeds its
+	// voltage-regime draw; drop any memoized power for it.
+	s.dc.InvalidatePower(id)
 	s.scanState[id] = 2
 	s.scanLeft--
 	s.profiled++
@@ -1020,22 +1324,16 @@ func (s *sim) finishScan(id int, now units.Seconds) {
 // renewable supply the assigned (energy-optimal) levels already
 // minimize cost.
 func (s *sim) match(now units.Seconds) []*cluster.Slice {
+	if s.cfg.naive {
+		return s.naiveMatch(now)
+	}
 	target := s.curWind
 	demand := s.dc.Demand()
-	var changed []*cluster.Slice
+	changed := s.changedBuf[:0]
 
 	switch {
 	case demand > target && target > 0:
-		running := s.dc.RunningSlices(s.runBuf)
-		s.runBuf = running
-		sort.Slice(running, func(a, b int) bool {
-			sa := slack(running[a], now)
-			sb := slack(running[b], now)
-			if sa != sb {
-				return sa > sb
-			}
-			return running[a].ProcID < running[b].ProcID
-		})
+		running := s.sortRunningBySlack(now, true)
 		for _, sl := range running {
 			if s.dc.Demand() <= target {
 				break
@@ -1066,16 +1364,15 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 		}
 
 	case demand < target:
-		running := s.dc.RunningSlices(s.runBuf)
-		s.runBuf = running
-		sort.Slice(running, func(a, b int) bool {
-			sa := slack(running[a], now)
-			sb := slack(running[b], now)
-			if sa != sb {
-				return sa < sb
-			}
-			return running[a].ProcID < running[b].ProcID
-		})
+		// Levels can only be raised back toward their assignment; if no
+		// running slice sits below it, the sorted walk below would visit
+		// every slice and change nothing — skip the sort outright. This
+		// is the steady state whenever wind has covered demand for a
+		// while, so the O(procs) scan replaces most surplus-side sorts.
+		if !s.anyBelowAssigned() {
+			break
+		}
+		running := s.sortRunningBySlack(now, false)
 		for _, sl := range running {
 			raised := false
 			for sl.Level < sl.AssignedLevel {
@@ -1091,7 +1388,100 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 			}
 		}
 	}
+	s.changedBuf = changed
 	return changed
+}
+
+// anyBelowAssigned reports whether some running slice operates below
+// its assigned DVFS level — the only state the surplus side of match
+// can act on.
+func (s *sim) anyBelowAssigned() bool {
+	for _, p := range s.dc.Procs {
+		if cur := p.Current(); cur != nil && cur.Level < cur.AssignedLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// sortRunningBySlack collects the running slices and sorts them by
+// deadline slack — descending when desc is true (deficit: most
+// forgiving first), ascending otherwise (surplus: tightest first).
+//
+// The candidate list is carried over from the previous matching pass:
+// survivors keep their sorted position and slices that started running
+// since are appended (detected through the epoch-stamped serial set).
+// Slack drifts slowly between passes, so the input is nearly sorted
+// and pdqsort's partial-insertion fast path usually finishes in one
+// linear scan instead of a full re-sort. (slack, ProcID) is a strict
+// total order over running slices — one slice per processor — so the
+// result is identical from any starting permutation, including the
+// reversed one left behind when the deficit/surplus direction flips.
+//
+// Slack is a pure function of (slice, now) and the slices don't change
+// during the sort, so it is precomputed once per slice into the keyed
+// scratch buffer instead of twice per comparison.
+func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice {
+	s.runEpoch++
+	running := s.runSorted[:0]
+	for _, sl := range s.runSorted {
+		if sl.Running() {
+			running = append(running, sl)
+			s.runStamp[sl.Serial] = s.runEpoch
+		}
+	}
+	if desc != s.lastSlackDesc {
+		// The previous pass sorted the other direction; reversing the
+		// survivors (no comparisons) restores the nearly-sorted input
+		// the fast path needs.
+		slices.Reverse(running)
+		s.lastSlackDesc = desc
+	}
+	for _, p := range s.dc.Procs {
+		if cur := p.Current(); cur != nil && s.runStamp[cur.Serial] != s.runEpoch {
+			running = append(running, cur)
+		}
+	}
+	s.runSorted = running
+	keys := s.slackBuf[:0]
+	for i, sl := range running {
+		keys = append(keys, slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)})
+	}
+	s.slackBuf = keys
+	if desc {
+		slices.SortFunc(keys, slackDesc)
+	} else {
+		slices.SortFunc(keys, slackAsc)
+	}
+	// Apply the sorted permutation through a scratch copy (the in-place
+	// running slice is both source and destination). runBuf is free here:
+	// the incremental path never calls RunningSlices.
+	scratch := append(s.runBuf[:0], running...)
+	s.runBuf = scratch
+	for i, k := range keys {
+		running[i] = scratch[k.idx]
+	}
+	return running
+}
+
+func slackDesc(a, b slackEntry) int {
+	if a.slack != b.slack {
+		if a.slack > b.slack {
+			return -1
+		}
+		return 1
+	}
+	return int(a.procID) - int(b.procID)
+}
+
+func slackAsc(a, b slackEntry) int {
+	if a.slack != b.slack {
+		if a.slack < b.slack {
+			return -1
+		}
+		return 1
+	}
+	return int(a.procID) - int(b.procID)
 }
 
 // slack is the margin between a slice's deadline and its estimated

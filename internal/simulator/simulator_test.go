@@ -9,7 +9,7 @@ import (
 )
 
 func TestEventsFireInTimeOrder(t *testing.T) {
-	e := New()
+	e := New[int]()
 	var got []units.Seconds
 	for _, at := range []units.Seconds{50, 10, 30, 20, 40} {
 		if err := e.Schedule(at, func(now units.Seconds) { got = append(got, now) }); err != nil {
@@ -29,7 +29,7 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 }
 
 func TestTieBreakByInsertionOrder(t *testing.T) {
-	e := New()
+	e := New[int]()
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
@@ -44,7 +44,7 @@ func TestTieBreakByInsertionOrder(t *testing.T) {
 }
 
 func TestScheduleInPastRejected(t *testing.T) {
-	e := New()
+	e := New[int]()
 	_ = e.Schedule(100, func(units.Seconds) {})
 	e.Run()
 	if err := e.Schedule(50, func(units.Seconds) {}); err == nil {
@@ -53,10 +53,13 @@ func TestScheduleInPastRejected(t *testing.T) {
 	if err := e.Schedule(100, nil); err == nil {
 		t.Fatal("expected error for nil callback")
 	}
+	if err := e.ScheduleTag(50, 0); err == nil {
+		t.Fatal("expected error scheduling tag in the past")
+	}
 }
 
 func TestScheduleAtNowAllowed(t *testing.T) {
-	e := New()
+	e := New[int]()
 	fired := false
 	_ = e.Schedule(10, func(now units.Seconds) {
 		if err := e.Schedule(now, func(units.Seconds) { fired = true }); err != nil {
@@ -70,7 +73,7 @@ func TestScheduleAtNowAllowed(t *testing.T) {
 }
 
 func TestCallbacksCanScheduleMore(t *testing.T) {
-	e := New()
+	e := New[int]()
 	count := 0
 	var tick Callback
 	tick = func(now units.Seconds) {
@@ -90,7 +93,7 @@ func TestCallbacksCanScheduleMore(t *testing.T) {
 }
 
 func TestRunUntil(t *testing.T) {
-	e := New()
+	e := New[int]()
 	var fired []units.Seconds
 	for _, at := range []units.Seconds{10, 20, 30, 40} {
 		at := at
@@ -113,7 +116,7 @@ func TestRunUntil(t *testing.T) {
 }
 
 func TestRunUntilDoesNotRewindClock(t *testing.T) {
-	e := New()
+	e := New[int]()
 	_ = e.Schedule(100, func(units.Seconds) {})
 	e.Run()
 	e.RunUntil(50)
@@ -123,7 +126,7 @@ func TestRunUntilDoesNotRewindClock(t *testing.T) {
 }
 
 func TestStepOnEmpty(t *testing.T) {
-	e := New()
+	e := New[int]()
 	if e.Step() {
 		t.Fatal("Step on empty queue returned true")
 	}
@@ -132,7 +135,7 @@ func TestStepOnEmpty(t *testing.T) {
 func TestDeterministicReplayProperty(t *testing.T) {
 	f := func(delays []uint16) bool {
 		run := func() []units.Seconds {
-			e := New()
+			e := New[int]()
 			var got []units.Seconds
 			for _, d := range delays {
 				_ = e.Schedule(units.Seconds(d), func(now units.Seconds) { got = append(got, now) })
@@ -157,7 +160,7 @@ func TestDeterministicReplayProperty(t *testing.T) {
 }
 
 func TestHeavyLoad(t *testing.T) {
-	e := New()
+	e := New[int]()
 	const n = 100000
 	count := 0
 	for i := 0; i < n; i++ {
@@ -167,4 +170,181 @@ func TestHeavyLoad(t *testing.T) {
 	if count != n {
 		t.Fatalf("fired %d, want %d", count, n)
 	}
+}
+
+// Tag events route through the dispatcher and interleave with closure
+// events in strict (at, seq) order.
+func TestTagDispatchInterleavesWithClosures(t *testing.T) {
+	e := New[int]()
+	var got []int
+	e.SetDispatcher(func(tag int, now units.Seconds) { got = append(got, tag) })
+	_ = e.ScheduleTag(10, 1)
+	_ = e.Schedule(10, func(units.Seconds) { got = append(got, 2) })
+	_ = e.ScheduleTag(10, 3)
+	_ = e.ScheduleTag(5, 0)
+	e.Run()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTagEventWithoutDispatcherPanics(t *testing.T) {
+	e := New[int]()
+	_ = e.ScheduleTag(1, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic firing tag event with no dispatcher")
+		}
+	}()
+	e.Step()
+}
+
+func TestAfterTag(t *testing.T) {
+	e := New[string]()
+	var got []string
+	e.SetDispatcher(func(tag string, now units.Seconds) {
+		got = append(got, tag)
+		if tag == "a" {
+			_ = e.AfterTag(5, "b")
+		}
+	})
+	_ = e.AfterTag(10, "a")
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v, want [a b]", got)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", e.Now())
+	}
+}
+
+// PendingEvents reports tags in firing order and flags closure events,
+// whose callbacks cannot be serialized.
+func TestPendingEventsSnapshot(t *testing.T) {
+	e := New[int]()
+	e.SetDispatcher(func(int, units.Seconds) {})
+	_ = e.ScheduleTag(30, 3)
+	_ = e.ScheduleTag(10, 1)
+	_ = e.Schedule(20, func(units.Seconds) {})
+	evs := e.PendingEvents()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Tag != 1 || evs[0].Closure {
+		t.Fatalf("evs[0] = %+v, want tag 1, non-closure", evs[0])
+	}
+	if !evs[1].Closure {
+		t.Fatalf("evs[1] = %+v, want closure", evs[1])
+	}
+	if evs[2].Tag != 3 || evs[2].At != 30 {
+		t.Fatalf("evs[2] = %+v, want tag 3 at 30", evs[2])
+	}
+}
+
+// Reset + InjectTag restore a queue with original sequence numbers, and
+// freshly scheduled events sort after restored ones at equal times.
+func TestResetAndInjectTag(t *testing.T) {
+	e := New[int]()
+	e.SetDispatcher(func(int, units.Seconds) {})
+	var got []int
+	e.SetDispatcher(func(tag int, now units.Seconds) { got = append(got, tag) })
+	e.Reset(100, 50)
+	if err := e.InjectTag(90, 10, 1); err == nil {
+		t.Fatal("expected error injecting before now")
+	}
+	if err := e.InjectTag(200, 60, 1); err == nil {
+		t.Fatal("expected error injecting seq beyond counter")
+	}
+	if err := e.InjectTag(200, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleTag(200, 2); err != nil { // gets seq 51 > 10
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	if e.Seq() != 51 {
+		t.Fatalf("seq = %d, want 51", e.Seq())
+	}
+}
+
+// The 4-ary heap must pop an adversarial mix of times and insertion
+// orders in exactly (at, seq) order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(ats []uint8) bool {
+		e := New[int]()
+		type key struct {
+			at  units.Seconds
+			seq uint64
+		}
+		var want []key
+		for _, a := range ats {
+			at := units.Seconds(a)
+			_ = e.ScheduleTag(at, 0)
+			want = append(want, key{at, e.Seq()})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		var got []key
+		e.SetDispatcher(func(tag int, now units.Seconds) {})
+		for i := 0; len(e.pq) > 0; i++ {
+			n := e.pop()
+			got = append(got, key{n.at, n.seq})
+			_ = i
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tag scheduling on a warmed engine allocates nothing.
+func TestScheduleTagAllocFree(t *testing.T) {
+	e := NewWithCapacity[int](64)
+	e.SetDispatcher(func(int, units.Seconds) {})
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			_ = e.ScheduleTag(e.Now()+1, i)
+		}
+		for i := 0; i < 32; i++ {
+			e.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleTag/Step allocated %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleAndStep(b *testing.B) {
+	e := NewWithCapacity[int](1024)
+	e.SetDispatcher(func(int, units.Seconds) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.ScheduleTag(e.Now()+units.Seconds(i%97), i)
+		if e.Pending() > 512 {
+			e.Step()
+		}
+	}
+	e.Run()
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the benchmark-regression suite and converts the results to the
+# BENCH_PR4.json format (see DESIGN.md, "Benchmark baseline format").
+#
+# Usage:
+#   scripts/bench.sh                    # writes BENCH_PR4_after.json
+#   OUT=BENCH_PR4.json scripts/bench.sh # choose the output file
+#   COUNT=10 scripts/bench.sh           # more repetitions
+#   BASELINE=BENCH_PR4_after.json scripts/bench.sh   # also gate vs baseline
+#
+# Environment:
+#   COUNT    benchmark repetitions per name (default 5)
+#   BENCH    benchmark selector regex (default: the three gated names)
+#   OUT      output JSON path (default BENCH_PR4_after.json)
+#   RAW      keep the raw `go test` output here (default: tempfile, printed)
+#   BASELINE when set, additionally run the regression gate against it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-^(BenchmarkScanChip|BenchmarkSimulationRun|BenchmarkFleetGeneration)\$}"
+OUT="${OUT:-BENCH_PR4_after.json}"
+RAW="${RAW:-$(mktemp /tmp/bench_raw.XXXXXX.txt)}"
+
+echo ">> running: go test -run '^\$' -bench '${BENCH}' -benchmem -count ${COUNT} ."
+go test -run '^$' -bench "${BENCH}" -benchmem -count "${COUNT}" . | tee "${RAW}"
+
+go run ./cmd/benchjson -o "${OUT}" < "${RAW}"
+echo ">> wrote ${OUT} (raw output kept at ${RAW})"
+
+if [[ -n "${BASELINE:-}" ]]; then
+    echo ">> gating against ${BASELINE}"
+    go run ./cmd/benchjson -baseline "${BASELINE}" < "${RAW}"
+fi
