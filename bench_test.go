@@ -10,6 +10,7 @@ package iscope
 // the printed result tables come from cmd/experiments instead.
 
 import (
+	"fmt"
 	"testing"
 
 	"iscope/internal/binning"
@@ -153,6 +154,65 @@ func BenchmarkSimulationRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := scheduler.Run(fleet, sch, scheduler.RunConfig{Seed: uint64(i), Jobs: jobs, Wind: w}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationRunLarge is the fleet-scale tier: one complete
+// ScanFair simulation with rebalancing at the paper's 4,800-proc
+// datacenter size, swept over worker counts. The 48,000-proc decade-up
+// sub-benchmarks are skipped under -short so PR CI runs the 4,800 tier
+// and the nightly workflow runs both. Because results are bit-identical
+// for every worker count (see internal/scheduler/parallel.go), the
+// sweep measures only the sharding speedup, never a behaviour change.
+func BenchmarkSimulationRunLarge(b *testing.B) {
+	for _, size := range []struct {
+		procs, jobs int
+		short       bool
+	}{
+		{procs: 4800, jobs: 12000, short: false},
+		{procs: 48000, jobs: 120000, short: true},
+	} {
+		if size.short && testing.Short() {
+			// Don't pay the 48,000-chip fleet build just to skip its
+			// sub-benchmarks.
+			continue
+		}
+		fleet, err := scheduler.BuildFleet(scheduler.DefaultFleetSpec(1, size.procs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs, err := SynthesizeWorkload(2, size.jobs, 64, 1, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := GenerateWind(3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w = w.Scale(float64(size.procs) / 4800.0)
+		sch, _ := scheduler.SchemeByName("ScanFair")
+		workerSweep := []int{1, 2, 4, 8}
+		if size.short {
+			workerSweep = []int{1, 8}
+		}
+		for _, workers := range workerSweep {
+			name := fmt.Sprintf("procs=%d/workers=%d", size.procs, workers)
+			b.Run(name, func(b *testing.B) {
+				cfg := scheduler.RunConfig{
+					Seed:            1,
+					Jobs:            jobs,
+					Wind:            w,
+					EnableRebalance: true,
+					Workers:         workers,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := scheduler.Run(fleet, sch, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

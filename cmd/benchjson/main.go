@@ -29,13 +29,19 @@ import (
 	"strings"
 )
 
-// Benchmark is one aggregated benchmark result.
+// Benchmark is one aggregated benchmark result. The two *Regress
+// fields are only meaningful in a baseline file: when present they
+// override the -max-ns-regress / -max-allocs-regress flags for that
+// benchmark alone, so a noisy fleet-scale entry can carry a looser
+// budget than the tight micro-benchmark default.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name             string   `json:"name"`
+	Runs             int      `json:"runs"`
+	NsPerOp          float64  `json:"ns_per_op"`
+	BytesPerOp       float64  `json:"bytes_per_op"`
+	AllocsPerOp      float64  `json:"allocs_per_op"`
+	MaxNsRegress     *float64 `json:"max_ns_regress,omitempty"`
+	MaxAllocsRegress *float64 `json:"max_allocs_regress,omitempty"`
 }
 
 // File is the emitted document. Goos/Goarch/CPU are informational —
@@ -208,7 +214,8 @@ func readFile(path string) (*File, error) {
 }
 
 // gate reports regressions of cur against base; returns true when any
-// benchmark regressed beyond its budget. Benchmarks present on only
+// benchmark regressed beyond its budget. Per-entry budgets in the
+// baseline override the flag defaults. Benchmarks present on only
 // one side are reported but never fail the gate, so adding or retiring
 // a benchmark doesn't require touching the baseline in the same change.
 func gate(w io.Writer, base, cur *File, maxNs, maxAllocs float64) bool {
@@ -224,15 +231,28 @@ func gate(w io.Writer, base, cur *File, maxNs, maxAllocs float64) bool {
 			continue
 		}
 		delete(baseBy, c.Name)
+		nsBudget, allocBudget := maxNs, maxAllocs
+		if b.MaxNsRegress != nil {
+			nsBudget = *b.MaxNsRegress
+		}
+		if b.MaxAllocsRegress != nil {
+			allocBudget = *b.MaxAllocsRegress
+		}
 		nsDelta := ratio(c.NsPerOp, b.NsPerOp)
 		allocDelta := ratio(c.AllocsPerOp, b.AllocsPerOp)
 		verdict := "ok  "
-		if nsDelta > maxNs || allocDelta > maxAllocs {
+		if nsDelta > nsBudget || allocDelta > allocBudget {
 			verdict = "FAIL"
 			failed = true
 		}
-		fmt.Fprintf(w, "  %s %-28s ns/op %12.1f -> %12.1f (%+6.1f%%, budget %+.0f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
-			verdict, c.Name, b.NsPerOp, c.NsPerOp, 100*nsDelta, 100*maxNs, b.AllocsPerOp, c.AllocsPerOp, 100*allocDelta)
+		fmt.Fprintf(w, "  %s %-28s ns/op %12.1f -> %12.1f (%+6.1f%%, budget %+.0f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%, budget %+.0f%%)\n",
+			verdict, c.Name, b.NsPerOp, c.NsPerOp, 100*nsDelta, 100*nsBudget, b.AllocsPerOp, c.AllocsPerOp, 100*allocDelta, 100*allocBudget)
+		if nsDelta > nsBudget {
+			fmt.Fprintf(w, "       %s: ns/op regressed %+.1f%%, budget %+.0f%%\n", c.Name, 100*nsDelta, 100*nsBudget)
+		}
+		if allocDelta > allocBudget {
+			fmt.Fprintf(w, "       %s: allocs/op regressed %+.1f%%, budget %+.0f%%\n", c.Name, 100*allocDelta, 100*allocBudget)
+		}
 	}
 	for name := range baseBy {
 		fmt.Fprintf(w, "  gone %-28s (in baseline, not measured)\n", name)

@@ -90,6 +90,72 @@ func TestGate(t *testing.T) {
 	}
 }
 
+// TestGatePerBenchmarkBudgets covers the baseline-carried overrides:
+// a loose per-entry budget admits a swing the global default would
+// reject, a tight one rejects a swing the default would admit, and the
+// failure report names the benchmark, the metric and the budget.
+func TestGatePerBenchmarkBudgets(t *testing.T) {
+	loose, tight := 0.50, 0.02
+	base := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkLoose", NsPerOp: 1000, AllocsPerOp: 10, MaxNsRegress: &loose},
+		{Name: "BenchmarkTight", NsPerOp: 1000, AllocsPerOp: 10, MaxAllocsRegress: &tight},
+	}}
+
+	var out strings.Builder
+	cur := &File{Benchmarks: []Benchmark{
+		// +30% ns/op: over the 10% default, under the 50% override.
+		{Name: "BenchmarkLoose", NsPerOp: 1300, AllocsPerOp: 10},
+	}}
+	if gate(&out, base, cur, 0.10, 0.10) {
+		t.Errorf("loose override ignored; report:\n%s", out.String())
+	}
+
+	out.Reset()
+	cur = &File{Benchmarks: []Benchmark{
+		// +50% ns/op exceeds even the loose override.
+		{Name: "BenchmarkLoose", NsPerOp: 1600, AllocsPerOp: 10},
+	}}
+	if !gate(&out, base, cur, 0.10, 0.10) {
+		t.Errorf("regression past the loose override passed; report:\n%s", out.String())
+	}
+	for _, want := range []string{"BenchmarkLoose", "ns/op regressed", "budget +50%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("failure diff missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	cur = &File{Benchmarks: []Benchmark{
+		// +10% allocs/op: inside the default, outside the 2% override.
+		{Name: "BenchmarkTight", NsPerOp: 1000, AllocsPerOp: 11},
+	}}
+	if !gate(&out, base, cur, 0.10, 0.10) {
+		t.Errorf("tight alloc override ignored; report:\n%s", out.String())
+	}
+	for _, want := range []string{"BenchmarkTight", "allocs/op regressed", "budget +2%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("failure diff missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBudgetsSurviveJSONRoundTrip pins that a baseline's per-entry
+// budgets are preserved when the file is re-read in gate mode.
+func TestBudgetsSurviveJSONRoundTrip(t *testing.T) {
+	doc := `{"benchmarks":[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":1,"max_ns_regress":0.5}]}`
+	f, err := parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b := f.Benchmarks[0]
+	if b.MaxNsRegress == nil || *b.MaxNsRegress != 0.5 {
+		t.Errorf("max_ns_regress not decoded: %+v", b)
+	}
+	if b.MaxAllocsRegress != nil {
+		t.Errorf("absent max_allocs_regress decoded as %v, want nil", *b.MaxAllocsRegress)
+	}
+}
+
 func TestRatioZeroBase(t *testing.T) {
 	if r := ratio(0, 0); r != 0 {
 		t.Errorf("ratio(0,0)=%v, want 0", r)

@@ -180,6 +180,14 @@ type Datacenter struct {
 
 	demand units.Watts // aggregate draw including cooling
 
+	// nBusy and nOffline are maintained incrementally at every state
+	// transition so BusyCount/OfflineCount are O(1) — they gate
+	// per-tick decisions (profiling admission, parallel-kernel
+	// heuristics) and an O(procs) scan there is measurable at fleet
+	// scale. RestoreState recomputes them from the overlay.
+	nBusy    int
+	nOffline int
+
 	// Memoized ProcPower, indexed id*nLevels+level. ProcPower is a pure
 	// function of (id, level) between voltage-regime changes — the volt
 	// function reads profiling knowledge and fault overrides that only
@@ -235,8 +243,15 @@ func NewWithCOPs(chips []*variation.Chip, pm *power.Model, volt VoltageFn, cops 
 		pcache:   make([]units.Watts, len(chips)*nLevels),
 		pcacheOK: make([]bool, len(chips)*nLevels),
 	}
+	// One contiguous backing array instead of a heap allocation per
+	// processor: fleet-order walks (utilization fills, availability
+	// snapshots, shard kernels) then stride through memory linearly.
+	// Pointers into the array are stable for the datacenter's lifetime,
+	// so dc.Procs[i] behaves exactly like an individual allocation.
+	backing := make([]Processor, len(chips))
 	for i, ch := range chips {
-		dc.Procs[i] = &Processor{ID: i, Chip: ch}
+		backing[i] = Processor{ID: i, Chip: ch}
+		dc.Procs[i] = &backing[i]
 	}
 	return dc, nil
 }
@@ -346,6 +361,7 @@ func (dc *Datacenter) ForceOffline(id int, draw units.Watts) error {
 	p.offline = true
 	p.offlineDraw = draw
 	dc.demand += draw
+	dc.nOffline++
 	return nil
 }
 
@@ -369,6 +385,7 @@ func (dc *Datacenter) Preempt(id int, now units.Seconds) *Slice {
 	s.Gen++
 	p.UtilTime += now - p.busySince
 	p.current = nil
+	dc.nBusy--
 	return s
 }
 
@@ -406,6 +423,7 @@ func (dc *Datacenter) SetOnline(id int, now units.Seconds) *Slice {
 	p.offline = false
 	dc.demand -= p.offlineDraw
 	p.offlineDraw = 0
+	dc.nOffline--
 	if p.current != nil || p.queue.len() == 0 {
 		return nil
 	}
@@ -469,31 +487,11 @@ func (dc *Datacenter) Migrate(s *Slice, toProc, level int, now units.Seconds) (*
 // start time under the current DVFS levels. Slices queued behind a
 // profiling session (offline processor) get a +Inf estimate.
 func (dc *Datacenter) QueueEstimates(fn func(s *Slice, estStart units.Seconds)) {
-	for _, p := range dc.Procs {
-		if p.queue.len() == 0 {
-			continue
-		}
-		t := units.Seconds(math.Inf(1))
-		if p.current != nil {
-			t = p.current.Finish
-		}
-		for _, q := range p.queue.items() {
-			fn(q, t)
-			t += dc.SliceDuration(q, q.AssignedLevel)
-		}
-	}
+	dc.QueueEstimatesShard(0, len(dc.Procs), fn)
 }
 
 // OfflineCount returns the number of processors currently isolated.
-func (dc *Datacenter) OfflineCount() int {
-	n := 0
-	for _, p := range dc.Procs {
-		if p.offline {
-			n++
-		}
-	}
-	return n
-}
+func (dc *Datacenter) OfflineCount() int { return dc.nOffline }
 
 // NewSlice creates an unstarted slice of job j on processor procID at
 // the given assigned level.
@@ -523,6 +521,7 @@ func (dc *Datacenter) Enqueue(s *Slice, now units.Seconds) *Slice {
 
 func (dc *Datacenter) start(p *Processor, s *Slice, now units.Seconds) {
 	p.current = s
+	dc.nBusy++
 	p.busySince = now
 	s.running = true
 	s.lastUpdate = now
@@ -549,6 +548,7 @@ func (dc *Datacenter) Complete(id int, now units.Seconds) *Slice {
 	s.remaining = 0
 	p.UtilTime += now - p.busySince
 	p.current = nil
+	dc.nBusy--
 	if p.queue.len() == 0 {
 		return nil
 	}
@@ -661,6 +661,63 @@ func (dc *Datacenter) UtilTimesInto(dst []units.Seconds, now units.Seconds) []un
 	return dst
 }
 
+// UtilShard fills dst[id] for id in [lo, hi) with each processor's
+// busy time at now — the shard-range form of UtilTimesInto. Distinct
+// ranges touch disjoint regions of dst, so shards may fill
+// concurrently; each entry is exactly the value UtilTimesInto writes.
+func (dc *Datacenter) UtilShard(dst []units.Seconds, now units.Seconds, lo, hi int) {
+	for id := lo; id < hi; id++ {
+		p := dc.Procs[id]
+		u := p.UtilTime
+		if p.current != nil {
+			u += now - p.busySince
+		}
+		dst[id] = u
+	}
+}
+
+// AvailShard fills dst[id] for id in [lo, hi) with AvailableAt(id,
+// now) — a structure-of-arrays snapshot of the fleet's availability,
+// safe to fill concurrently across disjoint ranges.
+func (dc *Datacenter) AvailShard(dst []units.Seconds, now units.Seconds, lo, hi int) {
+	for id := lo; id < hi; id++ {
+		dst[id] = dc.AvailableAt(id, now)
+	}
+}
+
+// RunningShard appends the running slices of processors [lo, hi) to
+// dst in processor order and returns it — the shard-range form of
+// RunningSlices, for per-worker collection buffers.
+func (dc *Datacenter) RunningShard(dst []*Slice, lo, hi int) []*Slice {
+	for id := lo; id < hi; id++ {
+		if cur := dc.Procs[id].current; cur != nil {
+			dst = append(dst, cur)
+		}
+	}
+	return dst
+}
+
+// QueueEstimatesShard is QueueEstimates restricted to processors
+// [lo, hi): fn sees exactly the (slice, estimated start) pairs the
+// full walk reports for those processors, in the same order. fn must
+// only touch caller-shard state when ranges run concurrently.
+func (dc *Datacenter) QueueEstimatesShard(lo, hi int, fn func(s *Slice, estStart units.Seconds)) {
+	for id := lo; id < hi; id++ {
+		p := dc.Procs[id]
+		if p.queue.len() == 0 {
+			continue
+		}
+		t := units.Seconds(math.Inf(1))
+		if p.current != nil {
+			t = p.current.Finish
+		}
+		for _, q := range p.queue.items() {
+			fn(q, t)
+			t += dc.SliceDuration(q, q.AssignedLevel)
+		}
+	}
+}
+
 // LiveSlices counts the fleet's in-flight work: slices currently
 // running and slices waiting in queues. Together they must equal the
 // scheduler's outstanding placements (the no-slice-leak invariant the
@@ -676,15 +733,7 @@ func (dc *Datacenter) LiveSlices() (running, queued int) {
 }
 
 // BusyCount returns the number of processors currently running a slice.
-func (dc *Datacenter) BusyCount() int {
-	n := 0
-	for _, p := range dc.Procs {
-		if p.current != nil {
-			n++
-		}
-	}
-	return n
-}
+func (dc *Datacenter) BusyCount() int { return dc.nBusy }
 
 // SliceArena bulk-allocates slices in fixed chunks so the placement
 // loop does not pay one heap allocation per slice. Slices are never

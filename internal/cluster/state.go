@@ -148,6 +148,17 @@ func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error
 		}
 	}
 	dc.demand = st.Demand
+	// The overlay bypassed start/Complete/SetOffline, so the O(1)
+	// counters are recomputed from the restored truth.
+	dc.nBusy, dc.nOffline = 0, 0
+	for _, p := range dc.Procs {
+		if p.current != nil {
+			dc.nBusy++
+		}
+		if p.offline {
+			dc.nOffline++
+		}
+	}
 	// The caller typically restores voltage-regime state (profiling
 	// knowledge, fault overrides) after this overlay, so any draw
 	// memoized before or during the restore could be stale.

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"iscope/internal/pool"
 	"iscope/internal/rng"
 	"iscope/internal/scheduler"
 	"iscope/internal/units"
@@ -35,8 +36,18 @@ type Options struct {
 	NumJobs int
 	// SpanDays is the arrival window of the workload.
 	SpanDays float64
-	// Parallelism bounds concurrent simulation runs; 0 = GOMAXPROCS.
+	// Parallelism bounds concurrent simulation runs; 0 = GOMAXPROCS
+	// (divided by SimWorkers when per-run sharding is on, so the two
+	// levels of parallelism don't multiply past the machine).
 	Parallelism int
+	// SimWorkers is the per-run kernel worker count forwarded to
+	// scheduler.RunConfig.Workers for every grid cell whose config does
+	// not set its own: values above one shard each simulation's
+	// per-timestamp kernels across that many workers. Results are
+	// bit-identical for any value; only wall-clock changes. 0 or 1 runs
+	// each cell serially (grid-level fan-out usually saturates the
+	// machine on its own).
+	SimWorkers int
 	// WindScale multiplies the default wind trace after it has been
 	// auto-scaled to the workload's mean demand (see WindToDemandRatio).
 	WindScale float64
@@ -102,7 +113,17 @@ func (o Options) workers() int {
 	if o.Parallelism > 0 {
 		return o.Parallelism
 	}
-	return runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0)
+	if o.SimWorkers > 1 {
+		// Each cell already fans out over SimWorkers kernel workers;
+		// running GOMAXPROCS cells on top would oversubscribe the
+		// machine SimWorkers-fold.
+		w /= o.SimWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // buildFleet constructs the shared hardware population.
@@ -277,49 +298,25 @@ func runGrid(fleet *scheduler.Fleet, jobs []runJob, o Options) (map[string]*sche
 
 	var (
 		mu   sync.Mutex
-		wg   sync.WaitGroup
 		errs []error
 	)
-	ch := make(chan runJob)
-	workers := o.workers()
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				res, err := runCell(ctx, fleet, j, o)
-				mu.Lock()
-				switch {
-				case err != nil:
-					errs = append(errs, fmt.Errorf("experiments: run %s: %w", j.key, err))
-				default:
-					results[j.key] = res
-					if man != nil {
-						if merr := man.store(j.key, res); merr != nil {
-							errs = append(errs, fmt.Errorf("experiments: manifest %s: %w", j.key, merr))
-						}
-					}
+	pool.Feed(ctx, pool.Workers(o.workers(), len(pending)), len(pending), func(i int) {
+		j := pending[i]
+		res, err := runCell(ctx, fleet, j, o)
+		mu.Lock()
+		switch {
+		case err != nil:
+			errs = append(errs, fmt.Errorf("experiments: run %s: %w", j.key, err))
+		default:
+			results[j.key] = res
+			if man != nil {
+				if merr := man.store(j.key, res); merr != nil {
+					errs = append(errs, fmt.Errorf("experiments: manifest %s: %w", j.key, merr))
 				}
-				mu.Unlock()
 			}
-		}()
-	}
-feed:
-	for _, j := range pending {
-		select {
-		case ch <- j:
-		case <-ctx.Done():
-			break feed
 		}
-	}
-	close(ch)
-	wg.Wait()
+		mu.Unlock()
+	})
 	if err := ctx.Err(); err != nil {
 		errs = append(errs, fmt.Errorf("experiments: grid canceled: %w", err))
 	}
@@ -334,6 +331,11 @@ feed:
 // stream is derived from (seed, cell key), so a re-run of the same
 // grid backs off identically — grid behavior stays reproducible.
 func runCell(ctx context.Context, fleet *scheduler.Fleet, j runJob, o Options) (*scheduler.Result, error) {
+	if o.SimWorkers > 1 && j.cfg.Workers == 0 {
+		// Per-run kernel sharding; never changes results (Workers is
+		// excluded from the checkpoint fingerprint for the same reason).
+		j.cfg.Workers = o.SimWorkers
+	}
 	attempts := o.CellRetries + 1
 	if attempts < 1 {
 		attempts = 1

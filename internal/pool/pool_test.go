@@ -1,0 +1,87 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Fatalf("Workers(4, 100) = %d, want 4", got)
+	}
+	if got := Workers(16, 3); got != 3 {
+		t.Fatalf("Workers(16, 3) = %d, want cap at 3", got)
+	}
+	if got := Workers(0, 0); got != 1 {
+		t.Fatalf("Workers(0, 0) = %d, want floor 1", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0, 100) = %d, want >= 1 (GOMAXPROCS)", got)
+	}
+}
+
+func TestFeedCoversAllItems(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 100} {
+		n := 50
+		marks := make([]int32, n)
+		Feed(context.Background(), w, n, func(i int) {
+			atomic.AddInt32(&marks[i], 1)
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", w, i, m)
+			}
+		}
+	}
+}
+
+func TestFeedNilContext(t *testing.T) {
+	var ran atomic.Int32
+	Feed(nil, 2, 10, func(int) { ran.Add(1) })
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d items, want 10", ran.Load())
+	}
+	Feed(nil, 1, 3, func(int) { ran.Add(1) })
+	if ran.Load() != 13 {
+		t.Fatalf("serial path ran %d items total, want 13", ran.Load())
+	}
+}
+
+func TestFeedCancelStopsFeeding(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	n := 1000
+	Feed(ctx, 2, n, func(i int) {
+		mu.Lock()
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		mu.Unlock()
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= n {
+		t.Fatalf("cancellation did not stop the feed: all %d items ran", n)
+	}
+	if ran < 5 {
+		t.Fatalf("only %d items ran before cancel", ran)
+	}
+}
+
+func TestFeedCancelSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	Feed(ctx, 1, 100, func(i int) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+	})
+	if ran != 3 {
+		t.Fatalf("serial feed ran %d items after cancel at 3", ran)
+	}
+}

@@ -2,9 +2,9 @@ package profiling
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
+	"iscope/internal/pool"
 	"iscope/internal/units"
 )
 
@@ -30,8 +30,15 @@ type Config struct {
 	// (skip unused features, gaining margin).
 	GPUOn bool
 	// DomainSize is the number of chips per profiling domain — scanned
-	// concurrently under one master. Zero means GOMAXPROCS.
+	// concurrently under one master. Historically it also doubled as
+	// ScanFleet's worker count; that fallback is kept for compatibility
+	// (see Workers). Zero means GOMAXPROCS.
 	DomainSize int
+	// Workers is the number of goroutines ScanFleet fans chips out
+	// over. Zero falls back to DomainSize (the historical behavior:
+	// one worker per profiling domain), and when that is also zero,
+	// to GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig matches the paper's setup: stress test, 10 voltage
@@ -56,6 +63,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("profiling: TestPower must be positive")
 	case c.DomainSize < 0:
 		return fmt.Errorf("profiling: DomainSize must be >= 0")
+	case c.Workers < 0:
+		return fmt.Errorf("profiling: Workers must be >= 0")
 	}
 	return nil
 }
@@ -140,39 +149,23 @@ func (s *Scanner) ScanChip(id int, now units.Seconds) ChipReport {
 // aggregates cost. Deterministic only when the tester is noise-free,
 // since noisy measurements draw from a shared stream in worker order.
 func (s *Scanner) ScanFleet(ids []int, now units.Seconds) FleetReport {
-	workers := s.cfg.DomainSize
+	workers := s.cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ids) {
-		workers = len(ids)
+		workers = s.cfg.DomainSize
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		rep  FleetReport
-		next = make(chan int)
+		mu  sync.Mutex
+		rep FleetReport
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range next {
-				cr := s.ScanChip(id, now)
-				mu.Lock()
-				rep.Chips++
-				rep.Points += cr.Points
-				rep.Energy += cr.Energy
-				rep.Duration += cr.Duration
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, id := range ids {
-		next <- id
-	}
-	close(next)
-	wg.Wait()
+	pool.Feed(nil, pool.Workers(workers, len(ids)), len(ids), func(i int) {
+		cr := s.ScanChip(ids[i], now)
+		mu.Lock()
+		rep.Chips++
+		rep.Points += cr.Points
+		rep.Energy += cr.Energy
+		rep.Duration += cr.Duration
+		mu.Unlock()
+	})
 	return rep
 }
 

@@ -1,0 +1,66 @@
+package scheduler
+
+import "testing"
+
+// warmParSim is warmSim with the sharded parallel tier engaged. The
+// parallel kernels bind their closures at construction and ping-pong
+// through merger-owned buffers, so after the warmup call they must be
+// as allocation-free as the serial tier they replace.
+func warmParSim(t *testing.T, workers int) *sim {
+	t.Helper()
+	fleet := testFleet(t, 16)
+	jobs := testJobs(t, 42, 40, 0.3)
+	w := testWind(t, fleet, 300)
+	sch, ok := SchemeByName("ScanFair")
+	if !ok {
+		t.Fatal("ScanFair scheme missing")
+	}
+	cfg := RunConfig{Seed: 1, Jobs: jobs, Wind: w, EnableRebalance: true, Workers: workers}
+	s, err := newSim(fleet, sch, cfg)
+	if err != nil {
+		t.Fatalf("newSim: %v", err)
+	}
+	t.Cleanup(s.close)
+	half := len(cfg.Jobs.Jobs) / 2
+	for s.jobsLeft > half {
+		if !s.eng.Step() {
+			t.Fatal("event queue drained before the warmup point")
+		}
+	}
+	return s
+}
+
+func TestParallelKernelsAllocFree(t *testing.T) {
+	s := warmParSim(t, 4)
+	now := s.eng.Now()
+	if s.par == nil {
+		t.Fatal("parallel tier not engaged")
+	}
+	j := s.states[len(s.states)-1].job
+	measure(t, "selectProcs(parallel)", func() {
+		s.fairValid = false
+		_ = s.selectProcs(j, now)
+	})
+	measure(t, "match(parallel,deficit)", func() {
+		s.curWind = s.dc.Demand() / 2
+		_ = s.match(now)
+	})
+	measure(t, "match(parallel,surplus)", func() {
+		s.curWind = s.dc.Demand() * 2
+		_ = s.match(now)
+	})
+	measure(t, "rebalance(parallel)", func() {
+		s.fairValid = false
+		s.rebalance(now)
+	})
+	measure(t, "qualityMetrics(parallel)", func() {
+		_, _, _ = s.qualityMetrics()
+	})
+	measure(t, "leastUsedOrder(parallel)", func() {
+		s.fairValid = false
+		_ = s.leastUsedOrder(now)
+	})
+	measure(t, "refreshEffOrder(parallel)", func() {
+		s.refreshEffOrder()
+	})
+}

@@ -164,7 +164,9 @@ type runSnapshot struct {
 // cfgHash fingerprints every RunConfig field that shapes the
 // simulation trajectory. Checkpoint and Resume are deliberately
 // excluded: where and how often a run snapshots does not change what
-// it computes.
+// it computes. Workers (and test-only naive) are excluded for the same
+// reason — execution tiers never change results, so a checkpoint taken
+// at one worker count must resume at any other.
 func cfgHash(cfg RunConfig) uint64 {
 	h := fnv.New64a()
 	put := func(format string, args ...any) { fmt.Fprintf(h, format+"|", args...) }

@@ -1,0 +1,468 @@
+package scheduler
+
+import (
+	"math"
+	"slices"
+
+	"iscope/internal/cluster"
+	"iscope/internal/shard"
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+// This file is the parallel execution tier of the scheduling kernels,
+// active when RunConfig.Workers > 1. Each per-timestamp kernel keeps
+// exactly the serial tier's semantics and splits only its
+// embarrassingly parallel stage across fixed shards of the proc (or
+// job) population:
+//
+//   - per-shard fills of flat structure-of-arrays snapshots
+//     (utilization, availability) indexed by processor id;
+//   - per-shard sorts of the pointer-free sort keys from the serial
+//     tier (utilKey, slackEntry, effKey), merged by an
+//     order-preserving pairwise merge tree;
+//   - a block-cyclic parallel find-first for rebalance target search.
+//
+// Every comparator involved is a strict total order (see the serial
+// kernels), so a shard sort + stable merge yields the unique sorted
+// permutation — the same bytes the serial full sort produces — for any
+// worker count. Shard boundaries and merge pairing depend only on
+// (n, Workers); reductions that are sensitive to float association
+// (wait sums, the sorted slowdown sum) stay serial in a fixed order.
+// Worker count therefore never leaks into results or checkpoints.
+//
+// All kernels and the rebalance predicate are bound once at
+// construction and pass their arguments through parState fields, so
+// steady-state dispatch allocates nothing.
+
+// parWorker is one worker's private scratch arena. Workers only ever
+// write their own arena during a parallel phase; the main goroutine
+// concatenates in shard order afterwards, which keeps collection
+// results identical to a serial id-order walk.
+type parWorker struct {
+	run   []*cluster.Slice
+	cands []rebalCand
+	avail []procAvail
+	estFn func(*cluster.Slice, units.Seconds)
+}
+
+// parState carries the worker pool, per-worker arenas, SoA snapshots
+// and prebound kernels for one simulation. It holds no simulation
+// state of its own — everything here is per-call scratch — so
+// checkpoint and restore never touch it.
+type parState struct {
+	s    *sim
+	pool *shard.Pool
+	w    []parWorker
+
+	// avail[id] is a per-phase snapshot of dc.AvailableAt(id, now),
+	// refreshed after every mutation inside the phase, replacing the
+	// serial tier's O(cands x procs) repeated AvailableAt calls.
+	avail   []units.Seconds
+	running []*cluster.Slice
+	starts  []int
+
+	// Kernel arguments, published to workers by Pool.Run's dispatch
+	// (channel send happens-before the worker's read).
+	now     units.Seconds
+	desc    bool
+	epoch   int64
+	order   []int
+	job     *workload.Job
+	srcProc int
+
+	// Kernels and the rebalance predicate, bound once so per-event
+	// dispatch does not allocate closures.
+	utilFillK  func(int, int, int)
+	fairKeyK   func(int, int, int)
+	runColK    func(int, int, int)
+	slackKeyK  func(int, int, int)
+	fbColK     func(int, int, int)
+	candColK   func(int, int, int)
+	availFillK func(int, int, int)
+	slowsFillK func(int, int, int)
+	effKeyK    func(int, int, int)
+	rebalPred  func(int) bool
+
+	fairMerge  *shard.Merger[utilKey]
+	slackMerge *shard.Merger[slackEntry]
+	effMerge   *shard.Merger[effKey]
+	slowMerge  *shard.Merger[float64]
+}
+
+// newParState builds the parallel tier: the shard pool, per-worker
+// arenas, and the id- and position-indexed buffers the kernels fill
+// directly (the serial tier builds these lazily with append; the
+// parallel kernels index disjoint ranges, so they are sized up front).
+func newParState(s *sim, workers int) *parState {
+	p := &parState{
+		s:    s,
+		pool: shard.NewPool(workers),
+		w:    make([]parWorker, workers),
+	}
+	n := len(s.dc.Procs)
+	p.avail = make([]units.Seconds, n)
+	s.utilBuf = make([]units.Seconds, n)
+	s.fairKeys = make([]utilKey, n)
+	s.fairOrder = make([]int, n)
+	for i := range s.fairOrder {
+		s.fairOrder[i] = i
+	}
+	s.effKeys = make([]effKey, n)
+	s.slowsBuf = make([]float64, len(s.states))
+	for i := range p.w {
+		w := &p.w[i]
+		w.estFn = func(sl *cluster.Slice, estStart units.Seconds) {
+			d := sl.Job.Deadline
+			if d <= 0 {
+				return
+			}
+			if estStart+s.dc.SliceDuration(sl, sl.AssignedLevel) > d {
+				w.cands = append(w.cands, rebalCand{sl, estStart})
+			}
+		}
+	}
+	p.utilFillK = p.utilFill
+	p.fairKeyK = p.fairKeyFill
+	p.runColK = p.runCollect
+	p.slackKeyK = p.slackKeyFill
+	p.fbColK = p.fbCollect
+	p.candColK = p.candCollect
+	p.availFillK = p.availFill
+	p.slowsFillK = p.slowsFill
+	p.effKeyK = p.effKeyFill
+	p.rebalPred = p.rebalTarget
+	p.fairMerge = shard.NewMerger(p.pool, utilAsc)
+	p.slackMerge = shard.NewMerger(p.pool, func(a, b slackEntry) int {
+		if p.desc {
+			return slackDesc(a, b)
+		}
+		return slackAsc(a, b)
+	})
+	p.effMerge = shard.NewMerger(p.pool, effCmp)
+	p.slowMerge = shard.NewMerger(p.pool, cmpFloat)
+	return p
+}
+
+// close releases the parallel tier's worker goroutines; a serial sim
+// has nothing to release.
+func (s *sim) close() {
+	if s.par != nil {
+		s.par.pool.Close()
+	}
+}
+
+// ensureKnow pre-syncs version-checked knowledge caches on the event
+// goroutine. ScanKnowledge.ensure rebuilds flat tables when the
+// profiling DB's write version moved; that rebuild is a mutation, so
+// it must happen before a parallel phase starts calling EstPower or
+// EffRank concurrently. The DB version only moves at discrete events
+// (a scan landing, a fault), never inside a phase, so after this call
+// every concurrent lookup is a pure read.
+func (s *sim) ensureKnow() {
+	switch k := s.know.(type) {
+	case *ScanKnowledge:
+		k.ensure()
+	case *HybridKnowledge:
+		k.scan.ensure()
+	}
+}
+
+// shardStarts returns the run-start offsets matching the shard ranges
+// Pool.Run used over n elements — the merge tree's description of the
+// per-shard sorted runs.
+func (p *parState) shardStarts(n int) []int {
+	k := p.pool.Workers()
+	st := p.starts[:0]
+	for sh := 0; sh < k; sh++ {
+		lo, _ := shard.Range(n, k, sh)
+		st = append(st, lo)
+	}
+	p.starts = st
+	return st
+}
+
+func cmpFloat(a, b float64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// --- least-used (fair) order ---------------------------------------
+
+func (p *parState) utilFill(_, lo, hi int) {
+	p.s.dc.UtilShard(p.s.utilBuf, p.now, lo, hi)
+}
+
+func (p *parState) fairKeyFill(_, lo, hi int) {
+	s := p.s
+	for i := lo; i < hi; i++ {
+		id := s.fairOrder[i]
+		s.fairKeys[i] = utilKey{u: s.utilBuf[id], id: id}
+	}
+	slices.SortFunc(s.fairKeys[lo:hi], utilAsc)
+}
+
+// parLeastUsedOrder is the sharded leastUsedOrder: parallel utilization
+// fill by id range, parallel key fill + shard sort by position range
+// (seeded from the previous order, same as the serial tier), then the
+// merge tree. (u, id) is strict, so the merged permutation equals the
+// serial full sort.
+func (s *sim) parLeastUsedOrder(now units.Seconds) []int {
+	if s.fairValid && s.fairOrderAt == now {
+		return s.fairOrder
+	}
+	p := s.par
+	n := len(s.dc.Procs)
+	p.now = now
+	p.pool.Run(n, p.utilFillK)
+	p.pool.Run(n, p.fairKeyK)
+	merged := p.fairMerge.Merge(s.fairKeys, p.shardStarts(n))
+	for i := range merged {
+		s.fairOrder[i] = merged[i].id
+	}
+	s.fairOrderAt = now
+	s.fairValid = true
+	return s.fairOrder
+}
+
+// --- efficiency order refresh --------------------------------------
+
+func (p *parState) effKeyFill(_, lo, hi int) {
+	s := p.s
+	for i := lo; i < hi; i++ {
+		id := s.effPref[i]
+		s.effKeys[i] = effKey{rank: s.know.EffRank(id), pos: int32(i), id: int32(id)}
+	}
+	slices.SortFunc(s.effKeys[lo:hi], effCmp)
+}
+
+// parRefreshEffOrder re-sorts the efficiency preference with parallel
+// (rank, pos) key fills and the merge tree; positions are a
+// permutation, so the key order is strict and the result matches the
+// serial refreshEffOrder.
+func (s *sim) parRefreshEffOrder() {
+	p := s.par
+	n := len(s.effPref)
+	s.ensureKnow()
+	p.pool.Run(n, p.effKeyK)
+	merged := p.effMerge.Merge(s.effKeys, p.shardStarts(n))
+	for i := range merged {
+		s.effPref[i] = int(merged[i].id)
+	}
+}
+
+// --- matching sort --------------------------------------------------
+
+func (p *parState) runCollect(sh, lo, hi int) {
+	w := &p.w[sh]
+	w.run = p.s.dc.RunningShard(w.run[:0], lo, hi)
+}
+
+func (p *parState) slackKeyFill(_, lo, hi int) {
+	s, now := p.s, p.now
+	for i := lo; i < hi; i++ {
+		sl := p.running[i]
+		s.slackBuf[i] = slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)}
+	}
+	if p.desc {
+		slices.SortFunc(s.slackBuf[lo:hi], slackDesc)
+	} else {
+		slices.SortFunc(s.slackBuf[lo:hi], slackAsc)
+	}
+}
+
+// parSortRunningBySlack collects the running slices per id-range shard
+// (concatenated in shard order, i.e. processor order), fills and
+// shard-sorts the slack keys, merges, and applies the permutation.
+// (slack, procID) is strict over running slices — one per processor —
+// so the sorted output is the same list the serial tier produces; the
+// serial tier's carry-over machinery (runSorted, runStamp) is simply
+// unused in this tier.
+func (s *sim) parSortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice {
+	p := s.par
+	n := len(s.dc.Procs)
+	p.pool.Run(n, p.runColK)
+	running := p.running[:0]
+	for i := range p.w {
+		running = append(running, p.w[i].run...)
+	}
+	p.running = running
+	m := len(running)
+	if cap(s.slackBuf) < m {
+		s.slackBuf = make([]slackEntry, m)
+	} else {
+		s.slackBuf = s.slackBuf[:m]
+	}
+	p.now, p.desc = now, desc
+	p.pool.Run(m, p.slackKeyK)
+	merged := p.slackMerge.Merge(s.slackBuf, p.shardStarts(m))
+	scratch := append(s.runBuf[:0], running...)
+	s.runBuf = scratch
+	for i := range merged {
+		running[i] = scratch[merged[i].idx]
+	}
+	return running
+}
+
+// --- placement fallback collect ------------------------------------
+
+func (p *parState) fbCollect(sh, lo, hi int) {
+	s := p.s
+	w := &p.w[sh]
+	w.avail = w.avail[:0]
+	for id := lo; id < hi; id++ {
+		if s.takenMark[id] != p.epoch {
+			w.avail = append(w.avail, procAvail{id: id, avail: s.dc.AvailableAt(id, p.now)})
+		}
+	}
+}
+
+// parFallbackCollect fills availBuf with the untaken processors'
+// availability for selectProcs' heap fallback: per-worker collection
+// over id ranges, concatenated in shard order — the identical id-
+// ascending sequence the serial loop builds, so heapify sees the same
+// array and the pops are byte-identical.
+func (s *sim) parFallbackCollect(now units.Seconds) {
+	p := s.par
+	p.now = now
+	p.epoch = s.takenEpoch
+	p.pool.Run(len(s.dc.Procs), p.fbColK)
+	buf := s.availBuf[:0]
+	for i := range p.w {
+		buf = append(buf, p.w[i].avail...)
+	}
+	s.availBuf = buf
+}
+
+// --- rebalance ------------------------------------------------------
+
+func (p *parState) candCollect(sh, lo, hi int) {
+	w := &p.w[sh]
+	w.cands = w.cands[:0]
+	p.s.dc.QueueEstimatesShard(lo, hi, w.estFn)
+}
+
+func (p *parState) availFill(_, lo, hi int) {
+	p.s.dc.AvailShard(p.avail, p.now, lo, hi)
+}
+
+// rebalTarget is FindFirst's predicate: can preference-order position
+// pos host the current candidate? It reads the availability snapshot
+// and calls chooseLevel, both pure reads during the search, and
+// replicates the serial walk's skip conditions exactly, so the first
+// true position is the processor the serial walk migrates to.
+func (p *parState) rebalTarget(pos int) bool {
+	id := p.order[pos]
+	if id == p.srcProc {
+		return false
+	}
+	maxTime := p.job.Deadline - p.avail[id]
+	if maxTime <= 0 {
+		return false
+	}
+	_, ok := p.s.chooseLevel(id, p.job, maxTime, false)
+	return ok
+}
+
+// parRebalance is the sharded rebalance: parallel candidate collection
+// over queue shards, the same strict-order candidate sort, one
+// parallel availability snapshot, then a block-cyclic parallel
+// find-first over the preference order per candidate. The snapshot
+// replaces the serial tier's per-(candidate, target) AvailableAt
+// re-computation and is refreshed for exactly the two processors a
+// migration mutates, so every predicate evaluation sees the value the
+// serial walk would compute fresh.
+func (s *sim) parRebalance(now units.Seconds) {
+	p := s.par
+	n := len(s.dc.Procs)
+	p.now = now
+	p.pool.Run(n, p.candColK)
+	cands := s.candBuf[:0]
+	for i := range p.w {
+		cands = append(cands, p.w[i].cands...)
+	}
+	s.candBuf = cands
+	if len(cands) == 0 {
+		return
+	}
+	slices.SortFunc(cands, rebalCandCmp)
+	order := s.candidateOrder(now, false)
+	s.ensureKnow()
+	p.order = order
+	p.pool.Run(n, p.availFillK)
+	for _, c := range cands {
+		sl := c.sl
+		p.job = sl.Job
+		p.srcProc = sl.ProcID
+		pos := p.pool.FindFirst(len(order), p.rebalPred)
+		if pos == len(order) {
+			continue
+		}
+		id := order[pos]
+		maxTime := sl.Job.Deadline - p.avail[id]
+		level, _ := s.chooseLevel(id, sl.Job, maxTime, false)
+		src := sl.ProcID
+		started, err := s.dc.Migrate(sl, id, level, now)
+		if err != nil {
+			continue // raced with a start; leave it be (serial tier breaks here too)
+		}
+		if started != nil {
+			s.scheduleCompletion(started)
+		}
+		p.avail[src] = s.dc.AvailableAt(src, now)
+		p.avail[id] = s.dc.AvailableAt(id, now)
+	}
+}
+
+// --- quality metrics ------------------------------------------------
+
+func (p *parState) slowsFill(_, lo, hi int) {
+	s := p.s
+	for i := lo; i < hi; i++ {
+		st := &s.states[i]
+		span := float64(st.finish - st.job.Submit)
+		runtime := math.Max(float64(st.job.Runtime), 10)
+		s.slowsBuf[i] = math.Max(1, span/runtime)
+	}
+	slices.Sort(s.slowsBuf[lo:hi])
+}
+
+// parQualityMetrics computes the end-of-run statistics with a parallel
+// slowdown fill + shard sort + merge. The wait sum and the sorted
+// slowdown sum stay serial in their fixed orders (job order and
+// ascending order respectively): float addition is not associative,
+// and shard boundaries depend on the worker count, so a sharded
+// reduction would leak Workers into the result's low bits. Merging
+// shard-sorted runs of plain float64 values is still safe — equal
+// values are indistinguishable, so the merged value sequence is the
+// unique ascending multiset either tier produces.
+func (s *sim) parQualityMetrics() (meanSlow, p95Slow float64, meanWait units.Seconds) {
+	p := s.par
+	m := len(s.states)
+	if m == 0 {
+		return 0, 0, 0
+	}
+	p.pool.Run(m, p.slowsFillK)
+	var waitSum float64
+	for i := range s.states {
+		st := &s.states[i]
+		span := float64(st.finish - st.job.Submit)
+		if w := span - float64(st.job.Runtime); w > 0 {
+			waitSum += w
+		}
+	}
+	merged := p.slowMerge.Merge(s.slowsBuf, p.shardStarts(m))
+	var sum float64
+	for _, v := range merged {
+		sum += v
+	}
+	meanSlow = sum / float64(m)
+	p95Slow = merged[m*95/100]
+	meanWait = units.Seconds(waitSum / float64(m))
+	return meanSlow, p95Slow, meanWait
+}

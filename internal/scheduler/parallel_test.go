@@ -1,0 +1,113 @@
+package scheduler
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// TestWorkersExcludedFromCfgHash pins the contract that the worker
+// count is an execution detail, exactly like the naive switch: two
+// configurations differing only in Workers must fingerprint
+// identically, or checkpoints could not interchange across counts.
+func TestWorkersExcludedFromCfgHash(t *testing.T) {
+	jobs := testJobs(t, 9, 12, 0.3)
+	a := RunConfig{Seed: 1, Jobs: jobs}
+	b := a
+	b.Workers = 8
+	if cfgHash(a) != cfgHash(b) {
+		t.Fatal("Workers changed cfgHash; checkpoints would refuse to resume across worker counts")
+	}
+}
+
+// TestCheckpointInterchangeAcrossWorkers is the resume property test:
+// a checkpoint taken mid-run under one worker count must resume under
+// any other worker count to the byte-identical final Result. Every
+// (save, resume) ordered pair over {serial, 2, 4, 8} is exercised,
+// with rebalancing and online profiling live so the parallel kernels
+// all run on both sides of the snapshot.
+func TestCheckpointInterchangeAcrossWorkers(t *testing.T) {
+	fleet := testFleet(t, 16)
+	jobs := testJobs(t, 17, 30, 0.4)
+	w := testWind(t, fleet, 400)
+	sch, ok := SchemeByName("ScanFair")
+	if !ok {
+		t.Fatal("ScanFair scheme missing")
+	}
+	base := RunConfig{
+		Seed:            3,
+		Jobs:            jobs,
+		Wind:            w,
+		EnableRebalance: true,
+		Online:          &OnlineProfiling{},
+	}
+	counts := []int{0, 2, 4, 8}
+
+	// One uninterrupted serial run is the reference everything must hit.
+	want, err := Run(fleet, sch, base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	snaps := make(map[int][][]byte)
+	for _, save := range counts {
+		col := &snapCollector{}
+		cfg := base
+		cfg.Workers = save
+		cfg.Checkpoint = &CheckpointConfig{Every: units.Hours(2), Sink: col.sink}
+		got, err := Run(fleet, sch, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d checkpointed run: %v", save, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d run diverged from serial reference", save)
+		}
+		if len(col.snaps) < 2 {
+			t.Fatalf("workers=%d: only %d checkpoints; test needs a mid-run one", save, len(col.snaps))
+		}
+		snaps[save] = col.snaps
+	}
+
+	// Snapshots must be byte-identical across worker counts...
+	for _, save := range counts[1:] {
+		if len(snaps[save]) != len(snaps[0]) {
+			t.Fatalf("workers=%d emitted %d checkpoints, serial %d", save, len(snaps[save]), len(snaps[0]))
+		}
+		for i := range snaps[0] {
+			if !bytes.Equal(snaps[0][i], snaps[save][i]) {
+				t.Fatalf("checkpoint %d differs between serial and workers=%d", i, save)
+			}
+		}
+	}
+
+	// ...and a mid-run snapshot saved under any count must resume under
+	// any other count to the reference result.
+	mid := snaps[0][len(snaps[0])/2]
+	for _, resume := range counts {
+		cfg := base
+		cfg.Workers = resume
+		cfg.Resume = mid
+		got, err := Run(fleet, sch, cfg)
+		if err != nil {
+			t.Fatalf("resume under workers=%d: %v", resume, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("resume under workers=%d diverged from the uninterrupted run", resume)
+		}
+	}
+}
+
+// TestWorkersValidation covers the new RunConfig field's bounds.
+func TestWorkersValidation(t *testing.T) {
+	jobs := testJobs(t, 9, 4, 0)
+	cfg := RunConfig{Seed: 1, Jobs: jobs, Workers: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	cfg.Workers = 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Workers=8 rejected: %v", err)
+	}
+}

@@ -100,6 +100,16 @@ type RunConfig struct {
 	// identical configuration; the run continues from the captured time
 	// and finishes with results bit-identical to the uninterrupted run.
 	Resume []byte
+	// Workers shards the per-timestamp scheduling kernels (placement
+	// order sorts, the matching sort, rebalance target search, final
+	// quality metrics) across this many workers; 0 and 1 run serially.
+	// Shard boundaries and merge order are pure functions of the fleet
+	// size and this count — never goroutine timing — and every sharded
+	// sort runs under a strict total order, so results and checkpoint
+	// bytes are bit-identical for every value of Workers; only
+	// wall-clock time changes. Like naive, it is excluded from cfgHash:
+	// a checkpoint taken at one worker count resumes at any other.
+	Workers int
 
 	// naive switches the scheduler's hot paths to the retained reference
 	// implementations (full re-sorts, fresh scratch allocations, no
@@ -318,6 +328,12 @@ type sim struct {
 	slowsBuf      []float64
 	permBuf       []int
 	effKeys       []effKey
+
+	// par is the sharded parallel tier (see parallel.go), nil when
+	// Workers <= 1 or in naive mode. It holds only per-call scratch and
+	// the worker pool — never simulation state — so checkpoints ignore
+	// it entirely.
+	par *parState
 }
 
 type procAvail struct {
@@ -374,6 +390,7 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 	if err != nil {
 		return nil, err
 	}
+	defer s.close()
 	if cfg.Resume != nil {
 		if err := s.restore(cfg.Resume); err != nil {
 			return nil, err
@@ -580,6 +597,13 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
 	// only when the snapshot holds none.
 	if cfg.Resume == nil && cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
 		_ = s.eng.AfterTag(cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
+	}
+
+	// The parallel tier attaches last, after every error return: a
+	// failed construction must not leak worker goroutines. Naive mode
+	// always wins — it is the oracle the parallel tier is tested against.
+	if cfg.Workers > 1 && !cfg.naive {
+		s.par = newParState(s, cfg.Workers)
 	}
 
 	return s, nil
@@ -879,10 +903,14 @@ func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
 		// Not enough feasible processors: place the remainder on the
 		// earliest-available ones at the top level (deadline violations
 		// are recorded at completion).
-		s.availBuf = s.availBuf[:0]
-		for id := range s.dc.Procs {
-			if s.takenMark[id] != epoch {
-				s.availBuf = append(s.availBuf, procAvail{id: id, avail: s.dc.AvailableAt(id, now)})
+		if s.par != nil {
+			s.parFallbackCollect(now)
+		} else {
+			s.availBuf = s.availBuf[:0]
+			for id := range s.dc.Procs {
+				if s.takenMark[id] != epoch {
+					s.availBuf = append(s.availBuf, procAvail{id: id, avail: s.dc.AvailableAt(id, now)})
+				}
 			}
 		}
 		heapifyAvail(s.availBuf)
@@ -985,24 +1013,32 @@ func (s *sim) efficiencyOrder() []int {
 // permutation the key pairs are all distinct, so this unstable sort is
 // deterministically equal to effOrder's stable one.
 func (s *sim) refreshEffOrder() {
+	if s.par != nil {
+		s.parRefreshEffOrder()
+		return
+	}
 	if s.effKeys == nil {
 		s.effKeys = make([]effKey, len(s.effPref))
 	}
 	for i, id := range s.effPref {
 		s.effKeys[i] = effKey{rank: s.know.EffRank(id), pos: int32(i), id: int32(id)}
 	}
-	slices.SortFunc(s.effKeys, func(a, b effKey) int {
-		if a.rank != b.rank {
-			if a.rank < b.rank {
-				return -1
-			}
-			return 1
-		}
-		return int(a.pos) - int(b.pos)
-	})
+	slices.SortFunc(s.effKeys, effCmp)
 	for i := range s.effKeys {
 		s.effPref[i] = int(s.effKeys[i].id)
 	}
+}
+
+// effCmp orders (rank ascending, previous position): positions form a
+// permutation, so the order is strict.
+func effCmp(a, b effKey) int {
+	if a.rank != b.rank {
+		if a.rank < b.rank {
+			return -1
+		}
+		return 1
+	}
+	return int(a.pos) - int(b.pos)
 }
 
 // windAbundant implements ScanFair's mode switch: renewable power
@@ -1024,6 +1060,9 @@ func (s *sim) windAbundant() bool {
 func (s *sim) leastUsedOrder(now units.Seconds) []int {
 	if s.cfg.naive {
 		return s.naiveLeastUsedOrder(now)
+	}
+	if s.par != nil {
+		return s.parLeastUsedOrder(now)
 	}
 	if s.fairValid && s.fairOrderAt == now {
 		return s.fairOrder
@@ -1147,6 +1186,9 @@ func (s *sim) qualityMetrics() (meanSlow, p95Slow float64, meanWait units.Second
 	if s.cfg.naive {
 		return s.naiveQualityMetrics()
 	}
+	if s.par != nil {
+		return s.parQualityMetrics()
+	}
 	slows := s.slowsBuf[:0]
 	var waitSum float64
 	for i := range s.states {
@@ -1204,6 +1246,10 @@ func (s *sim) rebalance(now units.Seconds) {
 		s.naiveRebalance(now)
 		return
 	}
+	if s.par != nil {
+		s.parRebalance(now)
+		return
+	}
 	cands := s.candBuf[:0]
 	s.dc.QueueEstimates(func(sl *cluster.Slice, estStart units.Seconds) {
 		d := sl.Job.Deadline
@@ -1219,18 +1265,7 @@ func (s *sim) rebalance(now units.Seconds) {
 		return
 	}
 	// Most-endangered first (latest estimated start), deterministic ties.
-	slices.SortFunc(cands, func(a, b rebalCand) int {
-		if a.estStart != b.estStart {
-			if a.estStart > b.estStart {
-				return -1
-			}
-			return 1
-		}
-		if a.sl.Job.ID != b.sl.Job.ID {
-			return a.sl.Job.ID - b.sl.Job.ID
-		}
-		return a.sl.ProcID - b.sl.ProcID
-	})
+	slices.SortFunc(cands, rebalCandCmp)
 	order := s.candidateOrder(now, false)
 	for _, c := range cands {
 		sl := c.sl
@@ -1257,6 +1292,22 @@ func (s *sim) rebalance(now units.Seconds) {
 			break
 		}
 	}
+}
+
+// rebalCandCmp orders rebalance candidates most-endangered first —
+// latest estimated start — with deterministic (job, proc) ties; one
+// queued slice per (job, proc) pair makes the order strict.
+func rebalCandCmp(a, b rebalCand) int {
+	if a.estStart != b.estStart {
+		if a.estStart > b.estStart {
+			return -1
+		}
+		return 1
+	}
+	if a.sl.Job.ID != b.sl.Job.ID {
+		return a.sl.Job.ID - b.sl.Job.ID
+	}
+	return a.sl.ProcID - b.sl.ProcID
 }
 
 // maybeProfile implements the opportunistic scanning flow of Section
@@ -1422,6 +1473,9 @@ func (s *sim) anyBelowAssigned() bool {
 // during the sort, so it is precomputed once per slice into the keyed
 // scratch buffer instead of twice per comparison.
 func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice {
+	if s.par != nil {
+		return s.parSortRunningBySlack(now, desc)
+	}
 	s.runEpoch++
 	running := s.runSorted[:0]
 	for _, sl := range s.runSorted {

@@ -44,6 +44,9 @@ func (cfg *RunConfig) Validate() error {
 	if cfg.ScanGuard < 0 {
 		return &ConfigError{Field: "ScanGuard", Reason: fmt.Sprintf("negative guardband %v", cfg.ScanGuard)}
 	}
+	if cfg.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: "negative worker count"}
+	}
 	if cfg.Battery != nil {
 		if err := cfg.Battery.Validate(); err != nil {
 			return &ConfigError{Field: "Battery", Reason: err.Error()}

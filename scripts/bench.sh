@@ -1,29 +1,37 @@
 #!/usr/bin/env bash
 # Runs the benchmark-regression suite and converts the results to the
-# BENCH_PR4.json format (see DESIGN.md, "Benchmark baseline format").
+# BENCH_PR5.json format (see DESIGN.md, "Benchmark baseline format").
 #
 # Usage:
-#   scripts/bench.sh                    # writes BENCH_PR4_after.json
-#   OUT=BENCH_PR4.json scripts/bench.sh # choose the output file
+#   scripts/bench.sh                    # writes BENCH_PR5_after.json
+#   OUT=BENCH_PR5.json scripts/bench.sh # choose the output file
 #   COUNT=10 scripts/bench.sh           # more repetitions
-#   BASELINE=BENCH_PR4_after.json scripts/bench.sh   # also gate vs baseline
+#   FULL=1 scripts/bench.sh             # include the 48,000-proc tier
+#   BASELINE=BENCH_PR5.json scripts/bench.sh   # also gate vs baseline
 #
 # Environment:
 #   COUNT    benchmark repetitions per name (default 5)
-#   BENCH    benchmark selector regex (default: the three gated names)
-#   OUT      output JSON path (default BENCH_PR4_after.json)
+#   BENCH    benchmark selector regex (default: the gated names)
+#   OUT      output JSON path (default BENCH_PR5_after.json)
 #   RAW      keep the raw `go test` output here (default: tempfile, printed)
+#   FULL     when set, drop -short so the 48,000-proc sub-benchmarks run
+#            (the nightly workflow's mode; they take minutes per rep)
 #   BASELINE when set, additionally run the regression gate against it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-^(BenchmarkScanChip|BenchmarkSimulationRun|BenchmarkFleetGeneration)\$}"
-OUT="${OUT:-BENCH_PR4_after.json}"
+BENCH="${BENCH:-^(BenchmarkScanChip|BenchmarkSimulationRun|BenchmarkFleetGeneration|BenchmarkSimulationRunLarge)\$}"
+OUT="${OUT:-BENCH_PR5_after.json}"
 RAW="${RAW:-$(mktemp /tmp/bench_raw.XXXXXX.txt)}"
+SHORT="-short"
+if [[ -n "${FULL:-}" ]]; then
+    SHORT=""
+fi
 
-echo ">> running: go test -run '^\$' -bench '${BENCH}' -benchmem -count ${COUNT} ."
-go test -run '^$' -bench "${BENCH}" -benchmem -count "${COUNT}" . | tee "${RAW}"
+echo ">> running: go test ${SHORT} -run '^\$' -bench '${BENCH}' -benchmem -count ${COUNT} ."
+# shellcheck disable=SC2086  # SHORT is intentionally word-split (flag or empty)
+go test ${SHORT} -run '^$' -bench "${BENCH}" -benchmem -count "${COUNT}" . | tee "${RAW}"
 
 go run ./cmd/benchjson -o "${OUT}" < "${RAW}"
 echo ">> wrote ${OUT} (raw output kept at ${RAW})"
