@@ -6,9 +6,15 @@
 //	experiments -run fig8 -scale paper   # one figure at full 4800 CPUs
 //	experiments -run fig5,fig6 -seed 7
 //	experiments -run fig8 -manifest .cells -retries 2 -cell-timeout 10m
+//	experiments -daemon http://127.0.0.1:8080 -jobs 600 -procs 240
 //
 // Available targets: table1, table2, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, ablations, online, percore, brownout, all.
+//
+// With -daemon URL the command skips the local pipeline and instead
+// runs a per-scheme comparison against a live iscoped daemon: one
+// tenant per Table 2 scheme, an identical workload streamed into all
+// of them in interleaved batches, then a side-by-side result table.
 package main
 
 import (
@@ -22,10 +28,13 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
+	"iscope"
 	"iscope/internal/experiments"
 	"iscope/internal/profiles"
+	"iscope/internal/service"
 )
 
 func main() {
@@ -46,6 +55,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		execTrace  = flag.String("trace", "", "write a runtime execution trace to this file")
+
+		daemonURL = flag.String("daemon", "", "iscoped base URL: run the per-scheme comparison against a live daemon instead of the local pipeline")
 	)
 	flag.Parse()
 
@@ -78,6 +89,14 @@ func main() {
 	defer stop()
 	opt.Context = ctx
 
+	if *daemonURL != "" {
+		if err := runDaemon(ctx, *daemonURL, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	targets := strings.Split(*run, ",")
 	if *run == "all" {
 		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore", "brownout"}
@@ -101,6 +120,86 @@ func main() {
 	if code != 0 {
 		os.Exit(code)
 	}
+}
+
+// runDaemon is the -daemon mode: the Table 2 scheme comparison run
+// remotely. One tenant per scheme is created on the daemon, the same
+// synthesized workload is streamed into all of them in interleaved
+// batches (exercising the multiplexer the way concurrent clients
+// would), and the sealed results are printed side by side.
+func runDaemon(ctx context.Context, url string, opt experiments.Options) error {
+	const (
+		spanDays = 2.0
+		huFrac   = 0.3
+		batch    = 128
+	)
+	maxW := opt.NumProcs / 2
+	if maxW < 1 {
+		maxW = 1
+	}
+	tr, err := iscope.SynthesizeWorkload(opt.Seed, opt.NumJobs, maxW, spanDays, huFrac)
+	if err != nil {
+		return err
+	}
+	subs := make([]service.JobSubmission, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		subs[i] = service.JobSubmission{
+			ID: j.ID, At: float64(j.Submit), Runtime: float64(j.Runtime),
+			Procs: j.Procs, Boundness: j.Boundness, Deadline: float64(j.Deadline),
+		}
+	}
+
+	c := &service.Client{BaseURL: url}
+	schemes := iscope.Schemes()
+	tenantName := func(s iscope.Scheme) string { return "exp-" + s.Name }
+	for _, s := range schemes {
+		spec := service.TenantSpec{
+			Name:      tenantName(s),
+			Scheme:    s.Name,
+			Seed:      opt.Seed,
+			FleetSeed: opt.Seed,
+			Procs:     opt.NumProcs,
+			Wind:      &service.WindSpec{Seed: opt.Seed + 2, Days: spanDays*2 + 2, MeanFrac: 0.5},
+			Workers:   opt.SimWorkers,
+		}
+		if _, err := c.CreateTenant(ctx, spec); err != nil {
+			return fmt.Errorf("create tenant %q: %w", spec.Name, err)
+		}
+	}
+	for i := 0; i < len(subs); i += batch {
+		j := i + batch
+		if j > len(subs) {
+			j = len(subs)
+		}
+		for _, s := range schemes {
+			if _, err := c.Submit(ctx, tenantName(s), subs[i:j]); err != nil {
+				return fmt.Errorf("stream jobs [%d,%d) into %q: %w", i, j, tenantName(s), err)
+			}
+		}
+	}
+
+	fmt.Printf("==== remote scheme comparison via %s (procs=%d jobs=%d seed=%d) ====\n",
+		url, opt.NumProcs, opt.NumJobs, opt.Seed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tjobs\tviol\tutility\twind\tutilized\tcost\tvariance")
+	for _, s := range schemes {
+		name := tenantName(s)
+		if err := c.Seal(ctx, name); err != nil {
+			return fmt.Errorf("seal %q: %w", name, err)
+		}
+		res, err := c.Result(ctx, name)
+		if err != nil {
+			return fmt.Errorf("result for %q: %w", name, err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%.1f%%\t%s\t%.2f h^2\n",
+			s.Name, res.JobsCompleted, res.DeadlineViolations,
+			res.UtilityEnergy, res.WindEnergy, 100*res.WindUtilization,
+			res.Cost, res.UtilVariance)
+		if err := c.DeleteTenant(ctx, name); err != nil {
+			return fmt.Errorf("delete %q: %w", name, err)
+		}
+	}
+	return tw.Flush()
 }
 
 // runAll drives every requested target and returns the process exit

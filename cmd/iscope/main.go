@@ -11,10 +11,19 @@
 //	iscope -scheme ScanEffi -wind -brownout-spec t1=0.1,up=2m,hold=1h
 //	iscope -scheme ScanFair -wind -checkpoint run.ck -checkpoint-every 2h
 //	iscope -scheme ScanFair -wind -resume run.ck -checkpoint run.ck
+//	iscope -daemon http://127.0.0.1:8080 -scheme ScanFair -wind -jobs 600
 //
 // A run with -checkpoint can be interrupted (Ctrl-C / SIGTERM): a final
 // snapshot is flushed before exiting, and -resume continues it with
 // results bit-identical to an uninterrupted run.
+//
+// With -daemon URL the command becomes a thin client of an iscoped
+// daemon: it creates a tenant from the same flags, streams the
+// synthesized workload over the wire, seals the stream and prints the
+// daemon's result. Flags that have no wire equivalent (-swf, -trace,
+// -online, -battery, the fault flags, -brownout-spec, -checkpoint,
+// -resume) are rejected in daemon mode; in this mode -windscale is the
+// wind mean as a fraction of the fleet's peak demand.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"iscope/internal/brownout"
 	"iscope/internal/checkpoint"
 	"iscope/internal/profiles"
+	"iscope/internal/service"
 )
 
 // options collects every flag; one struct keeps run's signature sane.
@@ -74,6 +84,10 @@ type options struct {
 	cpuProfile string
 	memProfile string
 	execTrace  string
+
+	// Daemon client section.
+	daemonURL string
+	tenant    string
 }
 
 func main() {
@@ -122,6 +136,11 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&o.execTrace, "exectrace", "", "write a runtime execution trace to this file (-trace is the power-trace sampler)")
+
+	// Daemon client mode: stream the run into an iscoped instance
+	// instead of simulating in-process.
+	flag.StringVar(&o.daemonURL, "daemon", "", "iscoped base URL (e.g. http://127.0.0.1:8080): stream this run into the daemon instead of simulating locally")
+	flag.StringVar(&o.tenant, "tenant", "iscope-cli", "tenant name to create on the daemon (with -daemon)")
 	flag.Parse()
 
 	// A signal cancels the run cooperatively: the scheduler stops at
@@ -129,7 +148,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, o); err != nil {
+	runner := run
+	if o.daemonURL != "" {
+		runner = runDaemon
+	}
+	if err := runner(ctx, o); err != nil {
 		fmt.Fprintf(os.Stderr, "iscope: %v\n", err)
 		if errors.Is(err, context.Canceled) && o.checkpointPath != "" {
 			fmt.Fprintf(os.Stderr, "iscope: state saved; continue with -resume %s\n", o.checkpointPath)
@@ -276,6 +299,26 @@ func run(ctx context.Context, o options) (err error) {
 		return err
 	}
 
+	if err := printSummary(res, cfg.Brownout != nil, cfg.Invariants != nil, cfg.Faults != nil); err != nil {
+		return err
+	}
+
+	if o.trace {
+		fmt.Println("\npower trace (350 s sampling):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "t\twind\tdemand\tutility")
+		for _, p := range res.Trace {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Time, p.Wind, p.Demand, p.Utility)
+		}
+		return tw.Flush()
+	}
+	return nil
+}
+
+// printSummary renders the result table shared by the local and
+// -daemon paths; the booleans select which optional sections the run
+// actually configured.
+func printSummary(res *iscope.Result, showBrownout, showInvariants, showFaults bool) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "scheme\t%s\n", res.Scheme)
 	fmt.Fprintf(tw, "jobs completed\t%d (%d deadline violations)\n", res.JobsCompleted, res.DeadlineViolations)
@@ -289,7 +332,7 @@ func run(ctx context.Context, o options) (err error) {
 		fmt.Fprintf(tw, "online profiling\t%d chips scanned in-run, %s test energy\n",
 			res.ProfiledChips, res.ProfilingEnergy)
 	}
-	if cfg.Brownout != nil {
+	if showBrownout {
 		b := res.Brownout
 		fmt.Fprintf(tw, "brownout: stages\t%d transitions, peaked at %s, ended at %s\n",
 			b.Transitions, brownout.Stage(b.MaxStage), brownout.Stage(b.FinalStage))
@@ -304,7 +347,7 @@ func run(ctx context.Context, o options) (err error) {
 				b.SlicesShed, b.ShedWork, b.ProcsParked, b.ParkReleases, b.ForcedReleases)
 		}
 	}
-	if cfg.Invariants != nil {
+	if showInvariants {
 		iv := res.Invariants
 		if iv.Violations == 0 {
 			fmt.Fprintf(tw, "invariants\tclean (%d checks)\n", iv.Checks)
@@ -313,7 +356,7 @@ func run(ctx context.Context, o options) (err error) {
 				iv.Violations, iv.Checks, iv.First)
 		}
 	}
-	if cfg.Faults != nil {
+	if showFaults {
 		fs := res.Faults
 		fmt.Fprintf(tw, "faults: crashes\t%d (%d requeues, %.1f node-hours in repair)\n",
 			fs.Crashes, fs.Requeues, fs.RepairHours)
@@ -325,18 +368,103 @@ func run(ctx context.Context, o options) (err error) {
 				fs.BatteryFadeSteps, fs.BatteryCapacityLost)
 		}
 	}
-	if err := tw.Flush(); err != nil {
-		return err
+	return tw.Flush()
+}
+
+// runDaemon is the -daemon client mode: create a tenant on an iscoped
+// instance from the same flags, stream the synthesized workload over
+// the wire, seal, and print the daemon's result through the shared
+// summary table.
+func runDaemon(ctx context.Context, o options) error {
+	for _, f := range []struct {
+		name string
+		set  bool
+	}{
+		{"-swf", o.swfPath != ""},
+		{"-trace", o.trace},
+		{"-online", o.online},
+		{"-battery", o.battery > 0},
+		{"-faults (or a fault class flag)", o.faultSpec() != nil},
+		{"-brownout-spec", o.brownoutSpec != ""},
+		{"-checkpoint", o.checkpointPath != ""},
+		{"-resume", o.resumePath != ""},
+	} {
+		if f.set {
+			return fmt.Errorf("%s has no wire equivalent; drop it or run without -daemon", f.name)
+		}
+	}
+	if o.brownout && !o.useWind {
+		return fmt.Errorf("-brownout watches the renewable supply; it needs -wind")
 	}
 
-	if o.trace {
-		fmt.Println("\npower trace (350 s sampling):")
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "t\twind\tdemand\tutility")
-		for _, p := range res.Trace {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Time, p.Wind, p.Demand, p.Utility)
-		}
-		return tw.Flush()
+	spec := service.TenantSpec{
+		Name:       o.tenant,
+		Scheme:     o.scheme,
+		Seed:       o.seed,
+		FleetSeed:  o.seed,
+		Procs:      o.procs,
+		Brownout:   o.brownout,
+		Invariants: o.invariants,
+		Workers:    o.parallel,
 	}
-	return nil
+	if o.useWind {
+		spec.Wind = &service.WindSpec{Seed: o.seed + 2, Days: o.spanDays*2 + 2, MeanFrac: o.windScale}
+	}
+
+	maxW := o.procs / 2
+	if maxW < 1 {
+		maxW = 1
+	}
+	tr, err := iscope.SynthesizeWorkload(o.seed, o.jobs, maxW, o.spanDays, o.hu)
+	if err != nil {
+		return err
+	}
+	if o.rate != 1 {
+		if err := tr.ScaleArrival(o.rate); err != nil {
+			return err
+		}
+	}
+	subs := make([]service.JobSubmission, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		subs[i] = service.JobSubmission{
+			ID: j.ID, At: float64(j.Submit), Runtime: float64(j.Runtime),
+			Procs: j.Procs, Boundness: j.Boundness, Deadline: float64(j.Deadline),
+		}
+	}
+
+	c := &service.Client{BaseURL: o.daemonURL}
+	if _, err := c.CreateTenant(ctx, spec); err != nil {
+		return fmt.Errorf("create tenant %q: %w", o.tenant, err)
+	}
+	const batch = 256
+	streamed := 0
+	for i := 0; i < len(subs); i += batch {
+		j := i + batch
+		if j > len(subs) {
+			j = len(subs)
+		}
+		rsp, err := c.Submit(ctx, o.tenant, subs[i:j])
+		if err != nil {
+			return fmt.Errorf("stream jobs [%d,%d): %w", i, j, err)
+		}
+		streamed += rsp.Admitted
+	}
+	if err := c.Seal(ctx, o.tenant); err != nil {
+		return fmt.Errorf("seal tenant %q: %w", o.tenant, err)
+	}
+	res, err := c.Result(ctx, o.tenant)
+	if err != nil {
+		return fmt.Errorf("result for tenant %q: %w", o.tenant, err)
+	}
+	st, err := c.Status(ctx, o.tenant)
+	if err != nil {
+		return fmt.Errorf("status for tenant %q: %w", o.tenant, err)
+	}
+	fmt.Printf("daemon: tenant %q on %s — %d jobs streamed, virtual clock %s\n",
+		o.tenant, o.daemonURL, streamed, iscope.Seconds(st.Now))
+	if err := printSummary(res, o.brownout, o.invariants, false); err != nil {
+		return err
+	}
+	// The run is read out; free the daemon-side tenant.
+	return c.DeleteTenant(ctx, o.tenant)
 }

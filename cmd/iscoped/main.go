@@ -1,0 +1,90 @@
+// Command iscoped serves live, steppable green-datacenter simulations
+// over an HTTP JSON API: create tenant simulations, stream job
+// submissions into them, advance their virtual clocks, and read live
+// state (clock, brownout stage, energy) — see internal/service for
+// the endpoint table and DESIGN.md §8 for the wire contract.
+//
+// Usage:
+//
+//	iscoped -addr 127.0.0.1:8080
+//	iscoped -addr 127.0.0.1:0 -state /var/lib/iscoped
+//
+// With -state, SIGINT/SIGTERM snapshots every tenant (simulation
+// checkpoint + restart metadata) into the directory before exiting,
+// and the next start restores them — a restarted daemon continues
+// every stream bit-identically to an uninterrupted one. The daemon
+// prints "iscoped: listening on http://HOST:PORT" once the socket is
+// bound (so -addr :0 callers can discover the port).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iscope/internal/service"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		state = flag.String("state", "", "snapshot directory: restore tenants from it on start, save all tenants into it on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	if err := run(*addr, *state); err != nil {
+		fmt.Fprintf(os.Stderr, "iscoped: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, state string) error {
+	srv := service.New()
+	defer srv.Close()
+	if state != "" {
+		n, err := srv.LoadAll(state)
+		if err != nil {
+			return fmt.Errorf("restore from %s: %w", state, err)
+		}
+		fmt.Printf("iscoped: restored %d tenants from %s\n", n, state)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("iscoped: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Stop accepting requests, let in-flight ones finish, then persist
+	// a consistent snapshot of every tenant.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if state != "" {
+		if err := srv.SaveAll(state); err != nil {
+			return err
+		}
+		fmt.Printf("iscoped: state saved to %s\n", state)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/scheduler/testgrid"
+	"iscope/internal/service"
+)
+
+// buildDaemon compiles the iscoped binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "iscoped")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// lockedBuffer collects process output from the exec copier and the
+// scanner goroutine without racing the test's failure messages.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemon wraps one running iscoped process.
+type daemon struct {
+	cmd  *exec.Cmd
+	url  string
+	done chan error
+	out  *lockedBuffer
+}
+
+// startDaemon launches the binary on a fresh loopback port and parses
+// the advertised address from its stdout.
+func startDaemon(t *testing.T, bin, stateDir string) *daemon {
+	t.Helper()
+	d := &daemon{out: &lockedBuffer{}}
+	d.cmd = exec.Command(bin, "-addr", "127.0.0.1:0", "-state", stateDir)
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.out
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+		}
+	})
+
+	addr := make(chan string, 1)
+	d.done = make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(d.out, line)
+			if rest, ok := strings.CutPrefix(line, "iscoped: listening on "); ok {
+				addr <- rest
+			}
+		}
+		d.done <- d.cmd.Wait()
+	}()
+	select {
+	case d.url = <-addr:
+	case err := <-d.done:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, d.out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never advertised an address\n%s", d.out.String())
+	}
+	return d
+}
+
+// terminate sends SIGTERM and waits for a clean exit (the daemon's
+// snapshot-and-save path).
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, d.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatalf("daemon ignored SIGTERM\n%s", d.out.String())
+	}
+}
+
+// clientFor serves an in-process Server over a loopback listener so
+// the uninterrupted reference run travels the same wire path.
+func clientFor(t *testing.T, srv *service.Server) *service.Client {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &service.Client{BaseURL: ts.URL}
+}
+
+// TestDaemonRestartResume is the end-to-end satellite: a daemon on a
+// loopback port receives a tenant and half its job stream, is
+// SIGTERM-snapshotted mid-run, restarted from its state directory,
+// fed the rest of the stream, and must report final metrics equal to
+// an uninterrupted in-process run of the identical stream.
+func TestDaemonRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds a binary")
+	}
+	bin := buildDaemon(t)
+	stateDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := service.TenantSpec{
+		Name: "e2e", Scheme: "ScanFair", Seed: 11, FleetSeed: 3, Procs: 8,
+		Wind:       &service.WindSpec{Seed: 12, Days: 4, MeanFrac: 0.5},
+		Invariants: true,
+	}
+	jobs := testgrid.Jobs(t, 80, 30, 0.3).Jobs
+	subs := make([]service.JobSubmission, len(jobs))
+	for i, j := range jobs {
+		subs[i] = service.JobSubmission{
+			ID: j.ID, At: float64(j.Submit), Runtime: float64(j.Runtime),
+			Procs: j.Procs, Boundness: j.Boundness, Deadline: float64(j.Deadline),
+		}
+	}
+	half := len(subs) / 2
+
+	// Phase 1: create, stream the first half, advance into it, SIGTERM.
+	d1 := startDaemon(t, bin, stateDir)
+	c1 := &service.Client{BaseURL: d1.url}
+	if _, err := c1.CreateTenant(ctx, spec); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c1.Submit(ctx, "e2e", subs[:half]); err != nil {
+		t.Fatalf("submit first half: %v", err)
+	}
+	if _, err := c1.Advance(ctx, "e2e", subs[half].At-1); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	mid, err := c1.Status(ctx, "e2e")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if mid.Jobs != half || mid.Sealed {
+		t.Fatalf("pre-restart status: %+v", mid)
+	}
+	d1.terminate(t)
+	if _, err := os.Stat(filepath.Join(stateDir, "e2e.ckpt")); err != nil {
+		t.Fatalf("SIGTERM left no snapshot: %v", err)
+	}
+
+	// Phase 2: restart from the state dir, stream the rest, finish.
+	d2 := startDaemon(t, bin, stateDir)
+	c2 := &service.Client{BaseURL: d2.url}
+	restored, err := c2.Status(ctx, "e2e")
+	if err != nil {
+		t.Fatalf("restored status: %v", err)
+	}
+	if restored.Jobs != half || restored.Now != mid.Now {
+		t.Fatalf("restore drifted: before %+v after %+v", mid, restored)
+	}
+	if _, err := c2.Submit(ctx, "e2e", subs[half:]); err != nil {
+		t.Fatalf("submit second half: %v", err)
+	}
+	if err := c2.Seal(ctx, "e2e"); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	got, err := c2.Result(ctx, "e2e")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	final, err := c2.Status(ctx, "e2e")
+	if err != nil {
+		t.Fatalf("final status: %v", err)
+	}
+	if final.InvariantViolations != 0 || !final.Finished {
+		t.Fatalf("final status: %+v", final)
+	}
+	d2.terminate(t)
+
+	// Uninterrupted in-process reference over the identical stream.
+	// JSON round-trips float64 exactly (shortest representation), so
+	// byte-comparing the re-marshaled results is a bit-level check on
+	// every metric the wire carries.
+	srv := service.New()
+	defer srv.Close()
+	hclient := clientFor(t, srv)
+	if _, err := hclient.CreateTenant(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hclient.Submit(ctx, "e2e", subs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hclient.Advance(ctx, "e2e", subs[half].At-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hclient.Submit(ctx, "e2e", subs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := hclient.Seal(ctx, "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hclient.Result(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON := marshal(t, got)
+	wantJSON := marshal(t, want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("daemon-restart result diverged from uninterrupted run:\ndaemon %s\nlocal  %s", gotJSON, wantJSON)
+	}
+	if got.JobsCompleted != len(subs) {
+		t.Fatalf("completed %d/%d jobs", got.JobsCompleted, len(subs))
+	}
+}
+
+func marshal(t *testing.T, res *scheduler.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -36,8 +36,10 @@ const Magic = "ISCK"
 
 // Version is the current envelope format version. Version 2 added the
 // brownout-ladder and invariant-monitor sections to run snapshots and
-// the reserve fraction to battery state.
-const Version uint16 = 2
+// the reserve fraction to battery state. Version 3 made run snapshots
+// self-contained for streaming: every job snapshot carries its full
+// definition, and arrival events occupy a reserved low sequence band.
+const Version uint16 = 3
 
 const headerLen = 4 + 2 + 8 // magic + version + payload length
 

@@ -16,7 +16,7 @@ func warmParSim(t *testing.T, workers int) *sim {
 		t.Fatal("ScanFair scheme missing")
 	}
 	cfg := RunConfig{Seed: 1, Jobs: jobs, Wind: w, EnableRebalance: true, Workers: workers}
-	s, err := newSim(fleet, sch, cfg)
+	s, err := newSim(fleet, sch, cfg, false)
 	if err != nil {
 		t.Fatalf("newSim: %v", err)
 	}

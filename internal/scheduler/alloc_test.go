@@ -20,7 +20,7 @@ func warmSim(t *testing.T) *sim {
 		t.Fatal("ScanFair scheme missing")
 	}
 	cfg := RunConfig{Seed: 1, Jobs: jobs, Wind: w, EnableRebalance: true}
-	s, err := newSim(fleet, sch, cfg)
+	s, err := newSim(fleet, sch, cfg, false)
 	if err != nil {
 		t.Fatalf("newSim: %v", err)
 	}

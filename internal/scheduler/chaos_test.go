@@ -7,7 +7,7 @@ import (
 	"iscope/internal/brownout"
 	"iscope/internal/faults"
 	"iscope/internal/invariants"
-	"iscope/internal/rng"
+	"iscope/internal/scheduler/testgrid"
 	"iscope/internal/units"
 )
 
@@ -17,23 +17,7 @@ import (
 // once. The horizon stops at 12 h while the workload spans a day, so
 // every run has a fault-free tail in which the ladder must fully
 // unwind.
-func chaosSpec(seed uint64) *faults.Spec {
-	r := rng.Named(seed, "chaos-spec")
-	return &faults.Spec{
-		CrashMTBF:      units.Hours(r.Uniform(4, 12)),
-		RepairTime:     units.Minutes(r.Uniform(10, 40)),
-		DropoutsPerDay: r.Uniform(28, 40),
-		DropoutMeanDur: units.Minutes(r.Uniform(40, 80)),
-		DropoutFloor:   0,
-		ForecastSigma:  r.Uniform(0.05, 0.3),
-		FalsePassFrac:  r.Uniform(0.1, 0.5),
-		DetectLatency:  units.Seconds(r.Uniform(10, 120)),
-		ReprofileTime:  units.Minutes(r.Uniform(5, 20)),
-		FadeInterval:   units.Hours(r.Uniform(2, 6)),
-		FadeFrac:       r.Uniform(0.01, 0.1),
-		Horizon:        units.Hours(12),
-	}
-}
+func chaosSpec(seed uint64) *faults.Spec { return testgrid.ChaosSpec(seed) }
 
 // TestChaosLadderRecovery is the brownout/invariants acceptance
 // harness: every scheme, several seeds, a randomized dense fault plan,

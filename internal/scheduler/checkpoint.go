@@ -76,8 +76,13 @@ type snapEvent struct {
 	Tag eventTag
 }
 
-// jobSnap is the per-job completion progress.
+// jobSnap is one job's definition and completion progress. Carrying
+// the full definition (format v3) makes snapshots self-contained:
+// a streaming run's injected jobs exist nowhere but here, and restore
+// rebuilds them — extending a resuming run's job set — instead of
+// requiring the caller to replay the stream.
 type jobSnap struct {
+	Def       workload.Job
 	Remaining int
 	Finish    units.Seconds
 }
@@ -162,14 +167,49 @@ type runSnapshot struct {
 }
 
 // cfgHash fingerprints every RunConfig field that shapes the
-// simulation trajectory. Checkpoint and Resume are deliberately
-// excluded: where and how often a run snapshots does not change what
-// it computes. Workers (and test-only naive) are excluded for the same
-// reason — execution tiers never change results, so a checkpoint taken
-// at one worker count must resume at any other.
+// simulation trajectory, over the configured trace. The sim's live
+// hash (configHash) uses the same byte layout but draws the job set
+// from the run's states, which include streamed jobs; for a batch run
+// the two are identical.
 func cfgHash(cfg RunConfig) uint64 {
 	h := fnv.New64a()
 	put := func(format string, args ...any) { fmt.Fprintf(h, format+"|", args...) }
+	hashCfgFields(put, &cfg)
+	if cfg.Jobs != nil {
+		put("jobs=%d", len(cfg.Jobs.Jobs))
+		for i := range cfg.Jobs.Jobs {
+			hashJob(put, &cfg.Jobs.Jobs[i])
+		}
+	}
+	return h.Sum64()
+}
+
+// configHash is the sim-level cfgHash: identical fields, but the job
+// section covers the live job set (initial trace plus every injected
+// job) so a snapshot taken mid-stream fingerprints the jobs it
+// actually carries.
+func (s *sim) configHash() uint64 {
+	h := fnv.New64a()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format+"|", args...) }
+	hashCfgFields(put, &s.cfg)
+	put("jobs=%d", len(s.states))
+	for i := range s.states {
+		hashJob(put, s.states[i].job)
+	}
+	return h.Sum64()
+}
+
+func hashJob(put func(string, ...any), j *workload.Job) {
+	put("%d,%v,%v,%v,%v,%v", j.ID, j.Submit, j.Runtime, j.Procs, j.Boundness, j.Deadline)
+}
+
+// hashCfgFields feeds every trajectory-shaping RunConfig field except
+// the job set. Checkpoint and Resume are deliberately excluded: where
+// and how often a run snapshots does not change what it computes.
+// Workers (and test-only naive) are excluded for the same reason —
+// execution tiers never change results, so a checkpoint taken at one
+// worker count must resume at any other.
+func hashCfgFields(put func(string, ...any), cfg *RunConfig) {
 	put("cop=%v", cfg.COP)
 	put("prices=%v", cfg.Prices)
 	put("theta=%v", cfg.FairTheta)
@@ -200,14 +240,6 @@ func cfgHash(cfg RunConfig) uint64 {
 			put("%v", w)
 		}
 	}
-	if cfg.Jobs != nil {
-		put("jobs=%d", len(cfg.Jobs.Jobs))
-		for i := range cfg.Jobs.Jobs {
-			j := &cfg.Jobs.Jobs[i]
-			put("%d,%v,%v,%v,%v,%v", j.ID, j.Submit, j.Runtime, j.Procs, j.Boundness, j.Deadline)
-		}
-	}
-	return h.Sum64()
 }
 
 func (s *sim) snapMeta() snapMeta {
@@ -216,7 +248,7 @@ func (s *sim) snapMeta() snapMeta {
 		Seed:    s.cfg.Seed,
 		Procs:   len(s.dc.Procs),
 		Jobs:    len(s.states),
-		CfgHash: cfgHash(s.cfg),
+		CfgHash: s.configHash(),
 	}
 }
 
@@ -267,7 +299,7 @@ func (s *sim) snapshot() (*runSnapshot, error) {
 	}
 	snap.Jobs = make([]jobSnap, len(s.states))
 	for i := range s.states {
-		snap.Jobs[i] = jobSnap{Remaining: s.states[i].remaining, Finish: s.states[i].finish}
+		snap.Jobs[i] = jobSnap{Def: *s.states[i].job, Remaining: s.states[i].remaining, Finish: s.states[i].finish}
 	}
 	if s.faults != nil {
 		f := s.faults
@@ -347,16 +379,39 @@ func (s *sim) emitCheckpoint() {
 // the engine, overlays every piece of captured state, and re-injects
 // the pending events with their original sequence numbers so that
 // same-timestamp tie-breaking replays identically.
+//
+// The snapshot's job set may exceed the resuming configuration's: jobs
+// streamed into the original run (Stepper.InjectJob) live only in the
+// snapshot, and restore rebuilds them from the carried definitions,
+// extending this run's job set. The configured jobs must match the
+// snapshot's prefix field-for-field — the identity meta (and the
+// config hash over the extended set) is checked around that overlay.
 func (s *sim) restore(data []byte) error {
 	var snap runSnapshot
 	if err := checkpoint.Decode(data, &snap); err != nil {
 		return fmt.Errorf("scheduler: resume: %w", err)
 	}
+	if snap.Meta.Scheme != s.scheme.Name || snap.Meta.Seed != s.cfg.Seed || snap.Meta.Procs != len(s.dc.Procs) {
+		return fmt.Errorf("scheduler: resume: snapshot belongs to a different run (snapshot %+v, this run %+v)", snap.Meta, s.snapMeta())
+	}
+	if len(snap.Jobs) < len(s.states) {
+		return fmt.Errorf("scheduler: resume: snapshot has %d jobs, run has %d", len(snap.Jobs), len(s.states))
+	}
+	for i := range s.states {
+		if *s.states[i].job != snap.Jobs[i].Def {
+			return fmt.Errorf("scheduler: resume: job %d differs from the snapshot's definition", i)
+		}
+	}
+	for i := len(s.states); i < len(snap.Jobs); i++ {
+		// Individually allocated, exactly like InjectJob: live pointers
+		// must never move under a growing backing array.
+		jp := new(workload.Job)
+		*jp = snap.Jobs[i].Def
+		s.states = append(s.states, jobState{job: jp})
+		s.stateIdx[jp] = i
+	}
 	if want := s.snapMeta(); snap.Meta != want {
 		return fmt.Errorf("scheduler: resume: snapshot belongs to a different run (snapshot %+v, this run %+v)", snap.Meta, want)
-	}
-	if len(snap.Jobs) != len(s.states) {
-		return fmt.Errorf("scheduler: resume: snapshot has %d jobs, run has %d", len(snap.Jobs), len(s.states))
 	}
 	if err := s.r.UnmarshalBinary(snap.Rand); err != nil {
 		return fmt.Errorf("scheduler: resume: rng state: %w", err)

@@ -49,7 +49,13 @@ type faultState struct {
 func newFaultState(cfg RunConfig, fleet *Fleet, guard units.Volts) (*faultState, error) {
 	spec := cfg.Faults.WithDefaults()
 	if spec.Horizon == 0 {
-		lastSubmit := cfg.Jobs.Jobs[len(cfg.Jobs.Jobs)-1].Submit
+		// Streaming runs may start with an empty (or partial) trace; set
+		// Spec.Horizon explicitly there — the default horizon derived from
+		// the seed trace would stop faults short of late-injected jobs.
+		var lastSubmit units.Seconds
+		if cfg.Jobs != nil && len(cfg.Jobs.Jobs) > 0 {
+			lastSubmit = cfg.Jobs.Jobs[len(cfg.Jobs.Jobs)-1].Submit
+		}
 		spec.Horizon = 2*lastSubmit + units.Days(3)
 	}
 	levels := fleet.PM.Table.NumLevels()

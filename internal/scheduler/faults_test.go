@@ -8,6 +8,7 @@ import (
 	"iscope/internal/battery"
 	"iscope/internal/faults"
 	"iscope/internal/metrics"
+	"iscope/internal/scheduler/testgrid"
 	"iscope/internal/units"
 )
 
@@ -15,21 +16,7 @@ import (
 // crashes every few hours, a 20-minute mean repair, eight renewable
 // dropouts a day, 40% of the fleet falsely passed by the scanner, and
 // 5% battery fade every six hours.
-func denseFaults() *faults.Spec {
-	return &faults.Spec{
-		CrashMTBF:      units.Hours(6),
-		RepairTime:     units.Minutes(20),
-		DropoutsPerDay: 8,
-		DropoutMeanDur: units.Minutes(40),
-		DropoutFloor:   0.05,
-		ForecastSigma:  0.2,
-		FalsePassFrac:  0.4,
-		DetectLatency:  30,
-		ReprofileTime:  units.Minutes(10),
-		FadeInterval:   units.Hours(6),
-		FadeFrac:       0.05,
-	}
-}
+func denseFaults() *faults.Spec { return testgrid.DenseFaults() }
 
 // TestFaultedRunsConserveWork is the tentpole property test: under a
 // dense random fault plan, every scheme on every seed must (a) finish —

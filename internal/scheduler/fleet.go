@@ -107,6 +107,20 @@ func BuildFleet(spec FleetSpec) (*Fleet, error) {
 	return &Fleet{Chips: chips, PM: pm, Binning: bn, DB: db, ScanReport: rep}, nil
 }
 
+// PeakDemand is the fleet's nominal full-load power draw: every chip
+// at the top DVFS level's nominal voltage, loaded by the 1.4
+// platform/cooling factor the sizing heuristics use. Wind traces are
+// conventionally scaled against this figure (a mean of half PeakDemand
+// gives the contention regime the paper's figures explore).
+func (f *Fleet) PeakDemand() units.Watts {
+	var full float64
+	top := f.PM.Table.Top()
+	for id := range f.Chips {
+		full += float64(f.PM.NominalCPUPower(f.Chips[id].Alpha, f.Chips[id].Beta, top)) * 1.4
+	}
+	return units.Watts(full)
+}
+
 // Knowledge builds the regime for a scheme over this fleet.
 func (f *Fleet) Knowledge(kind KnowledgeKind) (Knowledge, error) {
 	switch kind {

@@ -7,7 +7,7 @@ import (
 	"testing"
 
 	"iscope/internal/battery"
-	"iscope/internal/brownout"
+	"iscope/internal/scheduler/testgrid"
 	"iscope/internal/units"
 )
 
@@ -54,11 +54,7 @@ func TestOptimizedMatchesNaiveReference(t *testing.T) {
 			cfg.SampleInterval = units.Minutes(30)
 			cfg.Online = &OnlineProfiling{}
 			cfg.EnableRebalance = true
-			cfg.Brownout = &brownout.Config{
-				Thresholds: [brownout.NumStages - 1]float64{0.05, 0.15, 0.3, 0.5},
-				DwellUp:    units.Minutes(5),
-				DwellDown:  units.Minutes(10),
-			}
+			cfg.Brownout = testgrid.AggressiveBrownout()
 		}},
 	}
 	for _, v := range variants {

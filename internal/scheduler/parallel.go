@@ -447,6 +447,12 @@ func (s *sim) parQualityMetrics() (meanSlow, p95Slow float64, meanWait units.Sec
 	if m == 0 {
 		return 0, 0, 0
 	}
+	// The scratch was sized at construction; streamed runs may have
+	// injected jobs since.
+	if cap(s.slowsBuf) < m {
+		s.slowsBuf = make([]float64, m)
+	}
+	s.slowsBuf = s.slowsBuf[:m]
 	p.pool.Run(m, p.slowsFillK)
 	var waitSum float64
 	for i := range s.states {

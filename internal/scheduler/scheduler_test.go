@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"iscope/internal/metrics"
-	"iscope/internal/units"
+	"iscope/internal/scheduler/testgrid"
 	"iscope/internal/wind"
 	"iscope/internal/workload"
 )
@@ -20,37 +20,18 @@ func testFleet(t *testing.T, n int) *Fleet {
 	return f
 }
 
-// testJobs synthesizes a deadline-assigned trace sized for the test fleet.
+// testJobs synthesizes a deadline-assigned trace sized for the test
+// fleet (the shared grid builder, see internal/scheduler/testgrid).
 func testJobs(t *testing.T, seed uint64, jobs int, huFrac float64) *workload.Trace {
 	t.Helper()
-	cfg := workload.DefaultSynthConfig(seed, jobs)
-	cfg.MaxProcs = 16
-	cfg.Span = units.Days(1)
-	tr, err := workload.Synthesize(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.AssignDeadlines(workload.DefaultDeadlines(seed+1, huFrac)); err != nil {
-		t.Fatal(err)
-	}
-	return tr
+	return testgrid.Jobs(t, seed, jobs, huFrac)
 }
 
 // testWind generates a wind trace scaled so its mean covers roughly
 // half the fleet's full-power demand.
 func testWind(t *testing.T, fleet *Fleet, seed uint64) *wind.Trace {
 	t.Helper()
-	tr, err := wind.Generate(wind.DefaultConfig(seed, units.Days(4)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var full float64
-	top := fleet.PM.Table.Top()
-	for id, ch := range fleet.Chips {
-		_ = ch
-		full += float64(fleet.PM.NominalCPUPower(fleet.Chips[id].Alpha, fleet.Chips[id].Beta, top)) * 1.4
-	}
-	return tr.Scale(0.5 * full / float64(tr.Mean()))
+	return testgrid.Wind(t, seed, fleet.PeakDemand())
 }
 
 func run(t *testing.T, fleet *Fleet, name string, cfg RunConfig) *Result {

@@ -276,6 +276,16 @@ type sim struct {
 	states     []jobState
 	stateIdx   map[*workload.Job]int
 
+	// open marks a streaming run whose job stream has not been sealed:
+	// more jobs may still arrive through InjectJob, so the periodic
+	// ticks keep re-arming even when no known job is in flight. Batch
+	// runs are born sealed. The flag compensates exactly for the jobs a
+	// batch run would already count in jobsLeft: while a hypothetical
+	// batch run of the full stream still has pending work, the streaming
+	// run either has jobsLeft > 0 too or is still open — either way
+	// moreWork agrees and the tick cadence is identical.
+	open bool
+
 	// sliceSeq issues checkpoint-stable slice serial numbers.
 	sliceSeq int
 	// bySerial resolves a completion/margin event's serial to its live
@@ -380,23 +390,38 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 	return RunCtx(context.Background(), fleet, scheme, cfg)
 }
 
-// RunCtx simulates one scheme under a context. Cancellation is
+// RunCtx simulates one scheme under a context. It is a thin driver
+// over the step primitives (see Stepper): build the stepper with the
+// whole trace pre-injected and the stream sealed, fire events until
+// every job finishes, assemble the result. Cancellation is
 // cooperative: the event loop checks the context between events, and a
 // canceled run writes a final snapshot to the checkpoint sink (when
 // one is configured) before returning the context's error, so the work
 // done so far can be resumed.
 func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
-	s, err := newSim(fleet, scheme, cfg)
+	st, err := newStepper(fleet, scheme, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	defer s.close()
-	if cfg.Resume != nil {
-		if err := s.restore(cfg.Resume); err != nil {
-			return nil, err
+	defer st.Close()
+	for st.s.jobsLeft > 0 {
+		if err := ctx.Err(); err != nil {
+			// Flush a final snapshot so the interrupted work is resumable.
+			if st.s.cfg.Checkpoint != nil {
+				st.s.emitCheckpoint()
+			}
+			cause := fmt.Errorf("scheduler: run canceled at t=%v with %d jobs unfinished: %w", st.s.eng.Now(), st.s.jobsLeft, err)
+			if st.s.ckptErr != nil {
+				return nil, fmt.Errorf("%w (final checkpoint failed: %v)", cause, st.s.ckptErr)
+			}
+			return nil, cause
+		}
+		fired, err := st.ProcessNextEvent()
+		if err != nil || !fired {
+			break
 		}
 	}
-	return s.run(ctx)
+	return st.Result()
 }
 
 // newSim builds a fully armed simulation: knowledge regime, datacenter,
@@ -404,11 +429,16 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 // particular the sequence of random draws) is part of the determinism
 // contract — restore() assumes a fresh sim consumed exactly the draws
 // the original run's construction did.
-func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
+//
+// streaming opens the job stream: the initial trace (possibly empty)
+// only seeds the run, later jobs may arrive through InjectJob until the
+// stream is sealed, and the periodic ticks stay armed while the stream
+// is open even when no injected job is in flight.
+func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig, streaming bool) (*sim, error) {
 	if fleet == nil || len(fleet.Chips) == 0 {
 		return nil, &ConfigError{Field: "Fleet", Reason: "nil or empty fleet"}
 	}
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.validate(streaming); err != nil {
 		return nil, err
 	}
 	if cfg.COP == 0 {
@@ -494,10 +524,15 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
 		return nil, err
 	}
 
+	var initialJobs []workload.Job
+	if cfg.Jobs != nil {
+		initialJobs = cfg.Jobs.Jobs
+	}
+
 	s := &sim{
 		// Pending events peak at the not-yet-arrived jobs (all scheduled
 		// up front) plus one completion per processor and a few ticks.
-		eng:       simulator.NewWithCapacity[eventTag](len(cfg.Jobs.Jobs) + len(fleet.Chips) + 16),
+		eng:       simulator.NewWithCapacity[eventTag](len(initialJobs) + len(fleet.Chips) + 16),
 		dc:        dc,
 		fleet:     fleet,
 		know:      know,
@@ -548,17 +583,26 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
 		s.sampler = metrics.NewSampler(cfg.SampleInterval)
 	}
 
-	// Arrivals.
-	s.states = make([]jobState, len(cfg.Jobs.Jobs))
-	s.stateIdx = make(map[*workload.Job]int, len(cfg.Jobs.Jobs))
-	s.jobsLeft = len(cfg.Jobs.Jobs)
-	for i := range cfg.Jobs.Jobs {
-		j := &cfg.Jobs.Jobs[i]
+	// Arrivals. Every arrival — pre-scheduled here or injected mid-run
+	// through InjectJob — carries sequence number jobIndex+1 inside the
+	// reserved band below arrivalSeqBase, while the engine counter issues
+	// everything else (ticks, completions) above the band. Same-timestamp
+	// tie-breaking between an arrival and any other event is therefore a
+	// pure function of the job index, independent of *when* the arrival
+	// entered the heap: a job injected late merges into exactly the slot
+	// a batch run would have given it.
+	s.open = streaming
+	s.states = make([]jobState, len(initialJobs))
+	s.stateIdx = make(map[*workload.Job]int, len(initialJobs))
+	s.jobsLeft = len(initialJobs)
+	s.eng.SkipTo(arrivalSeqBase)
+	for i := range initialJobs {
+		j := &initialJobs[i]
 		// remaining is set at arrival once the placement width is known
 		// (jobs wider than the fleet are clamped to one slice per CPU).
 		s.states[i] = jobState{job: j}
 		s.stateIdx[j] = i
-		if err := s.eng.ScheduleTag(j.Submit, eventTag{Kind: tagArrival, A: int32(i)}); err != nil {
+		if err := s.eng.InjectTag(j.Submit, uint64(i)+1, eventTag{Kind: tagArrival, A: int32(i)}); err != nil {
 			return nil, err
 		}
 	}
@@ -609,36 +653,16 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig) (*sim, error) {
 	return s, nil
 }
 
-// run drains the event loop and assembles the Result.
-func (s *sim) run(ctx context.Context) (*Result, error) {
-	for s.jobsLeft > 0 {
-		if err := ctx.Err(); err != nil {
-			// Flush a final snapshot so the interrupted work is resumable.
-			if s.cfg.Checkpoint != nil {
-				s.emitCheckpoint()
-			}
-			cause := fmt.Errorf("scheduler: run canceled at t=%v with %d jobs unfinished: %w", s.eng.Now(), s.jobsLeft, err)
-			if s.ckptErr != nil {
-				return nil, fmt.Errorf("%w (final checkpoint failed: %v)", cause, s.ckptErr)
-			}
-			return nil, cause
-		}
-		if s.invErr != nil {
-			break
-		}
-		if !s.eng.Step() {
-			break
-		}
-	}
-	if s.ckptErr != nil {
-		return nil, s.ckptErr
-	}
-	if s.invErr != nil {
-		return nil, s.invErr
-	}
-	if s.jobsLeft > 0 {
-		return nil, fmt.Errorf("scheduler: simulation stalled with %d jobs unfinished", s.jobsLeft)
-	}
+// moreWork reports whether the run still has (or may still receive)
+// work: known jobs in flight, or a streaming stream that has not been
+// sealed. Periodic ticks re-arm on this condition.
+func (s *sim) moreWork() bool { return s.jobsLeft > 0 || s.open }
+
+// assembleResult settles the final integrals and builds the Result. It
+// must run exactly once, at the instant the last job completes — the
+// finalize passes advance accumulators and would double-count if
+// repeated.
+func (s *sim) assembleResult() (*Result, error) {
 	s.sync(s.eng.Now())
 	if s.faults != nil {
 		s.finalizeFaults(s.eng.Now())
@@ -660,7 +684,7 @@ func (s *sim) run(ctx context.Context) (*Result, error) {
 		TotalEnergy:        s.account.Total(),
 		Cost:               s.account.Cost(s.cfg.Prices),
 		UtilityCost:        s.account.UtilityCost(s.cfg.Prices),
-		JobsCompleted:      len(s.cfg.Jobs.Jobs),
+		JobsCompleted:      len(s.states),
 		DeadlineViolations: s.violations,
 		Makespan:           s.eng.Now(),
 		UtilTimes:          utils,
@@ -779,7 +803,7 @@ func (s *sim) sync(now units.Seconds) {
 // itself while jobs remain.
 func (s *sim) onWindTick(now units.Seconds) {
 	s.onTick(now)
-	if s.jobsLeft > 0 {
+	if s.moreWork() {
 		_ = s.eng.AfterTag(s.tickInterval, eventTag{Kind: tagWindTick})
 	}
 }
@@ -792,7 +816,7 @@ func (s *sim) onAuxTick(now units.Seconds) {
 	if s.cfg.EnableRebalance {
 		s.rebalance(now)
 	}
-	if s.jobsLeft > 0 && (s.cfg.EnableRebalance || s.scanLeft > 0) {
+	if s.moreWork() && (s.cfg.EnableRebalance || s.scanLeft > 0) {
 		_ = s.eng.AfterTag(s.tickInterval, eventTag{Kind: tagAuxTick})
 	}
 }
@@ -801,7 +825,7 @@ func (s *sim) onAuxTick(now units.Seconds) {
 func (s *sim) onSample(now units.Seconds) {
 	s.sync(now)
 	s.sampler.Record(now, s.curWind, s.dc.Demand())
-	if s.jobsLeft > 0 {
+	if s.moreWork() {
 		_ = s.eng.AfterTag(s.sampler.Interval, eventTag{Kind: tagSample})
 	}
 }
@@ -813,7 +837,7 @@ func (s *sim) onSample(now units.Seconds) {
 // integrals here would split integration intervals differently from an
 // unchecked run and push the floats off bit-identity.
 func (s *sim) onCheckpointTick(now units.Seconds) {
-	if s.jobsLeft > 0 {
+	if s.moreWork() {
 		_ = s.eng.AfterTag(s.cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
 	}
 	s.emitCheckpoint()

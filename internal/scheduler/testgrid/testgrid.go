@@ -1,0 +1,111 @@
+// Package testgrid holds the shared scheme×seed×faults grid builders
+// the scheduler's equivalence and chaos suites run over: a synthetic
+// deadline-assigned workload, a wind trace scaled to a fleet's peak
+// demand, the dense and randomized-chaos fault plans, and the
+// aggressive brownout ladder. Centralizing them keeps every
+// cross-validation net (naive-vs-optimized, chaos recovery, the
+// step-vs-batch suite) on the exact same inputs instead of drifting
+// copies.
+//
+// The package deliberately does not import internal/scheduler — the
+// scheduler's own test files (which reach unexported knobs like
+// RunConfig.naive) must be able to import it without a cycle. Anything
+// fleet-shaped is passed in as a scalar (see Wind's peak parameter,
+// conventionally Fleet.PeakDemand()).
+package testgrid
+
+import (
+	"testing"
+
+	"iscope/internal/brownout"
+	"iscope/internal/faults"
+	"iscope/internal/rng"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+	"iscope/internal/workload"
+)
+
+// Seeds is the grid's standard seed set.
+func Seeds() []uint64 { return []uint64{0, 1, 2} }
+
+// Jobs synthesizes a deadline-assigned trace sized for the 16-proc
+// test fleet: Thunder-like shapes capped at 16 CPUs over a one-day
+// span, deadlines drawn with the paper's HU/LU split.
+func Jobs(tb testing.TB, seed uint64, jobs int, huFrac float64) *workload.Trace {
+	tb.Helper()
+	cfg := workload.DefaultSynthConfig(seed, jobs)
+	cfg.MaxProcs = 16
+	cfg.Span = units.Days(1)
+	tr, err := workload.Synthesize(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := tr.AssignDeadlines(workload.DefaultDeadlines(seed+1, huFrac)); err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// Wind generates a four-day wind trace scaled so its mean covers half
+// of peak — the contention regime where supply-tracking schemes
+// actually have decisions to make. peak is conventionally the fleet's
+// PeakDemand().
+func Wind(tb testing.TB, seed uint64, peak units.Watts) *wind.Trace {
+	tb.Helper()
+	tr, err := wind.Generate(wind.DefaultConfig(seed, units.Days(4)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr.Scale(0.5 * float64(peak) / float64(tr.Mean()))
+}
+
+// DenseFaults is the fixed hostile fault plan of the conservation and
+// naive-equivalence suites: frequent crashes, long supply dropouts,
+// a large false-pass fraction, battery fade.
+func DenseFaults() *faults.Spec {
+	return &faults.Spec{
+		CrashMTBF:      units.Hours(6),
+		RepairTime:     units.Minutes(20),
+		DropoutsPerDay: 8,
+		DropoutMeanDur: units.Minutes(40),
+		DropoutFloor:   0.05,
+		ForecastSigma:  0.2,
+		FalsePassFrac:  0.4,
+		DetectLatency:  30,
+		ReprofileTime:  units.Minutes(10),
+		FadeInterval:   units.Hours(6),
+		FadeFrac:       0.05,
+	}
+}
+
+// ChaosSpec draws a randomized dense fault plan for the chaos harness:
+// every fault class active, rates hostile enough to force the brownout
+// ladder through its stages inside the half-day horizon.
+func ChaosSpec(seed uint64) *faults.Spec {
+	r := rng.Named(seed, "chaos-spec")
+	return &faults.Spec{
+		CrashMTBF:      units.Hours(r.Uniform(4, 12)),
+		RepairTime:     units.Minutes(r.Uniform(10, 40)),
+		DropoutsPerDay: r.Uniform(28, 40),
+		DropoutMeanDur: units.Minutes(r.Uniform(40, 80)),
+		DropoutFloor:   0,
+		ForecastSigma:  r.Uniform(0.05, 0.3),
+		FalsePassFrac:  r.Uniform(0.1, 0.5),
+		DetectLatency:  units.Seconds(r.Uniform(10, 120)),
+		ReprofileTime:  units.Minutes(r.Uniform(5, 20)),
+		FadeInterval:   units.Hours(r.Uniform(2, 6)),
+		FadeFrac:       r.Uniform(0.01, 0.1),
+		Horizon:        units.Hours(12),
+	}
+}
+
+// AggressiveBrownout is the low-threshold short-dwell ladder the
+// equivalence variants use, so the staged response engages within a
+// short run.
+func AggressiveBrownout() *brownout.Config {
+	return &brownout.Config{
+		Thresholds: [brownout.NumStages - 1]float64{0.05, 0.15, 0.3, 0.5},
+		DwellUp:    units.Minutes(5),
+		DwellDown:  units.Minutes(10),
+	}
+}

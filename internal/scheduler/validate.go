@@ -21,12 +21,19 @@ func (e *ConfigError) Error() string {
 // validates values as given — zero-valued knobs that default later
 // (COP, FairTheta, Prices) are legal here; only actively malformed
 // inputs are rejected.
-func (cfg *RunConfig) Validate() error {
-	if cfg.Jobs == nil || len(cfg.Jobs.Jobs) == 0 {
+func (cfg *RunConfig) Validate() error { return cfg.validate(false) }
+
+// validate is Validate with the streaming allowance: a streaming run
+// (see NewStepper) may start with no jobs at all, because the stream
+// delivers them later; a batch run with no jobs would spin forever.
+func (cfg *RunConfig) validate(streaming bool) error {
+	if !streaming && (cfg.Jobs == nil || len(cfg.Jobs.Jobs) == 0) {
 		return &ConfigError{Field: "Jobs", Reason: "no jobs"}
 	}
-	if err := cfg.Jobs.Validate(); err != nil {
-		return &ConfigError{Field: "Jobs", Reason: err.Error()}
+	if cfg.Jobs != nil {
+		if err := cfg.Jobs.Validate(); err != nil {
+			return &ConfigError{Field: "Jobs", Reason: err.Error()}
+		}
 	}
 	if cfg.COP < 0 || math.IsNaN(cfg.COP) {
 		return &ConfigError{Field: "COP", Reason: "negative COP"}

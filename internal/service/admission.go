@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+
+	"iscope/internal/units"
+)
+
+// admitter is the per-tenant admission policy. It runs in virtual
+// time — admit decisions depend only on the submission's arrival
+// timestamp, never on the wall clock — so a replayed stream admits
+// and rejects identically. Policies are snapshotted alongside the
+// simulation so a resumed tenant keeps its bucket level.
+type admitter interface {
+	// admit consumes capacity for one job arriving at virtual time at,
+	// or returns a non-nil throttling error leaving the state
+	// untouched.
+	admit(at units.Seconds) *APIError
+	// state exports the policy for the daemon's saved metadata;
+	// restore imports it.
+	state() admissionState
+	restore(admissionState)
+}
+
+// admissionState is the serializable policy state (JSON, stored in
+// the tenant's saved metadata next to the snapshot).
+type admissionState struct {
+	Tokens float64 `json:"tokens,omitempty"`
+	Last   float64 `json:"last,omitempty"`
+}
+
+// alwaysAdmit is the nil policy.
+type alwaysAdmit struct{}
+
+func (alwaysAdmit) admit(units.Seconds) *APIError { return nil }
+func (alwaysAdmit) state() admissionState         { return admissionState{} }
+func (alwaysAdmit) restore(admissionState)        {}
+
+// tokenBucket admits at most burst jobs instantaneously and refills
+// at rate tokens per virtual second. Because time is virtual, the
+// bucket never drains "on its own": capacity returns exactly when the
+// submitted timestamps say it does.
+type tokenBucket struct {
+	rate   float64 // tokens per virtual second
+	burst  float64
+	tokens float64
+	last   units.Seconds
+}
+
+func newTokenBucket(ratePerHour float64, burst int) *tokenBucket {
+	return &tokenBucket{
+		rate:   ratePerHour / 3600,
+		burst:  float64(burst),
+		tokens: float64(burst),
+	}
+}
+
+func (b *tokenBucket) admit(at units.Seconds) *APIError {
+	if at > b.last {
+		b.tokens += float64(at-b.last) * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = at
+	}
+	if b.tokens < 1 {
+		deficit := (1 - b.tokens) / b.rate
+		return errThrottled("token bucket empty at t=%v; next token in %.0f virtual seconds", at, deficit)
+	}
+	b.tokens--
+	return nil
+}
+
+func (b *tokenBucket) state() admissionState {
+	return admissionState{Tokens: b.tokens, Last: float64(b.last)}
+}
+
+func (b *tokenBucket) restore(st admissionState) {
+	b.tokens = st.Tokens
+	b.last = units.Seconds(st.Last)
+}
+
+// newAdmitter builds the policy for a validated spec.
+func newAdmitter(spec *AdmissionSpec) (admitter, error) {
+	if spec == nil {
+		return alwaysAdmit{}, nil
+	}
+	switch spec.Policy {
+	case "", "always":
+		return alwaysAdmit{}, nil
+	case "token-bucket":
+		return newTokenBucket(spec.RatePerHour, spec.Burst), nil
+	default:
+		return nil, fmt.Errorf("service: unknown admission policy %q", spec.Policy)
+	}
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"iscope/internal/scheduler"
+)
+
+// Client is the Go client for an iscoped daemon, shared by the CLIs'
+// -daemon modes and the end-to-end tests. Non-2xx responses come back
+// as *APIError values carrying the daemon's typed envelope, so a
+// caller can distinguish a throttled submission (429) from a sealed
+// stream (409) programmatically.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call runs one JSON round-trip. out may be nil for endpoints whose
+// body the caller ignores.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("service client: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("service client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var env struct {
+			Error *APIError `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
+			env.Error.Status = resp.StatusCode
+			return env.Error
+		}
+		return fmt.Errorf("service client: %s %s: status %d: %s", method, path, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if b, ok := out.(*[]byte); ok {
+		*b = raw
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("service client: decode response: %w", err)
+	}
+	return nil
+}
+
+// CreateTenant registers a new simulation.
+func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (StatusResponse, error) {
+	var st StatusResponse
+	err := c.call(ctx, http.MethodPost, "/v1/tenants", spec, &st)
+	return st, err
+}
+
+// DeleteTenant removes a tenant and releases its resources.
+func (c *Client) DeleteTenant(ctx context.Context, name string) error {
+	return c.call(ctx, http.MethodDelete, "/v1/tenants/"+name, nil, nil)
+}
+
+// ListTenants returns every tenant's live status, sorted by name.
+func (c *Client) ListTenants(ctx context.Context) ([]StatusResponse, error) {
+	var out []StatusResponse
+	err := c.call(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// Status reads one tenant's live view.
+func (c *Client) Status(ctx context.Context, name string) (StatusResponse, error) {
+	var st StatusResponse
+	err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name, nil, &st)
+	return st, err
+}
+
+// Submit streams a batch of jobs, in order, into the tenant.
+func (c *Client) Submit(ctx context.Context, name string, jobs []JobSubmission) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/jobs", SubmitRequest{Jobs: jobs}, &out)
+	return out, err
+}
+
+// Advance fires every event at or before to (virtual seconds) in one
+// tenant.
+func (c *Client) Advance(ctx context.Context, name string, to float64) (AdvanceResponse, error) {
+	var out AdvanceResponse
+	err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/advance", AdvanceRequest{To: to}, &out)
+	return out, err
+}
+
+// Seal closes the tenant's job stream.
+func (c *Client) Seal(ctx context.Context, name string) error {
+	return c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/seal", nil, nil)
+}
+
+// Snapshot fetches the tenant's checkpoint envelope.
+func (c *Client) Snapshot(ctx context.Context, name string) ([]byte, error) {
+	var raw []byte
+	err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/snapshot", nil, &raw)
+	return raw, err
+}
+
+// Result drains the sealed tenant to completion and returns the final
+// measurements.
+func (c *Client) Result(ctx context.Context, name string) (*scheduler.Result, error) {
+	var res scheduler.Result
+	if err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/scheduler/testgrid"
+)
+
+// TestConcurrentTenants drives 16 tenants concurrently through the
+// HTTP layer — interleaved submissions, per-tenant advances, and
+// snapshot/status/list reads racing against them — then seals and
+// drains every tenant. Run under -race in CI. Every tenant must
+// finish its full stream with zero invariant violations; the data
+// races this test exists to catch surface as -race reports, not
+// assertion failures.
+func TestConcurrentTenants(t *testing.T) {
+	const tenants = 16
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+
+	specs := make([]TenantSpec, tenants)
+	streams := make([][]JobSubmission, tenants)
+	for i := range specs {
+		specs[i] = TenantSpec{
+			Name:       fmt.Sprintf("t%02d", i),
+			Scheme:     scheduler.Schemes()[i%len(scheduler.Schemes())].Name,
+			Seed:       uint64(i),
+			FleetSeed:  uint64(i % 4),
+			Procs:      4,
+			Invariants: true,
+		}
+		if i%2 == 0 {
+			specs[i].Wind = &WindSpec{Seed: uint64(100 + i), Days: 2, MeanFrac: 0.5}
+		}
+		if i%4 == 0 {
+			specs[i].Brownout = true
+		}
+		streams[i] = submissions(testgrid.Jobs(t, uint64(60+i), 16, 0.3).Jobs)
+		wantStatus(t, do(t, h, "POST", "/v1/tenants", specs[i]), http.StatusCreated)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*4)
+	// One driver per tenant: submit a few jobs, advance into them,
+	// snapshot, repeat.
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := specs[i].Name
+			subs := streams[i]
+			for lo := 0; lo < len(subs); lo += 4 {
+				hi := lo + 4
+				if hi > len(subs) {
+					hi = len(subs)
+				}
+				rec := do(t, h, "POST", "/v1/tenants/"+name+"/jobs", SubmitRequest{Jobs: subs[lo:hi]})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("%s: submit %d..%d: %d %s", name, lo, hi, rec.Code, rec.Body.String())
+					return
+				}
+				// Advance at most to the last submitted arrival; later
+				// batches arrive at or after it, so ordering holds.
+				rec = do(t, h, "POST", "/v1/tenants/"+name+"/advance", AdvanceRequest{To: subs[hi-1].At})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("%s: advance: %d %s", name, rec.Code, rec.Body.String())
+					return
+				}
+				if rec := do(t, h, "GET", "/v1/tenants/"+name+"/snapshot", nil); rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("%s: snapshot: %d", name, rec.Code)
+					return
+				}
+			}
+		}(i)
+	}
+	// Readers racing the drivers: list and per-tenant status.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rec := do(t, h, "GET", "/v1/tenants", nil); rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: list: %d", r, rec.Code)
+					return
+				}
+				name := specs[r*4].Name
+				if rec := do(t, h, "GET", "/v1/tenants/"+name, nil); rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status %s: %d", r, name, rec.Code)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Seal everything, drain in bulk, then collect results serially.
+	for i := range specs {
+		wantStatus(t, do(t, h, "POST", "/v1/tenants/"+specs[i].Name+"/seal", nil), http.StatusOK)
+	}
+	wantStatus(t, do(t, h, "POST", "/v1/advance", AdvanceRequest{To: 1e12}), http.StatusOK)
+	for i := range specs {
+		name := specs[i].Name
+		rec := do(t, h, "GET", "/v1/tenants/"+name+"/result", nil)
+		wantStatus(t, rec, http.StatusOK)
+		var res scheduler.Result
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatalf("%s: result: %v", name, err)
+		}
+		if res.JobsCompleted != len(streams[i]) {
+			t.Fatalf("%s: completed %d/%d jobs", name, res.JobsCompleted, len(streams[i]))
+		}
+		st := tenantStatus(t, h, name)
+		if st.InvariantViolations != 0 {
+			t.Fatalf("%s: %d invariant violations", name, st.InvariantViolations)
+		}
+		if !st.Finished {
+			t.Fatalf("%s: not finished after drain", name)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"iscope/internal/checkpoint"
+	"iscope/internal/pool"
+	"iscope/internal/units"
+)
+
+// Server multiplexes tenants behind the HTTP API. The tenant map is
+// guarded by its own lock; each tenant serializes its simulation
+// under its own mutex, so independent tenants advance concurrently
+// while a single tenant's stream stays totally ordered.
+type Server struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// New builds an empty server.
+func New() *Server {
+	return &Server{tenants: make(map[string]*tenant)}
+}
+
+// Handler builds the route table. Control plane: tenant CRUD, seal,
+// snapshot, result. Data plane: job submission and clock advancement,
+// per tenant or in bulk.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", s.handleCreate)
+	mux.HandleFunc("GET /v1/tenants", s.handleList)
+	mux.HandleFunc("GET /v1/tenants/{name}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/tenants/{name}/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/tenants/{name}/advance", s.handleAdvance)
+	mux.HandleFunc("POST /v1/tenants/{name}/seal", s.handleSeal)
+	mux.HandleFunc("GET /v1/tenants/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/tenants/{name}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/advance", s.handleAdvanceAll)
+	return mux
+}
+
+// Close releases every tenant's resources.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		t.close()
+	}
+	s.tenants = make(map[string]*tenant)
+}
+
+func (s *Server) lookup(name string) (*tenant, *APIError) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, errNotFound("no tenant %q", name)
+	}
+	return t, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, aerr *APIError) {
+	writeJSON(w, aerr.Status, struct {
+		Error *APIError `json:"error"`
+	}{aerr})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec TenantSpec
+	if aerr := decodeJSON(r, &spec); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if err := validTenantName(spec.Name); err != nil {
+		writeErr(w, &APIError{Status: http.StatusUnprocessableEntity, Code: "invalid_spec", Message: err.Error()})
+		return
+	}
+	t, err := newTenant(spec, nil)
+	if err != nil {
+		writeErr(w, &APIError{Status: http.StatusUnprocessableEntity, Code: "invalid_spec", Message: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.tenants[spec.Name]; exists {
+		s.mu.Unlock()
+		t.close()
+		writeErr(w, errConflict("tenant %q already exists", spec.Name))
+		return
+	}
+	s.tenants[spec.Name] = t
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, t.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	out := make([]StatusResponse, len(list))
+	for i, t := range list {
+		out[i] = t.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if ok {
+		delete(s.tenants, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, errNotFound("no tenant %q", name))
+		return
+	}
+	t.close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	var req SubmitRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, errBadRequest("empty job batch"))
+		return
+	}
+	resp := SubmitResponse{Indices: make([]int, 0, len(req.Jobs))}
+	for i := range req.Jobs {
+		idx, aerr := t.submit(&req.Jobs[i])
+		if aerr != nil {
+			// Earlier jobs in the batch stay admitted; the error names
+			// the failing one so the client can resume after it.
+			writeErr(w, aerr)
+			return
+		}
+		resp.Indices = append(resp.Indices, idx)
+		resp.Admitted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	var req AdvanceRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if !isFinite(req.To) || req.To < 0 {
+		writeErr(w, errBadRequest("advance target %v is not a non-negative finite time", req.To))
+		return
+	}
+	fired, aerr := t.advance(units.Seconds(req.To))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdvanceResponse{Fired: fired, Now: float64(t.status().Now)})
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	t.seal()
+	writeJSON(w, http.StatusOK, t.status())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	data, aerr := t.snapshot()
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	t, aerr := s.lookup(r.PathValue("name"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	res, aerr := t.result()
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleAdvanceAll advances every tenant to the same virtual time,
+// fanning the independent tenants over the coarse worker pool.
+func (s *Server) handleAdvanceAll(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if !isFinite(req.To) || req.To < 0 {
+		writeErr(w, errBadRequest("advance target %v is not a non-negative finite time", req.To))
+		return
+	}
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+
+	type cell struct {
+		Name  string  `json:"name"`
+		Fired int     `json:"fired"`
+		Now   float64 `json:"now"`
+		Error string  `json:"error,omitempty"`
+	}
+	out := make([]cell, len(list))
+	pool.Feed(r.Context(), pool.Workers(0, len(list)), len(list), func(i int) {
+		t := list[i]
+		fired, aerr := t.advance(units.Seconds(req.To))
+		out[i] = cell{Name: t.spec.Name, Fired: fired, Now: t.status().Now}
+		if aerr != nil {
+			out[i].Error = aerr.Message
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- persistence ----------------------------------------------------
+
+// tenantMeta is the restart metadata saved next to each tenant's
+// snapshot: the spec to rebuild the fleet and config from, plus the
+// bits of daemon state that live outside the simulation snapshot.
+type tenantMeta struct {
+	Spec      TenantSpec     `json:"spec"`
+	Sealed    bool           `json:"sealed"`
+	Admission admissionState `json:"admission"`
+}
+
+const (
+	metaSuffix = ".tenant.json"
+	snapSuffix = ".ckpt"
+)
+
+// SaveAll snapshots every tenant into dir: <name>.ckpt holds the
+// simulation snapshot (the standard checkpoint envelope), and
+// <name>.tenant.json the restart metadata. Used by the daemon's
+// SIGTERM path.
+func (s *Server) SaveAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.mu.RLock()
+	list := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range list {
+		data, aerr := t.snapshot()
+		if aerr != nil {
+			return fmt.Errorf("service: save %q: %s", t.spec.Name, aerr.Message)
+		}
+		sealed, adm := t.sealedAndState()
+		meta, err := json.MarshalIndent(tenantMeta{Spec: t.spec, Sealed: sealed, Admission: adm}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("service: save %q: %w", t.spec.Name, err)
+		}
+		if err := checkpoint.WriteBytes(filepath.Join(dir, t.spec.Name+snapSuffix), data); err != nil {
+			return fmt.Errorf("service: save %q: %w", t.spec.Name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, t.spec.Name+metaSuffix), meta, 0o644); err != nil {
+			return fmt.Errorf("service: save %q: %w", t.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadAll restores every tenant saved in dir. Tenants already live in
+// the server are an error — restore happens once, at startup, into an
+// empty server.
+func (s *Server) LoadAll(dir string) (int, error) {
+	metas, err := filepath.Glob(filepath.Join(dir, "*"+metaSuffix))
+	if err != nil {
+		return 0, fmt.Errorf("service: %w", err)
+	}
+	sort.Strings(metas)
+	loaded := 0
+	for _, path := range metas {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return loaded, fmt.Errorf("service: %w", err)
+		}
+		var meta tenantMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return loaded, fmt.Errorf("service: load %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), metaSuffix)
+		if meta.Spec.Name != name {
+			return loaded, fmt.Errorf("service: load %s: metadata names tenant %q", path, meta.Spec.Name)
+		}
+		snap, err := checkpoint.ReadBytes(filepath.Join(dir, name+snapSuffix))
+		if err != nil {
+			return loaded, fmt.Errorf("service: load %q: %w", name, err)
+		}
+		t, err := newTenant(meta.Spec, snap)
+		if err != nil {
+			return loaded, fmt.Errorf("service: load %q: %w", name, err)
+		}
+		if meta.Sealed {
+			t.seal()
+		}
+		t.adm.restore(meta.Admission)
+		s.mu.Lock()
+		if _, exists := s.tenants[name]; exists {
+			s.mu.Unlock()
+			t.close()
+			return loaded, fmt.Errorf("service: load %q: tenant already exists", name)
+		}
+		s.tenants[name] = t
+		s.mu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}
+
+// validTenantName restricts names to a filesystem- and URL-safe
+// alphabet (they become path segments and snapshot file names).
+func validTenantName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("tenant name must be 1-64 characters, got %d", len(name))
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("tenant name %q: only [A-Za-z0-9_-] allowed", name)
+		}
+	}
+	return nil
+}

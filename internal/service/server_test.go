@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"iscope/internal/scheduler"
+	"iscope/internal/scheduler/testgrid"
+	"iscope/internal/units"
+	"iscope/internal/workload"
+)
+
+// do runs one request through the handler and returns the recorder.
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// wantStatus fails unless the recorder holds the expected status; on
+// error statuses it also checks the typed envelope decodes.
+func wantStatus(t *testing.T, rec *httptest.ResponseRecorder, want int) {
+	t.Helper()
+	if rec.Code != want {
+		t.Fatalf("status %d, want %d; body: %s", rec.Code, want, rec.Body.String())
+	}
+	if want >= 400 {
+		var env struct {
+			Error *APIError `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil || env.Error.Code == "" {
+			t.Fatalf("error response is not a typed envelope: %s", rec.Body.String())
+		}
+	}
+}
+
+// submissions converts a synthesized trace to wire submissions.
+func submissions(jobs []workload.Job) []JobSubmission {
+	out := make([]JobSubmission, len(jobs))
+	for i, j := range jobs {
+		out[i] = JobSubmission{
+			ID:        j.ID,
+			At:        float64(j.Submit),
+			Runtime:   float64(j.Runtime),
+			Procs:     j.Procs,
+			Boundness: j.Boundness,
+			Deadline:  float64(j.Deadline),
+		}
+	}
+	return out
+}
+
+func testSpec(name string) TenantSpec {
+	return TenantSpec{
+		Name: name, Scheme: "ScanEffi", Seed: 1, FleetSeed: 7, Procs: 8,
+		Wind: &WindSpec{Seed: 2, Days: 4, MeanFrac: 0.5},
+	}
+}
+
+// TestTenantLifecycle walks the whole control/data plane: create,
+// duplicate and malformed creates, streaming, ordering, sealing,
+// result, snapshot, delete — with the terminal result compared
+// bit-for-bit (JSON) against an in-process stepper fed the same
+// stream.
+func TestTenantLifecycle(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	jobs := testgrid.Jobs(t, 50, 30, 0.3).Jobs
+	subs := submissions(jobs)
+
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", testSpec("alpha")), http.StatusCreated)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", testSpec("alpha")), http.StatusConflict)
+	bad := testSpec("beta")
+	bad.Procs = 0
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", bad), http.StatusUnprocessableEntity)
+	wantStatus(t, do(t, h, "GET", "/v1/tenants/ghost", nil), http.StatusNotFound)
+
+	// Stream the first half, advance into it, stream the rest.
+	half := len(subs) / 2
+	rec := do(t, h, "POST", "/v1/tenants/alpha/jobs", SubmitRequest{Jobs: subs[:half]})
+	wantStatus(t, rec, http.StatusOK)
+	var sr SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil || sr.Admitted != half {
+		t.Fatalf("submit response %s (err %v)", rec.Body.String(), err)
+	}
+	mid := subs[half].At
+	rec = do(t, h, "POST", "/v1/tenants/alpha/advance", AdvanceRequest{To: mid - 1})
+	wantStatus(t, rec, http.StatusOK)
+	var ar AdvanceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil || ar.Fired == 0 {
+		t.Fatalf("advance response %s (err %v)", rec.Body.String(), err)
+	}
+	// Out-of-order: a submission behind the advanced clock is a 422.
+	if ar.Now > 0 {
+		late := JobSubmission{ID: 900, At: ar.Now - 1, Runtime: 60, Procs: 1, Boundness: 0.5}
+		wantStatus(t, do(t, h, "POST", "/v1/tenants/alpha/jobs", SubmitRequest{Jobs: []JobSubmission{late}}),
+			http.StatusUnprocessableEntity)
+	}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/alpha/jobs", SubmitRequest{Jobs: subs[half:]}), http.StatusOK)
+
+	// Result before seal is a conflict; after seal the stream refuses
+	// jobs and the result drains.
+	wantStatus(t, do(t, h, "GET", "/v1/tenants/alpha/result", nil), http.StatusConflict)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/alpha/seal", nil), http.StatusOK)
+	extra := JobSubmission{ID: 901, At: mid + 10, Runtime: 60, Procs: 1, Boundness: 0.5}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/alpha/jobs", SubmitRequest{Jobs: []JobSubmission{extra}}),
+		http.StatusConflict)
+	rec = do(t, h, "GET", "/v1/tenants/alpha/result", nil)
+	wantStatus(t, rec, http.StatusOK)
+
+	// The HTTP-driven run must match an in-process stepper fed the
+	// identical stream in one sitting.
+	ref, err := newTenant(testSpec("ref"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.close()
+	for i := range subs {
+		if _, aerr := ref.submit(&subs[i]); aerr != nil {
+			t.Fatalf("ref submit %d: %v", i, aerr)
+		}
+	}
+	ref.seal()
+	want, aerr := ref.result()
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, wantBack scheduler.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wantJSON, &wantBack); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	refJSON, _ := json.Marshal(wantBack)
+	if !bytes.Equal(gotJSON, refJSON) {
+		t.Fatalf("HTTP result diverged from in-process run:\nhttp %s\nref  %s", gotJSON, refJSON)
+	}
+
+	rec = do(t, h, "GET", "/v1/tenants/alpha", nil)
+	wantStatus(t, rec, http.StatusOK)
+	var st StatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || !st.Finished || st.JobsLeft != 0 {
+		t.Fatalf("final status %s (err %v)", rec.Body.String(), err)
+	}
+
+	rec = do(t, h, "GET", "/v1/tenants/alpha/snapshot", nil)
+	wantStatus(t, rec, http.StatusOK)
+	if rec.Body.Len() == 0 || rec.Header().Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("snapshot: %d bytes, content-type %q", rec.Body.Len(), rec.Header().Get("Content-Type"))
+	}
+
+	wantStatus(t, do(t, h, "DELETE", "/v1/tenants/alpha", nil), http.StatusNoContent)
+	wantStatus(t, do(t, h, "GET", "/v1/tenants/alpha", nil), http.StatusNotFound)
+}
+
+// TestSubmitDecodeRejections: syntactic garbage is a 400 with a typed
+// envelope, never a panic or a silent admit.
+func TestSubmitDecodeRejections(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	spec := TenantSpec{Name: "decode", Scheme: "ScanEffi", Seed: 1, FleetSeed: 1, Procs: 4}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", spec), http.StatusCreated)
+
+	for _, body := range []string{
+		`{`,
+		`{"jobs": [{"at": NaN}]}`,
+		`{"jobs": [{"at": Infinity}]}`,
+		`{"jobs": [{"at": 0, "runtime": 60, "procs": 1, "boundness": 0.5, "bogus": 1}]}`,
+		`{"jobs": []}`,
+		`{"jobs": [{"at": 0, "runtime": 60, "procs": 1, "boundness": 0.5}]} trailing`,
+		`[]`,
+	} {
+		req := httptest.NewRequest("POST", "/v1/tenants/decode/jobs", bytes.NewBufferString(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		wantStatus(t, rec, http.StatusBadRequest)
+	}
+	// 1e999 overflows float64: a decode error, not an Inf smuggled in.
+	req := httptest.NewRequest("POST", "/v1/tenants/decode/jobs",
+		bytes.NewBufferString(`{"jobs": [{"at": 1e999, "runtime": 60, "procs": 1, "boundness": 0.5}]}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantStatus(t, rec, http.StatusBadRequest)
+
+	if st := tenantStatus(t, h, "decode"); st.Jobs != 0 {
+		t.Fatalf("rejected submissions injected %d jobs", st.Jobs)
+	}
+}
+
+func tenantStatus(t *testing.T, h http.Handler, name string) StatusResponse {
+	t.Helper()
+	rec := do(t, h, "GET", "/v1/tenants/"+name, nil)
+	wantStatus(t, rec, http.StatusOK)
+	var st StatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestAdmissionTokenBucket: the bucket runs in virtual time — burst,
+// a 429 when empty, refill exactly when the submitted timestamps say
+// so, and the policy state survives SaveAll/LoadAll.
+func TestAdmissionTokenBucket(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	spec := TenantSpec{
+		Name: "bucket", Scheme: "BinRan", Seed: 1, FleetSeed: 1, Procs: 4,
+		Admission: &AdmissionSpec{Policy: "token-bucket", RatePerHour: 2, Burst: 2},
+	}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants", spec), http.StatusCreated)
+
+	job := func(id int, at float64) SubmitRequest {
+		return SubmitRequest{Jobs: []JobSubmission{{ID: id, At: at, Runtime: 60, Procs: 1, Boundness: 0.5}}}
+	}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(1, 0)), http.StatusOK)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(2, 0)), http.StatusOK)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(3, 0)), http.StatusTooManyRequests)
+	// 2/hour -> one token back after 30 virtual minutes.
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(4, 1800)), http.StatusOK)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(5, 1800)), http.StatusTooManyRequests)
+	// A malformed job must not burn the token that accrues by t=3600.
+	badJob := SubmitRequest{Jobs: []JobSubmission{{ID: 6, At: 3600, Runtime: -1, Procs: 1, Boundness: 0.5}}}
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", badJob), http.StatusUnprocessableEntity)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(7, 3600)), http.StatusOK)
+	wantStatus(t, do(t, h, "POST", "/v1/tenants/bucket/jobs", job(8, 3600)), http.StatusTooManyRequests)
+
+	// The drained bucket persists across a save/load cycle.
+	dir := t.TempDir()
+	if err := srv.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New()
+	defer srv2.Close()
+	if n, err := srv2.LoadAll(dir); err != nil || n != 1 {
+		t.Fatalf("LoadAll: %d tenants, err %v", n, err)
+	}
+	h2 := srv2.Handler()
+	wantStatus(t, do(t, h2, "POST", "/v1/tenants/bucket/jobs", job(9, 3600)), http.StatusTooManyRequests)
+	if st := tenantStatus(t, h2, "bucket"); st.Jobs != 4 {
+		t.Fatalf("restored tenant knows %d jobs, want 4", st.Jobs)
+	}
+}
+
+// TestSaveLoadResume: a daemon-style save/restart/resume must land on
+// the same final result as an uninterrupted server fed the identical
+// stream.
+func TestSaveLoadResume(t *testing.T) {
+	jobs := testgrid.Jobs(t, 51, 24, 0.3).Jobs
+	subs := submissions(jobs)
+	half := len(subs) / 2
+	spec := testSpec("resume")
+	spec.Invariants = true
+
+	finish := func(h http.Handler) []byte {
+		wantStatus(t, do(t, h, "POST", "/v1/tenants/resume/jobs", SubmitRequest{Jobs: subs[half:]}), http.StatusOK)
+		wantStatus(t, do(t, h, "POST", "/v1/tenants/resume/seal", nil), http.StatusOK)
+		rec := do(t, h, "GET", "/v1/tenants/resume/result", nil)
+		wantStatus(t, rec, http.StatusOK)
+		return rec.Body.Bytes()
+	}
+
+	// Uninterrupted reference.
+	ref := New()
+	defer ref.Close()
+	refH := ref.Handler()
+	wantStatus(t, do(t, refH, "POST", "/v1/tenants", spec), http.StatusCreated)
+	wantStatus(t, do(t, refH, "POST", "/v1/tenants/resume/jobs", SubmitRequest{Jobs: subs[:half]}), http.StatusOK)
+	wantStatus(t, do(t, refH, "POST", "/v1/tenants/resume/advance", AdvanceRequest{To: subs[half].At - 1}), http.StatusOK)
+	want := finish(refH)
+
+	// Interrupted: same prefix, save, load into a fresh server, same
+	// suffix.
+	a := New()
+	aH := a.Handler()
+	wantStatus(t, do(t, aH, "POST", "/v1/tenants", spec), http.StatusCreated)
+	wantStatus(t, do(t, aH, "POST", "/v1/tenants/resume/jobs", SubmitRequest{Jobs: subs[:half]}), http.StatusOK)
+	wantStatus(t, do(t, aH, "POST", "/v1/tenants/resume/advance", AdvanceRequest{To: subs[half].At - 1}), http.StatusOK)
+	dir := t.TempDir()
+	if err := a.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	b := New()
+	defer b.Close()
+	if n, err := b.LoadAll(dir); err != nil || n != 1 {
+		t.Fatalf("LoadAll: %d tenants, err %v", n, err)
+	}
+	got := finish(b.Handler())
+
+	var wantRes, gotRes scheduler.Result
+	if err := json.Unmarshal(want, &wantRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got, &gotRes); err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(wantRes)
+	gj, _ := json.Marshal(gotRes)
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\nwant %s\ngot  %s", wj, gj)
+	}
+	if wantRes.JobsCompleted != len(subs) {
+		t.Fatalf("reference completed %d jobs, streamed %d", wantRes.JobsCompleted, len(subs))
+	}
+}
+
+// TestBulkAdvance: POST /v1/advance moves every tenant's clock.
+func TestBulkAdvance(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	for i := 0; i < 3; i++ {
+		spec := TenantSpec{Name: fmt.Sprintf("bulk-%d", i), Scheme: "ScanRan", Seed: uint64(i), FleetSeed: 1, Procs: 4}
+		wantStatus(t, do(t, h, "POST", "/v1/tenants", spec), http.StatusCreated)
+		sub := SubmitRequest{Jobs: []JobSubmission{{ID: i, At: 10, Runtime: 300, Procs: 1, Boundness: 0.5}}}
+		wantStatus(t, do(t, h, "POST", fmt.Sprintf("/v1/tenants/bulk-%d/jobs", i), sub), http.StatusOK)
+	}
+	rec := do(t, h, "POST", "/v1/advance", AdvanceRequest{To: float64(units.Hours(1))})
+	wantStatus(t, rec, http.StatusOK)
+	var cells []struct {
+		Name  string  `json:"name"`
+		Fired int     `json:"fired"`
+		Now   float64 `json:"now"`
+		Error string  `json:"error,omitempty"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &cells); err != nil || len(cells) != 3 {
+		t.Fatalf("bulk advance response %s (err %v)", rec.Body.String(), err)
+	}
+	for _, c := range cells {
+		if c.Error != "" || c.Fired == 0 || c.Now <= 0 {
+			t.Fatalf("bulk advance cell %+v", c)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"iscope/internal/brownout"
+	"iscope/internal/invariants"
+	"iscope/internal/scheduler"
+	"iscope/internal/units"
+	"iscope/internal/wind"
+)
+
+// tenant is one live simulation: a stepper, its admission policy, and
+// one mutex serializing every touch. The HTTP layer never reaches the
+// stepper except through these methods, so the Stepper's
+// single-threaded contract holds no matter how many requests race.
+type tenant struct {
+	mu    sync.Mutex
+	spec  TenantSpec
+	fleet *scheduler.Fleet
+	st    *scheduler.Stepper
+	adm   admitter
+}
+
+// buildConfig derives the deterministic run configuration a spec
+// describes. Everything is regenerated from seeds, which is what lets
+// a daemon restart rebuild a tenant whose snapshot still hashes to the
+// same configuration.
+func buildConfig(spec *TenantSpec, fleet *scheduler.Fleet) (scheduler.RunConfig, error) {
+	cfg := scheduler.RunConfig{Seed: spec.Seed, Workers: spec.Workers}
+	if spec.Wind != nil {
+		w := spec.Wind
+		tr, err := wind.Generate(wind.DefaultConfig(w.Seed, units.Days(w.Days)))
+		if err != nil {
+			return cfg, fmt.Errorf("service: generate wind: %w", err)
+		}
+		cfg.Wind = tr.Scale(w.MeanFrac * float64(fleet.PeakDemand()) / float64(tr.Mean()))
+	}
+	if spec.Brownout {
+		bc := brownout.DefaultConfig()
+		cfg.Brownout = &bc
+	}
+	if spec.Invariants {
+		cfg.Invariants = &invariants.Config{}
+	}
+	return cfg, nil
+}
+
+// newTenant builds a tenant from its spec, optionally resuming from a
+// snapshot (the daemon restart path). The job stream starts open; a
+// saved Sealed flag is reapplied by the caller.
+func newTenant(spec TenantSpec, resume []byte) (*tenant, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sch, ok := scheduler.SchemeByName(spec.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q", spec.Scheme)
+	}
+	fleet, err := scheduler.BuildFleet(scheduler.DefaultFleetSpec(spec.FleetSeed, spec.Procs))
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildConfig(&spec, fleet)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Resume = resume
+	adm, err := newAdmitter(spec.Admission)
+	if err != nil {
+		return nil, err
+	}
+	st, err := scheduler.NewStepper(fleet, sch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &tenant{spec: spec, fleet: fleet, st: st, adm: adm}, nil
+}
+
+// submit streams one job into the tenant. The rejection ladder is
+// ordered so each failure class gets its own status: malformed fields
+// are 422 before the admission policy ever sees the job (a garbage
+// submission must not burn a token), admission rejections are 429,
+// and a sealed stream is 409.
+func (t *tenant) submit(js *JobSubmission) (int, *APIError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.st.Sealed() {
+		return 0, errConflict("tenant %q: job stream is sealed", t.spec.Name)
+	}
+	if aerr := t.validateSubmission(js); aerr != nil {
+		return 0, aerr
+	}
+	at := units.Seconds(js.At)
+	if aerr := t.adm.admit(at); aerr != nil {
+		return 0, aerr
+	}
+	idx, err := t.st.InjectJob(at, js.Job())
+	if err != nil {
+		return 0, errUnprocessable("tenant %q: %v", t.spec.Name, err)
+	}
+	return idx, nil
+}
+
+// validateSubmission rejects out-of-range and out-of-order
+// submissions with a typed 422 before they can touch the simulation
+// or the admission bucket. It mirrors the stepper's own validation;
+// the stepper stays the authority, this is the wire's fail-fast copy.
+func (t *tenant) validateSubmission(js *JobSubmission) *APIError {
+	switch {
+	case !isFinite(js.At) || !isFinite(js.Runtime) || !isFinite(js.Boundness) || !isFinite(js.Deadline):
+		return errUnprocessable("job %d: non-finite fields", js.ID)
+	case js.At < 0:
+		return errUnprocessable("job %d: negative arrival time %v", js.ID, js.At)
+	case js.Procs <= 0:
+		return errUnprocessable("job %d: requests %d procs", js.ID, js.Procs)
+	case js.Runtime <= 0:
+		return errUnprocessable("job %d: runtime %v", js.ID, js.Runtime)
+	case js.Boundness < 0 || js.Boundness > 1:
+		return errUnprocessable("job %d: boundness %v outside [0,1]", js.ID, js.Boundness)
+	case js.Deadline != 0 && js.Deadline < js.At+js.Runtime:
+		return errUnprocessable("job %d: deadline %v before earliest completion", js.ID, js.Deadline)
+	}
+	if now := t.st.Now(); units.Seconds(js.At) < now {
+		return errUnprocessable("job %d: arrival t=%v is out of order (clock is at %v)", js.ID, js.At, now)
+	}
+	return nil
+}
+
+// advance fires every event at or before to.
+func (t *tenant) advance(to units.Seconds) (int, *APIError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fired, err := t.st.AdvanceTo(to)
+	if err != nil {
+		return fired, &APIError{Status: http.StatusInternalServerError, Code: "simulation_failed",
+			Message: fmt.Sprintf("tenant %q: %v", t.spec.Name, err)}
+	}
+	return fired, nil
+}
+
+// seal closes the job stream (idempotent).
+func (t *tenant) seal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.Seal()
+}
+
+// snapshot encodes the tenant's full simulation state.
+func (t *tenant) snapshot() ([]byte, *APIError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, err := t.st.Snapshot()
+	if err != nil {
+		return nil, &APIError{Status: http.StatusInternalServerError, Code: "snapshot_failed",
+			Message: fmt.Sprintf("tenant %q: %v", t.spec.Name, err)}
+	}
+	return data, nil
+}
+
+// result drains the sealed stream to completion and assembles the
+// final measurements. Requesting a result on an open stream is a
+// conflict — the caller must seal first.
+func (t *tenant) result() (*scheduler.Result, *APIError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.st.Sealed() {
+		return nil, errConflict("tenant %q: result requested on an open stream; seal it first", t.spec.Name)
+	}
+	for !t.st.Finished() {
+		fired, err := t.st.ProcessNextEvent()
+		if err != nil {
+			return nil, &APIError{Status: http.StatusInternalServerError, Code: "simulation_failed",
+				Message: fmt.Sprintf("tenant %q: %v", t.spec.Name, err)}
+		}
+		if !fired {
+			break
+		}
+	}
+	res, err := t.st.Result()
+	if err != nil {
+		return nil, &APIError{Status: http.StatusInternalServerError, Code: "simulation_failed",
+			Message: fmt.Sprintf("tenant %q: %v", t.spec.Name, err)}
+	}
+	return res, nil
+}
+
+// status reports the live view.
+func (t *tenant) status() StatusResponse {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.st.Status()
+	return StatusResponse{
+		Name:          t.spec.Name,
+		Scheme:        t.spec.Scheme,
+		Now:           float64(s.Now),
+		Jobs:          s.Jobs,
+		JobsLeft:      s.JobsLeft,
+		PendingEvents: s.PendingEvents,
+		Sealed:        s.Sealed,
+		Finished:      s.Finished,
+		Violations:    s.Violations,
+		UtilityEnergy: float64(s.UtilityEnergy),
+		WindEnergy:    float64(s.WindEnergy),
+		Wind:          float64(s.Wind),
+
+		BrownoutStage:       s.BrownoutStage.String(),
+		InvariantViolations: s.InvariantViolations,
+	}
+}
+
+// sealedAndState exports the restart metadata under the tenant lock.
+func (t *tenant) sealedAndState() (bool, admissionState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Sealed(), t.adm.state()
+}
+
+func (t *tenant) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.Close()
+}

@@ -138,6 +138,29 @@ func (e *Engine[T]) AfterTag(delay units.Seconds, tag T) error {
 // checkpointable state.
 func (e *Engine[T]) Seq() uint64 { return e.seq }
 
+// SkipTo advances the insertion-order counter to at least seq, without
+// scheduling anything. It reserves the band (current, seq] for explicit
+// InjectTag sequence numbers: callers that need a class of events (for
+// the scheduler, job arrivals) to tie-break before everything scheduled
+// later can place them in the reserved band while the counter keeps
+// issuing sequence numbers above it. Skipping backward is a no-op —
+// the counter must stay monotone or previously issued sequence numbers
+// would be reissued.
+func (e *Engine[T]) SkipTo(seq uint64) {
+	if seq > e.seq {
+		e.seq = seq
+	}
+}
+
+// PeekNext returns the (time, seq) of the event that Step would fire
+// next, without firing it; ok is false when the queue is empty.
+func (e *Engine[T]) PeekNext() (at units.Seconds, seq uint64, ok bool) {
+	if len(e.pq) == 0 {
+		return 0, 0, false
+	}
+	return e.pq[0].at, e.pq[0].seq, true
+}
+
 // PendingEvents returns a snapshot of the queue sorted by firing order
 // (at, then seq). Closure events are flagged: their callbacks cannot be
 // serialized, so checkpointing code must reject (or rebuild) them.

@@ -276,6 +276,69 @@ func TestResetAndInjectTag(t *testing.T) {
 	}
 }
 
+// SkipTo reserves a low sequence band: events injected into the band
+// tie-break before everything scheduled after the skip, and the
+// counter itself keeps issuing above the band.
+func TestSkipToReservesSeqBand(t *testing.T) {
+	e := New[int]()
+	var got []int
+	e.SetDispatcher(func(tag int, now units.Seconds) { got = append(got, tag) })
+	const band = 1 << 20
+	e.SkipTo(band)
+	if e.Seq() != band {
+		t.Fatalf("seq = %d, want %d", e.Seq(), band)
+	}
+	if err := e.ScheduleTag(10, 100); err != nil { // seq band+1
+		t.Fatal(err)
+	}
+	// Same timestamp, injected later but into the reserved band: must
+	// fire first.
+	if err := e.InjectTag(10, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectTag(10, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := []int{1, 2, 100}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	// Skipping backward must not rewind the counter.
+	e.SkipTo(5)
+	if e.Seq() <= band {
+		t.Fatalf("SkipTo rewound the counter to %d", e.Seq())
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	e := New[int]()
+	e.SetDispatcher(func(int, units.Seconds) {})
+	if _, _, ok := e.PeekNext(); ok {
+		t.Fatal("PeekNext on empty queue reported an event")
+	}
+	_ = e.ScheduleTag(30, 1)
+	_ = e.ScheduleTag(10, 2)
+	_ = e.ScheduleTag(10, 3)
+	at, seq, ok := e.PeekNext()
+	if !ok || at != 10 || seq != 2 {
+		t.Fatalf("PeekNext = (%v, %d, %v), want (10, 2, true)", at, seq, ok)
+	}
+	e.Step()
+	at, seq, ok = e.PeekNext()
+	if !ok || at != 10 || seq != 3 {
+		t.Fatalf("PeekNext after step = (%v, %d, %v), want (10, 3, true)", at, seq, ok)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("PeekNext advanced the clock to %v", e.Now())
+	}
+}
+
 // The 4-ary heap must pop an adversarial mix of times and insertion
 // orders in exactly (at, seq) order.
 func TestHeapOrderProperty(t *testing.T) {

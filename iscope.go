@@ -127,6 +127,27 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 // continue the run from where it stopped.
 type CheckpointConfig = scheduler.CheckpointConfig
 
+// Stepper is the simulation engine exposed one event at a time:
+// HasPendingEvents / PeekNextEventTime / ProcessNextEvent / InjectJob,
+// plus AdvanceTo, Seal, Snapshot and Result. Run is a thin driver over
+// it, and a drained stepper's results and checkpoint bytes are
+// bit-identical to the equivalent batch Run — including jobs injected
+// mid-run, which merge into the event order exactly where a batch
+// trace would have put them. See DESIGN.md §8.
+type Stepper = scheduler.Stepper
+
+// StepStatus is a stepper's live view: virtual clock, job and event
+// counts, sealed/finished flags, energy split, brownout stage and
+// invariant violations.
+type StepStatus = scheduler.StepStatus
+
+// NewStepper builds a steppable simulation from the same inputs as
+// Run. cfg.Jobs may be nil for a purely streamed run that receives
+// every job through InjectJob.
+func NewStepper(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Stepper, error) {
+	return scheduler.NewStepper(fleet, scheme, cfg)
+}
+
 // SynthesizeWorkload generates an LLNL-Thunder-like job trace with
 // deadlines assigned: huFraction of jobs are high-urgency (deadline
 // ~4x runtime), the rest low-urgency (~12x).
