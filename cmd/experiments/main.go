@@ -56,7 +56,9 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		execTrace  = flag.String("trace", "", "write a runtime execution trace to this file")
 
-		daemonURL = flag.String("daemon", "", "iscoped base URL: run the per-scheme comparison against a live daemon instead of the local pipeline")
+		daemonURL  = flag.String("daemon", "", "iscoped base URL: run the per-scheme comparison against a live daemon instead of the local pipeline")
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "per-request timeout for daemon calls (with -daemon)")
+		rpcRetries = flag.Int("rpc-retries", 5, "retry budget per daemon call for transport errors and 503s (with -daemon); submissions carry idempotency keys, so retries never duplicate jobs")
 	)
 	flag.Parse()
 
@@ -90,7 +92,8 @@ func main() {
 	opt.Context = ctx
 
 	if *daemonURL != "" {
-		if err := runDaemon(ctx, *daemonURL, opt); err != nil {
+		c := &service.Client{BaseURL: *daemonURL, Timeout: *rpcTimeout, Retries: *rpcRetries}
+		if err := runDaemon(ctx, c, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -127,7 +130,7 @@ func main() {
 // synthesized workload is streamed into all of them in interleaved
 // batches (exercising the multiplexer the way concurrent clients
 // would), and the sealed results are printed side by side.
-func runDaemon(ctx context.Context, url string, opt experiments.Options) error {
+func runDaemon(ctx context.Context, c *service.Client, opt experiments.Options) error {
 	const (
 		spanDays = 2.0
 		huFrac   = 0.3
@@ -149,7 +152,6 @@ func runDaemon(ctx context.Context, url string, opt experiments.Options) error {
 		}
 	}
 
-	c := &service.Client{BaseURL: url}
 	schemes := iscope.Schemes()
 	tenantName := func(s iscope.Scheme) string { return "exp-" + s.Name }
 	for _, s := range schemes {
@@ -179,7 +181,7 @@ func runDaemon(ctx context.Context, url string, opt experiments.Options) error {
 	}
 
 	fmt.Printf("==== remote scheme comparison via %s (procs=%d jobs=%d seed=%d) ====\n",
-		url, opt.NumProcs, opt.NumJobs, opt.Seed)
+		c.BaseURL, opt.NumProcs, opt.NumJobs, opt.Seed)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheme\tjobs\tviol\tutility\twind\tutilized\tcost\tvariance")
 	for _, s := range schemes {

@@ -86,8 +86,10 @@ type options struct {
 	execTrace  string
 
 	// Daemon client section.
-	daemonURL string
-	tenant    string
+	daemonURL  string
+	tenant     string
+	rpcTimeout time.Duration
+	rpcRetries int
 }
 
 func main() {
@@ -141,6 +143,8 @@ func main() {
 	// instead of simulating in-process.
 	flag.StringVar(&o.daemonURL, "daemon", "", "iscoped base URL (e.g. http://127.0.0.1:8080): stream this run into the daemon instead of simulating locally")
 	flag.StringVar(&o.tenant, "tenant", "iscope-cli", "tenant name to create on the daemon (with -daemon)")
+	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 30*time.Second, "per-request timeout for daemon calls (with -daemon)")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", 5, "retry budget per daemon call for transport errors and 503s (with -daemon); submissions carry idempotency keys, so retries never duplicate jobs")
 	flag.Parse()
 
 	// A signal cancels the run cooperatively: the scheduler stops at
@@ -432,7 +436,7 @@ func runDaemon(ctx context.Context, o options) error {
 		}
 	}
 
-	c := &service.Client{BaseURL: o.daemonURL}
+	c := &service.Client{BaseURL: o.daemonURL, Timeout: o.rpcTimeout, Retries: o.rpcRetries}
 	if _, err := c.CreateTenant(ctx, spec); err != nil {
 		return fmt.Errorf("create tenant %q: %w", o.tenant, err)
 	}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bufio"
+
+	"iscope/internal/rng"
+	"iscope/internal/scheduler/testgrid"
+	"iscope/internal/service"
+)
+
+// minKills is how many SIGKILLs each chaos run must land mid-stream
+// before the workload is allowed to finish.
+const minKills = 10
+
+// chaosSeeds reads the seed list from ISCOPED_CHAOS_SEEDS (comma
+// separated), defaulting to one seed for the ordinary test run; CI
+// fans wider.
+func chaosSeeds(t *testing.T) []uint64 {
+	t.Helper()
+	env := os.Getenv("ISCOPED_CHAOS_SEEDS")
+	if env == "" {
+		env = "1"
+	}
+	var seeds []uint64
+	for _, f := range strings.Split(env, ",") {
+		s, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("ISCOPED_CHAOS_SEEDS: %v", err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// proc is one daemon process under chaos supervision.
+type proc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// launchProc starts the daemon and blocks until it advertises its
+// listening address (or dies trying).
+func launchProc(bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{cmd: cmd, done: make(chan error, 1)}
+	listening := make(chan struct{}, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "iscoped: listening on ") {
+				select {
+				case listening <- struct{}{}:
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	select {
+	case <-listening:
+		return p, nil
+	case err := <-p.done:
+		return nil, fmt.Errorf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("daemon never advertised an address")
+	}
+}
+
+// kill SIGKILLs the daemon — no warning, no flush, no shutdown hook —
+// and waits for the process to be fully gone.
+func (p *proc) kill() {
+	_ = p.cmd.Process.Kill()
+	<-p.done
+}
+
+// freePort reserves a loopback port and releases it for the daemon to
+// bind: the chaos client needs one stable URL across restarts.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonCrashRecovery is the crash-injection harness: a daemon is
+// SIGKILLed at randomized points while a retrying client streams a
+// job workload into it, a supervisor restarts it each time, and the
+// finished run must be byte-identical — final result JSON and
+// snapshot envelope — to an uninterrupted in-process run of the same
+// stream, with every job applied exactly once. Submissions ride on
+// stable idempotency keys, so a batch whose response died with the
+// daemon is retried without being double-applied; the test even
+// replays every batch a second time to prove the dedup window holds
+// across restarts.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs processes")
+	}
+	bin := buildDaemon(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, bin, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, bin string, seed uint64) {
+	stateDir := t.TempDir()
+	addr := freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	spec := service.TenantSpec{
+		Name: "chaos", Scheme: "ScanFair", Seed: 21 + seed, FleetSeed: 5, Procs: 8,
+		Wind: &service.WindSpec{Seed: 7, Days: 4, MeanFrac: 0.5},
+	}
+	jobs := testgrid.Jobs(t, 96, 30, 0.3).Jobs
+	subs := make([]service.JobSubmission, len(jobs))
+	for i, j := range jobs {
+		subs[i] = service.JobSubmission{
+			ID: j.ID, At: float64(j.Submit), Runtime: float64(j.Runtime),
+			Procs: j.Procs, Boundness: j.Boundness, Deadline: float64(j.Deadline),
+		}
+	}
+	const batchSize = 8
+	var batches [][]service.JobSubmission
+	for i := 0; i < len(subs); i += batchSize {
+		end := min(i+batchSize, len(subs))
+		batches = append(batches, subs[i:end])
+	}
+
+	// Supervisor: launch, sleep a randomized 30-150ms, SIGKILL, loop —
+	// until the workload reports done; then keep the last daemon alive
+	// for the finish phase.
+	var (
+		kills    atomic.Int64
+		stop     = make(chan struct{}) // workload → supervisor: stop killing
+		finalUp  = make(chan struct{}) // supervisor → workload: stable daemon is up
+		testDone = make(chan struct{})
+		supErr   = make(chan error, 1)
+	)
+	defer close(testDone)
+	go func() {
+		r := rng.Named(seed, "chaos-kill-delay")
+		for {
+			p, err := launchProc(bin, "-addr", addr, "-state", stateDir, "-wal-fsync", "always")
+			if err != nil {
+				supErr <- err
+				return
+			}
+			select {
+			case <-stop:
+				close(finalUp)
+				<-testDone
+				p.kill()
+				return
+			case <-time.After(time.Duration(30+r.IntN(120)) * time.Millisecond):
+				p.kill()
+				kills.Add(1)
+			}
+		}
+	}()
+
+	c := &service.Client{
+		BaseURL:    "http://" + addr,
+		Retries:    80,
+		Backoff:    20 * time.Millisecond,
+		MaxBackoff: 250 * time.Millisecond,
+		RetrySeed:  seed + 1,
+	}
+	if _, err := c.CreateTenant(ctx, spec); err != nil {
+		t.Fatalf("create under chaos: %v", err)
+	}
+	// Stream passes until enough kills landed. Pass 0 applies every
+	// batch; later passes retry the same idempotency keys, which must
+	// all dedup to the original outcome no matter how many crashes
+	// separate them from pass 0.
+	streamPass := func(throttle time.Duration) {
+		for i, batch := range batches {
+			if throttle > 0 {
+				// Pace the first pass so the kills spread across the
+				// fresh mutations, not just the dedup replays.
+				time.Sleep(throttle)
+			}
+			key := fmt.Sprintf("chaos-batch-%d", i)
+			if _, err := c.SubmitIdem(ctx, "chaos", key, batch); err != nil {
+				t.Fatalf("submit batch %d: %v", i, err)
+			}
+			if i+1 < len(batches) {
+				if to := batches[i+1][0].At - 1; to > 0 {
+					if _, err := c.Advance(ctx, "chaos", to); err != nil {
+						t.Fatalf("advance after batch %d: %v", i, err)
+					}
+				}
+			}
+			select {
+			case err := <-supErr:
+				t.Fatalf("supervisor: %v", err)
+			default:
+			}
+		}
+	}
+	passes := 0
+	for {
+		throttle := time.Duration(0)
+		if passes == 0 {
+			throttle = 25 * time.Millisecond
+		}
+		streamPass(throttle)
+		passes++
+		if kills.Load() >= minKills {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("deadline after %d passes with only %d/%d kills", passes, kills.Load(), minKills)
+		}
+		// Let the killer catch up instead of hammering dedup hits.
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	select {
+	case <-finalUp:
+	case err := <-supErr:
+		t.Fatalf("supervisor: %v", err)
+	case <-ctx.Done():
+		t.Fatal("timed out waiting for final daemon")
+	}
+	t.Logf("seed %d: survived %d kills over %d passes", seed, kills.Load(), passes)
+
+	// Finish on the stable daemon and capture both artifacts.
+	st, err := c.Status(ctx, "chaos")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Jobs != len(subs) {
+		t.Fatalf("duplicate or lost jobs: daemon has %d, stream had %d", st.Jobs, len(subs))
+	}
+	if err := c.Seal(ctx, "chaos"); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	got, err := c.Result(ctx, "chaos")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	gotSnap, err := c.Snapshot(ctx, "chaos")
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Uninterrupted in-process reference over the identical mutation
+	// sequence (retries and dedup hits are not mutations).
+	srv := service.New()
+	defer srv.Close()
+	ref := clientFor(t, srv)
+	if _, err := ref.CreateTenant(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i, batch := range batches {
+		if _, err := ref.Submit(ctx, "chaos", batch); err != nil {
+			t.Fatalf("reference submit %d: %v", i, err)
+		}
+		if i+1 < len(batches) {
+			if to := batches[i+1][0].At - 1; to > 0 {
+				if _, err := ref.Advance(ctx, "chaos", to); err != nil {
+					t.Fatalf("reference advance %d: %v", i, err)
+				}
+			}
+		}
+	}
+	if err := ref.Seal(ctx, "chaos"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Result(ctx, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := ref.Snapshot(ctx, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gotJSON, wantJSON := marshal(t, got), marshal(t, want); !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("crash-recovered result diverged from uninterrupted run:\nchaos %s\nref   %s", gotJSON, wantJSON)
+	}
+	if !bytes.Equal(gotSnap, wantSnap) {
+		t.Errorf("crash-recovered snapshot diverged: %d vs %d bytes", len(gotSnap), len(wantSnap))
+	}
+	if got.JobsCompleted != len(subs) {
+		t.Errorf("completed %d/%d jobs", got.JobsCompleted, len(subs))
+	}
+}

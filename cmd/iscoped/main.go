@@ -2,19 +2,23 @@
 // over an HTTP JSON API: create tenant simulations, stream job
 // submissions into them, advance their virtual clocks, and read live
 // state (clock, brownout stage, energy) — see internal/service for
-// the endpoint table and DESIGN.md §8 for the wire contract.
+// the endpoint table and DESIGN.md §8-§9 for the wire and durability
+// contracts.
 //
 // Usage:
 //
 //	iscoped -addr 127.0.0.1:8080
-//	iscoped -addr 127.0.0.1:0 -state /var/lib/iscoped
+//	iscoped -addr 127.0.0.1:0 -state /var/lib/iscoped -wal-fsync always
 //
-// With -state, SIGINT/SIGTERM snapshots every tenant (simulation
-// checkpoint + restart metadata) into the directory before exiting,
-// and the next start restores them — a restarted daemon continues
-// every stream bit-identically to an uninterrupted one. The daemon
-// prints "iscoped: listening on http://HOST:PORT" once the socket is
-// bound (so -addr :0 callers can discover the port).
+// With -state the daemon is crash-durable: every accepted mutation is
+// appended to a per-tenant write-ahead journal before the response is
+// sent, tenants are checkpointed on SIGINT/SIGTERM (and every
+// -checkpoint-every while serving), and startup replays the journal
+// suffix on top of the newest checkpoint — so even a kill -9 loses
+// nothing, and a restarted daemon continues every stream
+// bit-identically to an uninterrupted one. The daemon prints
+// "iscoped: listening on http://HOST:PORT" once the socket is bound
+// (so -addr :0 callers can discover the port).
 package main
 
 import (
@@ -30,22 +34,37 @@ import (
 	"time"
 
 	"iscope/internal/service"
+	"iscope/internal/wal"
 )
 
 func main() {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
-		state = flag.String("state", "", "snapshot directory: restore tenants from it on start, save all tenants into it on SIGINT/SIGTERM")
+		state = flag.String("state", "", "state directory: restore tenants (checkpoint + journal replay) on start, journal every mutation, checkpoint on SIGINT/SIGTERM")
+
+		walFsync = flag.String("wal-fsync", "always", "journal fsync policy: always (fsync before every response), interval (bounded by -wal-sync-interval), off (OS decides)")
+		walEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "max fsync gap under -wal-fsync=interval")
+		ckptEach = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; checkpoints compact the journals)")
+		maxInfl  = flag.Int("max-inflight", 0, "max concurrently served requests; excess requests get 503 + Retry-After (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *state); err != nil {
+	if err := run(*addr, *state, *walFsync, *walEvery, *ckptEach, *maxInfl); err != nil {
 		fmt.Fprintf(os.Stderr, "iscoped: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, state string) error {
-	srv := service.New()
+func run(addr, state, walFsync string, walEvery, ckptEach time.Duration, maxInflight int) error {
+	policy, err := wal.ParseSyncPolicy(walFsync)
+	if err != nil {
+		return err
+	}
+	srv := service.NewWithOptions(service.Options{
+		StateDir:     state,
+		Sync:         policy,
+		SyncInterval: walEvery,
+		MaxInflight:  maxInflight,
+	})
 	defer srv.Close()
 	if state != "" {
 		n, err := srv.LoadAll(state)
@@ -64,27 +83,49 @@ func run(addr, state string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// Real server timeouts: a client that dribbles its headers or
+	// never drains its response cannot pin a connection (and its
+	// in-flight slot) forever.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	select {
-	case err := <-serveErr:
-		return err
-	case <-ctx.Done():
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if state != "" && ckptEach > 0 {
+		ticker = time.NewTicker(ckptEach)
+		defer ticker.Stop()
+		tick = ticker.C
 	}
-	// Stop accepting requests, let in-flight ones finish, then persist
-	// a consistent snapshot of every tenant.
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		return err
-	}
-	if state != "" {
-		if err := srv.SaveAll(state); err != nil {
+	for {
+		select {
+		case err := <-serveErr:
 			return err
+		case <-tick:
+			if _, err := srv.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "iscoped: periodic checkpoint: %v\n", err)
+			}
+		case <-ctx.Done():
+			// Stop accepting requests, let in-flight ones finish, then
+			// persist a consistent checkpoint of every tenant.
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			if state != "" {
+				if err := srv.SaveAll(state); err != nil {
+					return err
+				}
+				fmt.Printf("iscoped: state saved to %s\n", state)
+			}
+			return nil
 		}
-		fmt.Printf("iscoped: state saved to %s\n", state)
 	}
-	return nil
 }

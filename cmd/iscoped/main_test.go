@@ -7,7 +7,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -62,10 +61,11 @@ type daemon struct {
 
 // startDaemon launches the binary on a fresh loopback port and parses
 // the advertised address from its stdout.
-func startDaemon(t *testing.T, bin, stateDir string) *daemon {
+func startDaemon(t *testing.T, bin, stateDir string, extra ...string) *daemon {
 	t.Helper()
 	d := &daemon{out: &lockedBuffer{}}
-	d.cmd = exec.Command(bin, "-addr", "127.0.0.1:0", "-state", stateDir)
+	args := append([]string{"-addr", "127.0.0.1:0", "-state", stateDir}, extra...)
+	d.cmd = exec.Command(bin, args...)
 	stdout, err := d.cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -179,8 +179,8 @@ func TestDaemonRestartResume(t *testing.T) {
 		t.Fatalf("pre-restart status: %+v", mid)
 	}
 	d1.terminate(t)
-	if _, err := os.Stat(filepath.Join(stateDir, "e2e.ckpt")); err != nil {
-		t.Fatalf("SIGTERM left no snapshot: %v", err)
+	if snaps, err := filepath.Glob(filepath.Join(stateDir, "e2e.*.ckpt")); err != nil || len(snaps) == 0 {
+		t.Fatalf("SIGTERM left no snapshot (err %v)", err)
 	}
 
 	// Phase 2: restart from the state dir, stream the rest, finish.

@@ -3,12 +3,20 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"iscope/internal/rng"
 	"iscope/internal/scheduler"
 )
 
@@ -17,23 +25,168 @@ import (
 // as *APIError values carrying the daemon's typed envelope, so a
 // caller can distinguish a throttled submission (429) from a sealed
 // stream (409) programmatically.
+//
+// The client is resilient by construction: every attempt runs under a
+// per-request timeout, transport failures and 503 shed responses are
+// retried with exponential backoff and deterministic jitter, and every
+// submission carries a client-generated idempotency key — so a retry
+// after an ambiguous failure (response lost after the daemon committed)
+// returns the original outcome instead of duplicating jobs.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTP is the transport; nil uses http.DefaultClient.
+	// HTTP is the transport; nil uses a shared client with a sane
+	// overall timeout.
 	HTTP *http.Client
+	// Timeout bounds each attempt (default 30s; negative disables).
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried (default
+	// 0: fail fast). Only transport errors, attempt timeouts, and 503
+	// responses are retried — a 4xx is a fact about the request, not
+	// the connection.
+	Retries int
+	// Backoff is the delay before the first retry (default 50ms),
+	// doubling each retry up to MaxBackoff (default 2s), each delay
+	// jittered in [0.5x, 1.5x).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// RetrySeed makes the backoff jitter deterministic for
+	// reproducible tests; 0 shares the idempotency-key entropy.
+	RetrySeed uint64
+
+	initOnce  sync.Once
+	keyPrefix string
+	keyN      atomic.Uint64
+	jmu       sync.Mutex
+	jitter    *rng.Rand
 }
+
+// defaultHTTPClient is the fallback transport. Unlike
+// http.DefaultClient it has an overall timeout, so even a caller that
+// configures nothing cannot hang forever on a wedged daemon.
+var defaultHTTPClient = &http.Client{Timeout: 60 * time.Second}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-// call runs one JSON round-trip. out may be nil for endpoints whose
-// body the caller ignores.
-func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) attemptTimeout() time.Duration {
+	switch {
+	case c.Timeout < 0:
+		return 0
+	case c.Timeout == 0:
+		return 30 * time.Second
+	default:
+		return c.Timeout
+	}
+}
+
+// init lazily derives the client's idempotency-key prefix and jitter
+// stream. The prefix comes from crypto/rand: two clients retrying the
+// same logical submission must not collide in the daemon's dedup
+// window.
+func (c *Client) init() {
+	c.initOnce.Do(func() {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			// Timestamp fallback; uniqueness only has to hold within
+			// one daemon's dedup window.
+			binaryPut(buf[:], uint64(time.Now().UnixNano()))
+		}
+		c.keyPrefix = hex.EncodeToString(buf[:])
+		seed := c.RetrySeed
+		if seed == 0 {
+			for _, b := range buf {
+				seed = seed<<8 | uint64(b)
+			}
+		}
+		c.jitter = rng.Named(seed, "client-retry-jitter")
+	})
+}
+
+func binaryPut(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// nextKey mints a fresh idempotency key: random client prefix plus a
+// monotonic counter.
+func (c *Client) nextKey() string {
+	c.init()
+	return c.keyPrefix + "-" + strconv.FormatUint(c.keyN.Add(1), 10)
+}
+
+// retryDelay computes the jittered exponential backoff before retry
+// attempt n (0-based).
+func (c *Client) retryDelay(n int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	d := base << uint(n)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	c.init()
+	c.jmu.Lock()
+	f := 0.5 + c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// retryable reports whether an attempt's failure might succeed on
+// retry: transport errors and attempt timeouts (the request may never
+// have arrived — or the response was lost after it did, which the
+// idempotency key makes safe to re-ask), and 503 (the daemon shed the
+// request or could not journal it; it said "retry"). Every other
+// APIError is a deterministic verdict about the request itself.
+func retryable(err error) bool {
+	var aerr *APIError
+	if errors.As(err, &aerr) {
+		return aerr.Status == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// call runs one JSON round-trip with retries. out may be nil for
+// endpoints whose body the caller ignores. It reports whether any
+// retry was attempted, so callers can disambiguate outcomes that only
+// a retry can produce (a 409 from our own successful create).
+func (c *Client) call(ctx context.Context, method, path string, in, out any, idemKey string) (retried bool, err error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			retried = true
+			select {
+			case <-time.After(c.retryDelay(attempt - 1)):
+			case <-ctx.Done():
+				return retried, fmt.Errorf("service client: %w", ctx.Err())
+			}
+		}
+		err = c.attempt(ctx, method, path, in, out, idemKey)
+		if err == nil {
+			return retried, nil
+		}
+		if attempt >= c.Retries || !retryable(err) || ctx.Err() != nil {
+			return retried, err
+		}
+	}
+}
+
+// attempt is one HTTP round-trip under the per-attempt timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, in, out any, idemKey string) error {
+	if t := c.attemptTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -48,6 +201,9 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -81,56 +237,78 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	return nil
 }
 
-// CreateTenant registers a new simulation.
+// CreateTenant registers a new simulation. A 409 that follows a retry
+// is resolved against the live tenant: if the name exists, our earlier
+// attempt committed before its response was lost, and the create is
+// reported as the success it was.
 func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (StatusResponse, error) {
 	var st StatusResponse
-	err := c.call(ctx, http.MethodPost, "/v1/tenants", spec, &st)
+	retried, err := c.call(ctx, http.MethodPost, "/v1/tenants", spec, &st, "")
+	var aerr *APIError
+	if err != nil && retried && errors.As(err, &aerr) && aerr.Status == http.StatusConflict {
+		if cur, serr := c.Status(ctx, spec.Name); serr == nil {
+			return cur, nil
+		}
+	}
 	return st, err
 }
 
 // DeleteTenant removes a tenant and releases its resources.
 func (c *Client) DeleteTenant(ctx context.Context, name string) error {
-	return c.call(ctx, http.MethodDelete, "/v1/tenants/"+name, nil, nil)
+	_, err := c.call(ctx, http.MethodDelete, "/v1/tenants/"+name, nil, nil, "")
+	return err
 }
 
 // ListTenants returns every tenant's live status, sorted by name.
 func (c *Client) ListTenants(ctx context.Context) ([]StatusResponse, error) {
 	var out []StatusResponse
-	err := c.call(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	_, err := c.call(ctx, http.MethodGet, "/v1/tenants", nil, &out, "")
 	return out, err
 }
 
 // Status reads one tenant's live view.
 func (c *Client) Status(ctx context.Context, name string) (StatusResponse, error) {
 	var st StatusResponse
-	err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name, nil, &st)
+	_, err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name, nil, &st, "")
 	return st, err
 }
 
-// Submit streams a batch of jobs, in order, into the tenant.
+// Submit streams a batch of jobs, in order, into the tenant under a
+// freshly minted idempotency key, so the configured retries can never
+// double-apply the batch.
 func (c *Client) Submit(ctx context.Context, name string, jobs []JobSubmission) (SubmitResponse, error) {
+	return c.SubmitIdem(ctx, name, c.nextKey(), jobs)
+}
+
+// SubmitIdem is Submit with a caller-chosen idempotency key, for
+// callers that manage their own retry horizon (a crash-recovery
+// harness resubmitting across daemon restarts keeps the key stable so
+// the batch applies at most once).
+func (c *Client) SubmitIdem(ctx context.Context, name, key string, jobs []JobSubmission) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/jobs", SubmitRequest{Jobs: jobs}, &out)
+	_, err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/jobs", SubmitRequest{Jobs: jobs}, &out, key)
 	return out, err
 }
 
 // Advance fires every event at or before to (virtual seconds) in one
-// tenant.
+// tenant. Advance is naturally idempotent — a retried advance to the
+// same time is a no-op — so it needs no key.
 func (c *Client) Advance(ctx context.Context, name string, to float64) (AdvanceResponse, error) {
 	var out AdvanceResponse
-	err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/advance", AdvanceRequest{To: to}, &out)
+	_, err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/advance", AdvanceRequest{To: to}, &out, "")
 	return out, err
 }
 
-// Seal closes the tenant's job stream.
+// Seal closes the tenant's job stream (idempotent server-side).
 func (c *Client) Seal(ctx context.Context, name string) error {
-	return c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/seal", nil, nil)
+	_, err := c.call(ctx, http.MethodPost, "/v1/tenants/"+name+"/seal", nil, nil, "")
+	return err
 }
 
 // Snapshot fetches the tenant's checkpoint envelope.
 func (c *Client) Snapshot(ctx context.Context, name string) ([]byte, error) {
 	var raw []byte
-	err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/snapshot", nil, &raw)
+	_, err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/snapshot", nil, &raw, "")
 	return raw, err
 }
 
@@ -138,8 +316,18 @@ func (c *Client) Snapshot(ctx context.Context, name string) ([]byte, error) {
 // measurements.
 func (c *Client) Result(ctx context.Context, name string) (*scheduler.Result, error) {
 	var res scheduler.Result
-	if err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/result", nil, &res); err != nil {
+	if _, err := c.call(ctx, http.MethodGet, "/v1/tenants/"+name+"/result", nil, &res, ""); err != nil {
 		return nil, err
 	}
 	return &res, nil
+}
+
+// Checkpoint asks a durable daemon to persist every tenant now and
+// returns how many were saved.
+func (c *Client) Checkpoint(ctx context.Context) (int, error) {
+	var out struct {
+		Checkpointed int `json:"checkpointed"`
+	}
+	_, err := c.call(ctx, http.MethodPost, "/v1/checkpoint", nil, &out, "")
+	return out.Checkpointed, err
 }

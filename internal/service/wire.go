@@ -210,6 +210,24 @@ func errThrottled(format string, args ...any) *APIError {
 	return &APIError{Status: http.StatusTooManyRequests, Code: "admission_rejected", Message: fmt.Sprintf(format, args...)}
 }
 
+func errOverloaded() *APIError {
+	return &APIError{Status: http.StatusServiceUnavailable, Code: "overloaded",
+		Message: "server is at its in-flight request limit; retry shortly"}
+}
+
+// marshalErrEnvelope renders the standard error envelope as raw bytes
+// for paths that store or forward the exact response body (the
+// idempotency window).
+func marshalErrEnvelope(aerr *APIError) json.RawMessage {
+	data, err := json.Marshal(struct {
+		Error *APIError `json:"error"`
+	}{aerr})
+	if err != nil {
+		return json.RawMessage(`{"error":{"code":"encode_failed","message":"error encoding failed"}}`)
+	}
+	return data
+}
+
 // maxBodyBytes bounds every request body; the largest legitimate
 // payload (a snapshot resume is served, never accepted) is a job
 // batch.

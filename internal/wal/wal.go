@@ -1,0 +1,501 @@
+// Package wal implements a crash-durable, append-only write-ahead
+// journal: length-prefixed records framed with CRC32C checksums and
+// contiguous monotonic sequence numbers, spread over rotating segment
+// files. The daemon appends every accepted mutation before it
+// acknowledges the request; after a hard crash (kill -9, OOM, power
+// loss) Open scans the segments, truncates any torn or corrupt tail,
+// and Replay hands the surviving suffix back for deterministic
+// re-application on top of the last checkpoint.
+//
+// On-disk layout: dir/seg-<%020d>.wal, the number being the sequence
+// of the segment's first record. Each record is
+//
+//	offset 0  uint32 LE  payload length
+//	offset 4  uint64 LE  sequence number
+//	offset 12 uint32 LE  CRC32C (Castagnoli) over bytes [4,12)+payload
+//	offset 16 payload
+//
+// Sequence numbers start at 1 and are contiguous across segments; a
+// gap, a checksum mismatch, an oversized length, or a short read all
+// mark the end of the valid prefix — the file is truncated there and
+// any later segments are deleted. Compact(upTo) deletes whole
+// segments made redundant by a checkpoint; an empty segment named
+// with the next sequence is left behind so the counter survives a
+// full compaction.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives kill -9 and power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval of wall
+	// time; a crash can lose up to one interval of acknowledged
+	// records (they come back as client retries instead).
+	SyncInterval
+	// SyncOff never fsyncs explicitly; durability degrades to
+	// whatever the OS page cache flushes. Survives process crashes,
+	// not power loss.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a journal; the zero value is a safe default.
+type Options struct {
+	// Policy selects the fsync discipline (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the maximum wall time between fsyncs under
+	// SyncInterval (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a fresh segment once the active one
+	// reaches this size (default 1 MiB).
+	SegmentBytes int64
+	// MaxRecordBytes bounds a single payload; larger appends error
+	// and larger on-disk lengths are treated as corruption (default
+	// 4 MiB).
+	MaxRecordBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 4 << 20
+	}
+	return o
+}
+
+const (
+	headerBytes = 16
+	segPrefix   = "seg-"
+	segSuffix   = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one on-disk file: [first, last] sequence numbers, with
+// last == first-1 for an empty segment (the compaction placeholder).
+type segment struct {
+	path  string
+	first uint64
+	last  uint64
+	size  int64
+}
+
+// Journal is an open write-ahead log. It is not safe for concurrent
+// use; the service serializes every touch under its per-tenant mutex.
+type Journal struct {
+	dir       string
+	opts      Options
+	segments  []segment // closed segments, oldest first; never empty files
+	active    *os.File  // tail segment, open for append
+	activeSeg segment
+	nextSeq   uint64
+	lastSync  time.Time
+	dirty     bool // unsynced appends outstanding
+}
+
+// Open scans dir (creating it if absent), truncates any torn or
+// corrupt tail, and returns the journal positioned to append after
+// the last valid record. Open never loses a record that a SyncAlways
+// append acknowledged, and never fails on torn or corrupt bytes — it
+// recovers the longest valid prefix.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, opts: opts, nextSeq: 1}
+	for i, name := range names {
+		seg, clean, err := j.scanSegment(filepath.Join(dir, name), i == 0)
+		if err != nil {
+			return nil, err
+		}
+		if seg.path != "" {
+			j.segments = append(j.segments, seg)
+			j.nextSeq = seg.last + 1
+		}
+		if !clean {
+			// The valid prefix ended inside (or before) this segment:
+			// everything after it is unreachable — delete it.
+			for _, later := range names[i+1:] {
+				if err := os.Remove(filepath.Join(dir, later)); err != nil {
+					return nil, fmt.Errorf("wal: drop orphaned segment: %w", err)
+				}
+			}
+			break
+		}
+	}
+	if err := j.openTail(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// segmentNames lists dir's segment files in sequence order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		if _, err := segFirstSeq(name); err != nil {
+			continue // not a segment, leave it alone
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names) // zero-padded, so lexical == numeric
+	return names, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func segFirstSeq(name string) (uint64, error) {
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	return strconv.ParseUint(digits, 10, 64)
+}
+
+// scanSegment walks one segment validating every frame. It returns
+// the surviving segment bounds (path empty if the whole file was
+// unreachable and removed) and whether the segment ended cleanly —
+// an unclean end truncates the file in place, and the caller deletes
+// all later segments.
+func (j *Journal) scanSegment(path string, isFirst bool) (segment, bool, error) {
+	first, err := segFirstSeq(filepath.Base(path))
+	if err != nil {
+		return segment{}, false, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if !isFirst && first != j.nextSeq {
+		// A segment whose name does not continue the sequence is
+		// unreachable garbage (e.g. a crash between compaction steps).
+		if err := os.Remove(path); err != nil {
+			return segment{}, false, fmt.Errorf("wal: drop out-of-sequence segment: %w", err)
+		}
+		return segment{}, false, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segment{}, false, fmt.Errorf("wal: %w", err)
+	}
+	seq := first
+	offset := 0
+	for {
+		n, ok := validFrame(data[offset:], seq, j.opts.MaxRecordBytes)
+		if !ok {
+			break
+		}
+		offset += n
+		seq++
+	}
+	clean := offset == len(data)
+	if !clean {
+		if err := os.Truncate(path, int64(offset)); err != nil {
+			return segment{}, false, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	return segment{path: path, first: first, last: seq - 1, size: int64(offset)}, clean, nil
+}
+
+// validFrame reports whether data begins with a complete, checksummed
+// frame carrying exactly seq, and that frame's total length.
+func validFrame(data []byte, seq uint64, maxRecord int) (int, bool) {
+	if len(data) < headerBytes {
+		return 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if int64(plen) > int64(maxRecord) {
+		return 0, false
+	}
+	total := headerBytes + int(plen)
+	if len(data) < total {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(data[4:12]) != seq {
+		return 0, false
+	}
+	sum := crc32.Update(0, castagnoli, data[4:12])
+	sum = crc32.Update(sum, castagnoli, data[headerBytes:total])
+	if binary.LittleEndian.Uint32(data[12:16]) != sum {
+		return 0, false
+	}
+	return total, true
+}
+
+// openTail resumes appending to the last recovered segment when it
+// has room, else starts a fresh one. Called once per Open, so the
+// active file descriptor always exists afterwards.
+func (j *Journal) openTail() error {
+	n := len(j.segments)
+	if n == 0 || j.segments[n-1].size >= j.opts.SegmentBytes {
+		return j.rotate()
+	}
+	tail := j.segments[n-1]
+	f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	j.segments = j.segments[:n-1]
+	j.active = f
+	j.activeSeg = tail
+	return nil
+}
+
+// LastSeq returns the sequence of the most recent record (0 for an
+// empty journal).
+func (j *Journal) LastSeq() uint64 { return j.nextSeq - 1 }
+
+// Append frames payload, writes it to the active segment, and applies
+// the fsync policy. It returns the record's sequence number. The
+// payload is copied; the caller may reuse the slice.
+func (j *Journal) Append(payload []byte) (uint64, error) {
+	if j.active == nil {
+		return 0, fmt.Errorf("wal: append to a closed journal")
+	}
+	if len(payload) > j.opts.MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), j.opts.MaxRecordBytes)
+	}
+	if j.activeSeg.size >= j.opts.SegmentBytes {
+		if err := j.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	seq := j.nextSeq
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:12], seq)
+	copy(frame[headerBytes:], payload)
+	sum := crc32.Update(0, castagnoli, frame[4:12])
+	sum = crc32.Update(sum, castagnoli, frame[headerBytes:])
+	binary.LittleEndian.PutUint32(frame[12:16], sum)
+	if _, err := j.active.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	j.nextSeq++
+	j.activeSeg.last = seq
+	j.activeSeg.size += int64(len(frame))
+	j.dirty = true
+	switch j.opts.Policy {
+	case SyncAlways:
+		if err := j.Sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(j.lastSync) >= j.opts.Interval {
+			if err := j.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// rotate closes the active segment (if any, and only when non-empty)
+// and opens a fresh one named after the next sequence number.
+func (j *Journal) rotate() (err error) {
+	if j.active != nil {
+		if err := j.Sync(); err != nil {
+			return err
+		}
+		if err := j.active.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		j.active = nil
+		if j.activeSeg.last >= j.activeSeg.first {
+			j.segments = append(j.segments, j.activeSeg)
+		} else if err := os.Remove(j.activeSeg.path); err != nil {
+			// An empty active segment is superseded by the one about
+			// to be created under the same name; remove is a no-op
+			// guard against leaving two handles on one path.
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	seg := segment{path: filepath.Join(j.dir, segName(j.nextSeq)), first: j.nextSeq, last: j.nextSeq - 1}
+	j.active, err = os.OpenFile(seg.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	j.activeSeg = seg
+	j.dirty = true // the (possibly empty) new file itself
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	return j.syncDir()
+}
+
+// Sync flushes outstanding appends to stable storage.
+func (j *Journal) Sync() error {
+	if j.active == nil || !j.dirty {
+		return nil
+	}
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	j.dirty = false
+	j.lastSync = time.Now()
+	return nil
+}
+
+// syncDir fsyncs the journal directory so segment creation and
+// deletion survive a crash (SyncAlways only; the cheaper policies
+// accept losing a rename).
+func (j *Journal) syncDir() error {
+	if j.opts.Policy != SyncAlways {
+		return nil
+	}
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Replay streams every record with sequence strictly greater than
+// after, in order, to fn. It reads from disk, so it sees exactly what
+// recovery would see; fn's error aborts the walk.
+func (j *Journal) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	for _, seg := range j.allSegments() {
+		if seg.last < seg.first || seg.last <= after {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		offset := 0
+		for seq := seg.first; seq <= seg.last; seq++ {
+			n, ok := validFrame(data[offset:], seq, j.opts.MaxRecordBytes)
+			if !ok {
+				return fmt.Errorf("wal: replay: segment %s corrupt at record %d (journal mutated underfoot?)", seg.path, seq)
+			}
+			if seq > after {
+				if err := fn(seq, data[offset+headerBytes:offset+n]); err != nil {
+					return err
+				}
+			}
+			offset += n
+		}
+	}
+	return nil
+}
+
+func (j *Journal) allSegments() []segment {
+	all := append([]segment(nil), j.segments...)
+	if j.active != nil {
+		all = append(all, j.activeSeg)
+	}
+	return all
+}
+
+// Compact removes whole segments whose records are all covered by a
+// checkpoint at sequence upTo. A segment straddling upTo survives
+// (replay skips its prefix); if every record is covered, the fresh
+// empty active segment left behind is named with the next sequence,
+// keeping the counter monotonic across restarts.
+func (j *Journal) Compact(upTo uint64) error {
+	if j.active != nil && j.activeSeg.first <= j.activeSeg.last && j.activeSeg.last <= upTo {
+		// The active segment itself is fully covered: rotate so it
+		// becomes a closed segment deletable below.
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	kept := j.segments[:0]
+	for _, seg := range j.segments {
+		if seg.first <= seg.last && seg.last <= upTo {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	j.segments = append([]segment(nil), kept...)
+	return j.syncDir()
+}
+
+// Close flushes and releases the journal. The directory remains valid
+// for a later Open.
+func (j *Journal) Close() error {
+	if j.active == nil {
+		return nil
+	}
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	err := j.active.Close()
+	j.active = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes a closed journal's directory entirely (tenant
+// deletion).
+func Remove(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("wal: remove: %w", err)
+	}
+	return nil
+}
+
+// Segments reports how many segment files back the journal right now
+// (compaction and rotation observability for tests).
+func (j *Journal) Segments() int { return len(j.allSegments()) }

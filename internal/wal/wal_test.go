@@ -1,0 +1,430 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// payloads synthesizes n deterministic, varied-length payloads.
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 5+(i*37)%97)
+		for k := range p {
+			p[k] = byte(i + k*7)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// fill appends each payload and asserts the returned sequences are
+// 1..n (or continue from the journal's current tail).
+func fill(t *testing.T, j *Journal, pays [][]byte) {
+	t.Helper()
+	base := j.LastSeq()
+	for i, p := range pays {
+		seq, err := j.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := base + uint64(i) + 1; seq != want {
+			t.Fatalf("append %d returned seq %d, want %d", i, seq, want)
+		}
+	}
+}
+
+// collect replays records after the given sequence into a slice.
+func collect(t *testing.T, j *Journal, after uint64) (seqs []uint64, pays [][]byte) {
+	t.Helper()
+	err := j.Replay(after, func(seq uint64, payload []byte) error {
+		seqs = append(seqs, seq)
+		pays = append(pays, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return seqs, pays
+}
+
+// copyDir clones a journal directory so destructive experiments work
+// on a scratch copy.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force several rotations inside 40 records.
+	opts := Options{SegmentBytes: 256, Policy: SyncOff}
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pays := payloads(40)
+	fill(t, j, pays)
+	if j.LastSeq() != 40 {
+		t.Fatalf("LastSeq = %d, want 40", j.LastSeq())
+	}
+	if j.Segments() < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", j.Segments())
+	}
+	seqs, got := collect(t, j, 0)
+	if len(seqs) != 40 || seqs[0] != 1 || seqs[39] != 40 {
+		t.Fatalf("replay sequences %v", seqs)
+	}
+	for i := range pays {
+		if !bytes.Equal(got[i], pays[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	// Suffix replay: only records after 25.
+	seqs, _ = collect(t, j, 25)
+	if len(seqs) != 15 || seqs[0] != 26 {
+		t.Fatalf("suffix replay sequences %v", seqs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: identical view, appends continue the sequence.
+	j2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastSeq() != 40 {
+		t.Fatalf("reopened LastSeq = %d, want 40", j2.LastSeq())
+	}
+	seqs, _ = collect(t, j2, 0)
+	if len(seqs) != 40 {
+		t.Fatalf("reopened replay saw %d records", len(seqs))
+	}
+	if seq, err := j2.Append([]byte("post-reopen")); err != nil || seq != 41 {
+		t.Fatalf("post-reopen append: seq %d err %v", seq, err)
+	}
+}
+
+// TestTornTailEveryOffset is the crash-atomicity property: truncating
+// the journal at every byte offset inside the final record must
+// recover exactly the prefix, never panic, and leave the journal
+// appendable with the orphaned sequence number reissued.
+func TestTornTailEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	opts := Options{SegmentBytes: 1 << 20, Policy: SyncOff} // one segment
+	j, err := Open(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	pays := payloads(n)
+	fill(t, j, pays)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segmentNames(src)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	segPath := segs[0]
+	full, err := os.ReadFile(filepath.Join(src, segPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := headerBytes + len(pays[n-1])
+	recStart := len(full) - lastLen
+
+	for cut := recStart; cut < len(full); cut++ {
+		dir := copyDir(t, src)
+		if err := os.Truncate(filepath.Join(dir, segPath), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if j.LastSeq() != n-1 {
+			t.Fatalf("cut %d: LastSeq = %d, want %d", cut, j.LastSeq(), n-1)
+		}
+		seqs, got := collect(t, j, 0)
+		if len(seqs) != n-1 {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(seqs), n-1)
+		}
+		for i := 0; i < n-1; i++ {
+			if !bytes.Equal(got[i], pays[i]) {
+				t.Fatalf("cut %d: payload %d corrupted by recovery", cut, i)
+			}
+		}
+		// The torn record was never acknowledged; its sequence is
+		// reissued to the retry.
+		if seq, err := j.Append([]byte("retry")); err != nil || seq != n {
+			t.Fatalf("cut %d: append after recovery: seq %d err %v", cut, seq, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if j2.LastSeq() != n {
+			t.Fatalf("cut %d: reopened LastSeq = %d, want %d", cut, j2.LastSeq(), n)
+		}
+		j2.Close()
+	}
+}
+
+// TestCorruptByteDropsTail: flipping any single byte of the final
+// record invalidates exactly the records from that point on.
+func TestCorruptByteDropsTail(t *testing.T) {
+	src := t.TempDir()
+	opts := Options{SegmentBytes: 1 << 20, Policy: SyncOff}
+	j, err := Open(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	pays := payloads(n)
+	fill(t, j, pays)
+	j.Close()
+	segs, _ := segmentNames(src)
+	full, err := os.ReadFile(filepath.Join(src, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := headerBytes + len(pays[n-1])
+	recStart := len(full) - lastLen
+	for off := recStart; off < len(full); off += 3 {
+		dir := copyDir(t, src)
+		path := filepath.Join(dir, segs[0])
+		data := append([]byte(nil), full...)
+		data[off] ^= 0x5a
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("off %d: open: %v", off, err)
+		}
+		// A flipped length byte can only shrink the valid prefix; it
+		// must never admit a record whose checksum does not match.
+		if j.LastSeq() > n-1 {
+			t.Fatalf("off %d: corrupt record surfaced as valid (LastSeq %d)", off, j.LastSeq())
+		}
+		seqs, got := collect(t, j, 0)
+		for i := range seqs {
+			if !bytes.Equal(got[i], pays[i]) {
+				t.Fatalf("off %d: surviving payload %d corrupted", off, i)
+			}
+		}
+		j.Close()
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 200, Policy: SyncOff}
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pays := payloads(30)
+	fill(t, j, pays)
+	before := j.Segments()
+	if before < 3 {
+		t.Fatalf("want several segments, got %d", before)
+	}
+	// Checkpoint covered the first 17 records.
+	if err := j.Compact(17); err != nil {
+		t.Fatal(err)
+	}
+	if j.Segments() >= before {
+		t.Fatalf("compaction removed nothing (%d -> %d segments)", before, j.Segments())
+	}
+	seqs, got := collect(t, j, 17)
+	if len(seqs) == 0 || seqs[0] != 18 || seqs[len(seqs)-1] != 30 {
+		t.Fatalf("post-compact suffix %v", seqs)
+	}
+	for i, seq := range seqs {
+		if !bytes.Equal(got[i], pays[seq-1]) {
+			t.Fatalf("post-compact payload for seq %d corrupted", seq)
+		}
+	}
+
+	// Full compaction: everything covered, counter must survive a
+	// reopen via the placeholder segment.
+	if err := j.Compact(30); err != nil {
+		t.Fatal(err)
+	}
+	if last := j.LastSeq(); last != 30 {
+		t.Fatalf("LastSeq after full compaction = %d, want 30", last)
+	}
+	if seqs, _ := collect(t, j, 0); len(seqs) != 0 {
+		t.Fatalf("fully compacted journal still replays %v", seqs)
+	}
+	j.Close()
+	j2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastSeq() != 30 {
+		t.Fatalf("reopened LastSeq after full compaction = %d, want 30", j2.LastSeq())
+	}
+	if seq, err := j2.Append([]byte("after")); err != nil || seq != 31 {
+		t.Fatalf("append after full compaction: seq %d err %v", seq, err)
+	}
+}
+
+func TestOutOfSequenceSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 1 << 20, Policy: SyncOff}
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, j, payloads(3))
+	j.Close()
+	// A stray segment claiming to start at sequence 50 does not
+	// continue the log; recovery must drop it, not replay it.
+	stray := filepath.Join(dir, segName(50))
+	if err := os.WriteFile(stray, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", j2.LastSeq())
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray segment survived recovery: %v", err)
+	}
+}
+
+func TestSyncPolicyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"off", SyncOff}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() round-trip: %q -> %q", tc.in, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// TestSyncPolicies exercises the always and interval fsync paths (off
+// is the default in the other tests).
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, Options{Policy: policy, Interval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill(t, j, payloads(5))
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := Open(dir, Options{Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if j2.LastSeq() != 5 {
+				t.Fatalf("LastSeq = %d, want 5", j2.LastSeq())
+			}
+		})
+	}
+}
+
+// TestOversizedRecordRejected: an Append beyond MaxRecordBytes fails
+// without disturbing the journal.
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{MaxRecordBytes: 64, Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := j.Append(make([]byte, 65)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	if seq, err := j.Append([]byte("ok")); err != nil || seq != 1 {
+		t.Fatalf("append after rejection: seq %d err %v", seq, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	j, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, j, payloads(2))
+	j.Close()
+	if err := Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("journal dir survived Remove: %v", err)
+	}
+}
+
+// TestReplayAbortsOnCallbackError: fn's error propagates immediately.
+func TestReplayAbortsOnCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	fill(t, j, payloads(5))
+	calls := 0
+	errStop := fmt.Errorf("stop")
+	if err := j.Replay(0, func(uint64, []byte) error {
+		calls++
+		if calls == 2 {
+			return errStop
+		}
+		return nil
+	}); err != errStop {
+		t.Fatalf("replay error = %v, want errStop", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}
