@@ -9,7 +9,7 @@
 //	experiments -daemon http://127.0.0.1:8080 -jobs 600 -procs 240
 //
 // Available targets: table1, table2, fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablations, online, percore, brownout, all.
+// fig9, fig10, ablations, online, percore, brownout, telemetry, all.
 //
 // With -daemon URL the command skips the local pipeline and instead
 // runs a per-scheme comparison against a live iscoped daemon: one
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated targets (table1,table2,fig4..fig10,ablations,online,percore,brownout,all)")
+		run     = flag.String("run", "all", "comma-separated targets (table1,table2,fig4..fig10,ablations,online,percore,brownout,telemetry,all)")
 		scale   = flag.String("scale", "default", "experiment scale: quick, default, paper")
 		seed    = flag.Uint64("seed", 42, "master random seed")
 		procs   = flag.Int("procs", 0, "override fleet size")
@@ -102,7 +102,7 @@ func main() {
 
 	targets := strings.Split(*run, ",")
 	if *run == "all" {
-		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore", "brownout"}
+		targets = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "online", "percore", "brownout", "telemetry"}
 	}
 
 	// Profiles flush on every exit path below — including the
@@ -357,8 +357,15 @@ func runOne(target string, opt experiments.Options, csvDir, plotDir string) erro
 		if r, err = experiments.BrownoutStudy(opt); err == nil {
 			err = r.WriteText(os.Stdout)
 		}
+	case "telemetry":
+		var r *experiments.TelemetryStudyResult
+		if r, err = experiments.TelemetryStudy(opt); err == nil {
+			if err = r.WriteText(os.Stdout); err == nil {
+				err = writeCSV(csvDir, "telemetry", r)
+			}
+		}
 	default:
-		return fmt.Errorf("unknown target (want table1, table2, fig4..fig10, ablations, online, percore, brownout, all)")
+		return fmt.Errorf("unknown target (want table1, table2, fig4..fig10, ablations, online, percore, brownout, telemetry, all)")
 	}
 	if err != nil {
 		return err

@@ -69,6 +69,10 @@ type options struct {
 	falsePass     float64
 	fadePerDay    float64
 
+	// Telemetry section.
+	telemetry     bool
+	telemetrySpec string
+
 	// Brownout/invariants section.
 	brownout     bool
 	brownoutSpec string
@@ -118,6 +122,11 @@ func main() {
 	flag.Float64Var(&o.dropouts, "dropouts", 0, "renewable derating windows per day (0 = class off)")
 	flag.Float64Var(&o.falsePass, "false-pass", 0, "fraction of the fleet with optimistic scan reports (0 = class off)")
 	flag.Float64Var(&o.fadePerDay, "fade", 0, "daily battery capacity fade fraction (0 = class off)")
+
+	// Telemetry: replace the scheduler's oracle view of power with
+	// deterministic noisy sensors and a disaggregating estimator.
+	flag.BoolVar(&o.telemetry, "telemetry", false, "drive the scheduler from simulated power sensors (noise, drift, quantization, dropouts) instead of true watts")
+	flag.StringVar(&o.telemetrySpec, "telemetry-spec", "", "sensor-environment overrides as key=value pairs (interval, noise, drift, quant, node, dropouts, dropmean, stuck, spikes, spikemag, margin, horizon); implies -telemetry")
 
 	// Brownout ladder: staged graceful degradation under supply
 	// deficit, with an optional inline runtime-verification monitor.
@@ -269,6 +278,14 @@ func run(ctx context.Context, o options) (err error) {
 	}
 	cfg.Faults = o.faultSpec()
 
+	if o.telemetry || o.telemetrySpec != "" {
+		spec, err := iscope.ParseTelemetrySpec(o.telemetrySpec)
+		if err != nil {
+			return err
+		}
+		cfg.Telemetry = &spec
+	}
+
 	if o.brownout || o.brownoutSpec != "" {
 		if !o.useWind {
 			return fmt.Errorf("-brownout watches the renewable supply; it needs -wind")
@@ -303,7 +320,7 @@ func run(ctx context.Context, o options) (err error) {
 		return err
 	}
 
-	if err := printSummary(res, cfg.Brownout != nil, cfg.Invariants != nil, cfg.Faults != nil); err != nil {
+	if err := printSummary(res, cfg.Brownout != nil, cfg.Invariants != nil, cfg.Faults != nil, cfg.Telemetry != nil && cfg.Telemetry.Enabled()); err != nil {
 		return err
 	}
 
@@ -322,7 +339,7 @@ func run(ctx context.Context, o options) (err error) {
 // printSummary renders the result table shared by the local and
 // -daemon paths; the booleans select which optional sections the run
 // actually configured.
-func printSummary(res *iscope.Result, showBrownout, showInvariants, showFaults bool) error {
+func printSummary(res *iscope.Result, showBrownout, showInvariants, showFaults, showTelemetry bool) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "scheme\t%s\n", res.Scheme)
 	fmt.Fprintf(tw, "jobs completed\t%d (%d deadline violations)\n", res.JobsCompleted, res.DeadlineViolations)
@@ -360,6 +377,19 @@ func printSummary(res *iscope.Result, showBrownout, showInvariants, showFaults b
 				iv.Violations, iv.Checks, iv.First)
 		}
 	}
+	if showTelemetry {
+		ts := res.Telemetry
+		fmt.Fprintf(tw, "telemetry\t%d sensors, %d samples, estimation error %.1f%% mean / %.1f%% max, %s stale in dropouts\n",
+			ts.Sensors, ts.Samples, 100*ts.MeanAbsErr, 100*ts.MaxAbsErr, ts.DropoutSeconds)
+		if ts.GuardTrips > 0 {
+			suffix := ""
+			if ts.GuardActive {
+				suffix = "; still degraded at end of run"
+			}
+			fmt.Fprintf(tw, "telemetry: guard\t%d trips, %s on factory-bin assumptions%s\n",
+				ts.GuardTrips, ts.GuardSeconds, suffix)
+		}
+	}
 	if showFaults {
 		fs := res.Faults
 		fmt.Fprintf(tw, "faults: crashes\t%d (%d requeues, %.1f node-hours in repair)\n",
@@ -389,6 +419,7 @@ func runDaemon(ctx context.Context, o options) error {
 		{"-online", o.online},
 		{"-battery", o.battery > 0},
 		{"-faults (or a fault class flag)", o.faultSpec() != nil},
+		{"-telemetry", o.telemetry || o.telemetrySpec != ""},
 		{"-brownout-spec", o.brownoutSpec != ""},
 		{"-checkpoint", o.checkpointPath != ""},
 		{"-resume", o.resumePath != ""},
@@ -466,7 +497,7 @@ func runDaemon(ctx context.Context, o options) error {
 	}
 	fmt.Printf("daemon: tenant %q on %s — %d jobs streamed, virtual clock %s\n",
 		o.tenant, o.daemonURL, streamed, iscope.Seconds(st.Now))
-	if err := printSummary(res, o.brownout, o.invariants, false); err != nil {
+	if err := printSummary(res, o.brownout, o.invariants, false, false); err != nil {
 		return err
 	}
 	// The run is read out; free the daemon-side tenant.

@@ -39,7 +39,10 @@ const Magic = "ISCK"
 // the reserve fraction to battery state. Version 3 made run snapshots
 // self-contained for streaming: every job snapshot carries its full
 // definition, and arrival events occupy a reserved low sequence band.
-const Version uint16 = 3
+// Version 4 added the telemetry section (sensor read state and the
+// estimated power view) and the invariant monitor's advisory-warning
+// counters.
+const Version uint16 = 4
 
 const headerLen = 4 + 2 + 8 // magic + version + payload length
 

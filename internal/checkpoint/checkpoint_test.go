@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -105,6 +106,35 @@ func TestFutureVersionRejected(t *testing.T) {
 	}
 	if err == nil || len(err.Error()) == 0 {
 		t.Fatal("want a descriptive error message")
+	}
+}
+
+// TestFutureVersionWellFormedRejected is the forward-compatibility
+// contract: an envelope from a NEWER build — version bumped AND its
+// checksum recomputed, so the file is perfectly intact — must be
+// rejected with the typed ErrVersion (not misclassified as corruption)
+// and must leave the destination payload completely untouched. A
+// downgraded reader never partially restores state it cannot interpret.
+func TestFutureVersionWellFormedRejected(t *testing.T) {
+	data, err := Encode(samplePayload())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	future := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(future[4:6], Version+1)
+	body := future[:len(future)-4]
+	binary.LittleEndian.PutUint32(future[len(body):], crc32.Checksum(body, castagnoli))
+
+	var out payload
+	err = Decode(future, &out)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("Decode(well-formed future version) = %v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrChecksum) {
+		t.Fatal("well-formed future envelope misclassified as corruption")
+	}
+	if out.Name != "" || out.Count != 0 || out.Values != nil {
+		t.Fatalf("future-version decode partially restored the payload: %+v", out)
 	}
 }
 

@@ -262,6 +262,23 @@ func (dc *Datacenter) Demand() units.Watts { return dc.demand }
 // PowerModel returns the datacenter's power model.
 func (dc *Datacenter) PowerModel() *power.Model { return dc.pm }
 
+// ProcDraw returns the power processor id is currently booked at in
+// the aggregate demand: its running slice's captured draw, its offline
+// (profiling/repair) draw, or zero when idle. Summing ProcDraw over
+// the fleet reproduces Demand exactly — it reads the same incremental
+// bookkeeping — which is what lets a sensor layer aggregate true
+// per-node power without a second accounting path.
+func (dc *Datacenter) ProcDraw(id int) units.Watts {
+	p := dc.Procs[id]
+	if p.offline {
+		return p.offlineDraw
+	}
+	if p.current != nil {
+		return p.current.draw
+	}
+	return 0
+}
+
 // ProcPower returns the total draw (with cooling) of processor id
 // running at the given level under the datacenter's voltage regime.
 // Results are memoized per (id, level); see InvalidatePower.

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTelemetryStudy is the estimation-error acceptance check: the
+// oracle level must reproduce the paper's Scan advantage, error levels
+// must actually produce estimation error and never a ground-truth
+// invariant violation, and the sensors' sampling must be live at every
+// non-oracle level.
+func TestTelemetryStudy(t *testing.T) {
+	r, err := TelemetryStudy(QuickOptions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(telemetryLevels) {
+		t.Fatalf("rows = %d, want %d levels", len(r.Rows), len(telemetryLevels))
+	}
+	for _, row := range r.Rows {
+		for scheme, v := range row.Violations {
+			if v != 0 {
+				t.Errorf("%s/%s: %d ground-truth invariant violations", row.Level, scheme, v)
+			}
+		}
+		for scheme, e := range row.MeanAbsErr {
+			if row.ErrorScale == 0 && e != 0 {
+				t.Errorf("%s/%s: oracle level reports estimation error %v", row.Level, scheme, e)
+			}
+			if row.ErrorScale > 0 && e == 0 {
+				t.Errorf("%s/%s: error level produced zero estimation error", row.Level, scheme)
+			}
+		}
+	}
+	oracle := r.Row("oracle")
+	if oracle == nil {
+		t.Fatal("missing oracle row")
+	}
+	if oracle.Advantage <= 0 {
+		t.Errorf("oracle ScanEffi-over-BinEffi advantage %.2f kWh; profiled knowledge must pay with perfect sensors", oracle.Advantage)
+	}
+}
+
+func TestTelemetryCSVGolden(t *testing.T) {
+	r, err := TelemetryStudy(QuickOptions(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "telemetry_quick32.golden.csv", buf.Bytes())
+}

@@ -102,11 +102,13 @@ func (e *ViolationError) Error() string {
 
 // Monitor evaluates checks and applies the configured action.
 type Monitor struct {
-	cfg        Config
-	lastNow    units.Seconds
-	checks     int
-	dropped    int
-	violations []Violation
+	cfg         Config
+	lastNow     units.Seconds
+	checks      int
+	dropped     int
+	violations  []Violation
+	warnings    []Violation
+	warnDropped int
 }
 
 // New builds a monitor with defaults applied.
@@ -153,6 +155,20 @@ func (m *Monitor) Checkf(name string, now units.Seconds, ok bool, format string,
 	return m.fail(Violation{Name: name, Time: now, Detail: fmt.Sprintf(format, args...)})
 }
 
+// Warnf records a named advisory condition — a degradation the system
+// detected and responded to, not a correctness failure. Warnings are
+// always recorded regardless of the configured Action (a fail-fast
+// chaos harness must not abort because the telemetry guard engaged as
+// designed) and are counted separately from the violation catalog.
+func (m *Monitor) Warnf(name string, now units.Seconds, format string, args ...any) {
+	v := Violation{Name: name, Time: now, Detail: fmt.Sprintf(format, args...)}
+	if len(m.warnings) < m.cfg.MaxRecorded {
+		m.warnings = append(m.warnings, v)
+	} else {
+		m.warnDropped++
+	}
+}
+
 // Within reports |a-b| <= tol * max(|a|, |b|, floor) — a relative
 // comparison with an absolute floor so near-zero quantities do not
 // demand impossible precision.
@@ -164,6 +180,9 @@ func Within(a, b, tol, floor float64) bool {
 // Violations returns the recorded violations (bounded by MaxRecorded).
 func (m *Monitor) Violations() []Violation { return m.violations }
 
+// Warnings returns the recorded advisories (bounded by MaxRecorded).
+func (m *Monitor) Warnings() []Violation { return m.warnings }
+
 // Report is the monitor's end-of-run summary, embedded in the
 // scheduler's Result.
 type Report struct {
@@ -174,6 +193,11 @@ type Report struct {
 	Dropped    int
 	// First describes the earliest recorded violation, "" when clean.
 	First string
+	// Warnings counts recorded advisories (Warnf); FirstWarning
+	// describes the earliest one. Advisories are degradations the
+	// system handled, kept out of the violation catalog.
+	Warnings     int
+	FirstWarning string
 }
 
 // Report summarizes the monitor's lifetime.
@@ -182,39 +206,49 @@ func (m *Monitor) Report() Report {
 		Checks:     m.checks,
 		Violations: len(m.violations) + m.dropped,
 		Dropped:    m.dropped,
+		Warnings:   len(m.warnings) + m.warnDropped,
 	}
 	if len(m.violations) > 0 {
 		r.First = m.violations[0].String()
+	}
+	if len(m.warnings) > 0 {
+		r.FirstWarning = m.warnings[0].String()
 	}
 	return r
 }
 
 // State is a monitor snapshot for checkpointing.
 type State struct {
-	LastNow    units.Seconds
-	Checks     int
-	Dropped    int
-	Violations []Violation
+	LastNow     units.Seconds
+	Checks      int
+	Dropped     int
+	Violations  []Violation
+	Warnings    []Violation
+	WarnDropped int
 }
 
 // CaptureState snapshots the monitor's mutable state.
 func (m *Monitor) CaptureState() State {
 	return State{
-		LastNow:    m.lastNow,
-		Checks:     m.checks,
-		Dropped:    m.dropped,
-		Violations: append([]Violation(nil), m.violations...),
+		LastNow:     m.lastNow,
+		Checks:      m.checks,
+		Dropped:     m.dropped,
+		Violations:  append([]Violation(nil), m.violations...),
+		Warnings:    append([]Violation(nil), m.warnings...),
+		WarnDropped: m.warnDropped,
 	}
 }
 
 // RestoreState overlays a snapshot onto a freshly built monitor.
 func (m *Monitor) RestoreState(st State) error {
-	if st.Checks < 0 || st.Dropped < 0 {
+	if st.Checks < 0 || st.Dropped < 0 || st.WarnDropped < 0 {
 		return fmt.Errorf("invariants: invalid snapshot counters")
 	}
 	m.lastNow = st.LastNow
 	m.checks = st.Checks
 	m.dropped = st.Dropped
 	m.violations = append([]Violation(nil), st.Violations...)
+	m.warnings = append([]Violation(nil), st.Warnings...)
+	m.warnDropped = st.WarnDropped
 	return nil
 }

@@ -230,6 +230,32 @@ type BrownoutStats struct {
 	ForcedReleases int
 }
 
+// TelemetryStats is the sensor layer's degradation ledger: how wrong
+// the scheduler's power view was, how long sensors were dark, and how
+// often the misestimation guard degraded scheduling to conservative
+// factory-bin assumptions.
+type TelemetryStats struct {
+	// Samples counts sensor sampling ticks; Sensors is the aggregate
+	// sensor (node) count.
+	Samples int
+	Sensors int
+	// MeanAbsErr/MaxAbsErr summarize the relative estimation error
+	// |est - true| / true of fleet demand at sample ticks (ticks with
+	// zero true demand are excluded from the mean).
+	MeanAbsErr float64
+	MaxAbsErr  float64
+	// DropoutSeconds integrates sensor-seconds spent serving stale
+	// last-known values (one sensor dark for one interval contributes
+	// one interval).
+	DropoutSeconds units.Seconds
+	// GuardTrips counts transitions into the conservative fallback;
+	// GuardSeconds is the total time spent there, and GuardActive
+	// reports whether the run ended degraded.
+	GuardTrips   int
+	GuardSeconds units.Seconds
+	GuardActive  bool
+}
+
 // TracePoint is one sample of the Figure 7 power trace.
 type TracePoint struct {
 	Time    units.Seconds

@@ -77,7 +77,7 @@ func (s *sim) brownoutAdvance(now units.Seconds) {
 func (s *sim) brownoutEvaluate(now units.Seconds) {
 	b := s.brown
 	s.brownoutAdvance(now)
-	demand := float64(s.dc.Demand())
+	demand := float64(s.viewDemand())
 	shortfall := 0.0
 	if demand > 0 {
 		shortfall = (demand - float64(s.curWind)) / demand
@@ -130,13 +130,13 @@ func (s *sim) applyReserveFloor(stage brownout.Stage) {
 // the true one, so the cores they slow first really are the fleet's
 // most wasteful.
 func (s *sim) brownoutDownlevel(now units.Seconds) {
-	if s.dc.Demand() <= s.curWind {
+	if s.viewDemand() <= s.curWind {
 		return
 	}
 	order := s.efficiencyOrder()
 	budget := int(math.Ceil(s.brown.cfg.DownlevelFrac * float64(len(order))))
 	for i := len(order) - 1; i >= 0 && budget > 0; i-- {
-		if s.dc.Demand() <= s.curWind {
+		if s.viewDemand() <= s.curWind {
 			return
 		}
 		sl := s.dc.Procs[order[i]].Current()
@@ -160,7 +160,7 @@ func (s *sim) brownoutShed(now units.Seconds) {
 	order := s.efficiencyOrder()
 	for _, urg := range []workload.Urgency{workload.LowUrgency, workload.HighUrgency} {
 		for i := len(order) - 1; i >= 0; i-- {
-			if s.dc.Demand() <= s.curWind {
+			if s.viewDemand() <= s.curWind {
 				return
 			}
 			id := order[i]

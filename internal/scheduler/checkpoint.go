@@ -13,6 +13,7 @@ import (
 	"iscope/internal/invariants"
 	"iscope/internal/metrics"
 	"iscope/internal/profiling"
+	"iscope/internal/telemetry"
 	"iscope/internal/units"
 	"iscope/internal/workload"
 )
@@ -35,6 +36,7 @@ const (
 	tagRepaired                      // A = processor id
 	tagMargin                        // A = slice serial, B = generation, C = level
 	tagReprofiled                    // A = processor id, FP* = the tripped false pass
+	tagTelemetry                     // periodic sensor sampling tick
 )
 
 // eventTag is the serializable descriptor of one pending event. A
@@ -124,6 +126,21 @@ type faultSnap struct {
 	RepairSince   []units.Seconds
 }
 
+// telemSnap captures the sensor-and-estimation runtime. The compiled
+// sensor plan is omitted: telemetry.Compile is deterministic in
+// (spec, procs, seed), so resume rebuilds an identical plan; only the
+// dynamic read state and the estimated power view travel.
+type telemSnap struct {
+	Stats        metrics.TelemetryStats
+	ErrSum       float64
+	ErrN         int
+	Model        telemetry.State
+	DemandFactor float64
+	NodeRatio    []float64
+	Guarded      bool
+	GuardSince   units.Seconds
+}
+
 // runSnapshot is the complete simulation state at one instant. Every
 // accumulated float is stored verbatim; nothing is re-derived on
 // restore except what is provably bit-identical to re-derive (the
@@ -161,9 +178,10 @@ type runSnapshot struct {
 	SlicesDone int
 	SliceSeq   int
 
-	Faults   []faultSnap        // zero or one
-	Brownout []brownSnap        // zero or one
-	Monitor  []invariants.State // zero or one
+	Faults    []faultSnap        // zero or one
+	Brownout  []brownSnap        // zero or one
+	Monitor   []invariants.State // zero or one
+	Telemetry []telemSnap        // zero or one
 }
 
 // cfgHash fingerprints every RunConfig field that shapes the
@@ -227,6 +245,12 @@ func hashCfgFields(put func(string, ...any), cfg *RunConfig) {
 	}
 	if cfg.Faults != nil {
 		put("faults=%+v", *cfg.Faults)
+	}
+	// A disabled telemetry spec constructs no state and perturbs no
+	// decision, so its checkpoints stay interchangeable with the oracle
+	// path's; only an active spec pins the hash.
+	if cfg.Telemetry != nil && cfg.Telemetry.Enabled() {
+		put("telemetry=%+v", *cfg.Telemetry)
 	}
 	if cfg.Brownout != nil {
 		put("brownout=%+v", *cfg.Brownout)
@@ -346,6 +370,23 @@ func (s *sim) snapshot() (*runSnapshot, error) {
 	}
 	if s.mon != nil {
 		snap.Monitor = []invariants.State{s.mon.CaptureState()}
+	}
+	if s.telem != nil {
+		t := s.telem
+		mstate, err := t.model.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+		snap.Telemetry = []telemSnap{{
+			Stats:        t.stats,
+			ErrSum:       t.errSum,
+			ErrN:         t.errN,
+			Model:        mstate,
+			DemandFactor: t.demandFactor,
+			NodeRatio:    append([]float64(nil), t.nodeRatio...),
+			Guarded:      t.guarded,
+			GuardSince:   t.guardSince,
+		}}
 	}
 	return snap, nil
 }
@@ -540,6 +581,29 @@ func (s *sim) restore(data []byte) error {
 		return fmt.Errorf("scheduler: resume: invariant-monitor presence mismatch")
 	}
 
+	switch {
+	case s.telem != nil && len(snap.Telemetry) == 1:
+		ts := snap.Telemetry[0]
+		t := s.telem
+		if err := t.model.RestoreState(ts.Model); err != nil {
+			return fmt.Errorf("scheduler: resume: %w", err)
+		}
+		if len(ts.NodeRatio) != len(t.nodeRatio) {
+			return fmt.Errorf("scheduler: resume: telemetry node count mismatch: snapshot %d, config %d", len(ts.NodeRatio), len(t.nodeRatio))
+		}
+		t.stats = ts.Stats
+		t.errSum = ts.ErrSum
+		t.errN = ts.ErrN
+		t.demandFactor = ts.DemandFactor
+		copy(t.nodeRatio, ts.NodeRatio)
+		t.guarded = ts.Guarded
+		t.guardSince = ts.GuardSince
+	case s.telem == nil && len(snap.Telemetry) == 0:
+		// telemetry disabled on both sides
+	default:
+		return fmt.Errorf("scheduler: resume: telemetry presence mismatch")
+	}
+
 	// Rebuild the event queue with original (at, seq) pairs.
 	s.eng.Reset(snap.Now, snap.Seq)
 	ckptRestored := false
@@ -592,6 +656,11 @@ func (s *sim) validateTag(tag eventTag, slices map[int]*cluster.Slice) (bool, er
 	case tagSample:
 		if s.sampler == nil {
 			return false, fmt.Errorf("sampler tick with sampling disabled")
+		}
+		return true, nil
+	case tagTelemetry:
+		if s.telem == nil {
+			return false, fmt.Errorf("telemetry tick with telemetry disabled")
 		}
 		return true, nil
 	case tagCheckpoint:

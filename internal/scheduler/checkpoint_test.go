@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"reflect"
 	"testing"
 
@@ -306,8 +307,13 @@ func TestResumeRejectsCorruptSnapshots(t *testing.T) {
 		t.Errorf("corrupt snapshot: got %v, want ErrChecksum", err)
 	}
 
+	// The future-version envelope is kept well-formed (checksum
+	// recomputed), so rejection provably happens on the version field,
+	// not as a checksum side effect.
 	future := append([]byte(nil), snap...)
 	binary.LittleEndian.PutUint16(future[4:6], checkpoint.Version+1)
+	body := future[:len(future)-4]
+	binary.LittleEndian.PutUint32(future[len(body):], crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
 	re.Resume = future
 	if _, err := Run(fleet, sch, re); !errors.Is(err, checkpoint.ErrVersion) {
 		t.Errorf("future-version snapshot: got %v, want ErrVersion", err)

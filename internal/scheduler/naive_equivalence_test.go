@@ -56,6 +56,13 @@ func TestOptimizedMatchesNaiveReference(t *testing.T) {
 			cfg.EnableRebalance = true
 			cfg.Brownout = testgrid.AggressiveBrownout()
 		}},
+		// Active sensor errors steer every power-view seam (matching,
+		// abundance, admission, brownout pressure) through the estimated
+		// path, so a naive/optimized divergence there surfaces here.
+		{"telemetry", func(cfg *RunConfig) {
+			cfg.Faults = denseFaults()
+			cfg.Telemetry = testgrid.HostileTelemetry(7)
+		}},
 	}
 	for _, v := range variants {
 		v := v

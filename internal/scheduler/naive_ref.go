@@ -190,7 +190,7 @@ func (s *sim) naiveRebalance(now units.Seconds) {
 // the comparators and a fresh changed slice per tick.
 func (s *sim) naiveMatch(now units.Seconds) []*cluster.Slice {
 	target := s.curWind
-	demand := s.dc.Demand()
+	demand := s.viewDemand()
 	var changed []*cluster.Slice
 
 	switch {
@@ -206,7 +206,7 @@ func (s *sim) naiveMatch(now units.Seconds) []*cluster.Slice {
 			return running[a].ProcID < running[b].ProcID
 		})
 		for _, sl := range running {
-			if s.dc.Demand() <= target {
+			if s.viewDemand() <= target {
 				break
 			}
 			// Slowing the running slice also delays everything queued
@@ -215,7 +215,7 @@ func (s *sim) naiveMatch(now units.Seconds) []*cluster.Slice {
 			// are facing violation of their deadlines", Section V.C).
 			maxDelay := s.dc.QueueSlack(sl.ProcID, now)
 			lowered := false
-			for sl.Level > 0 && s.dc.Demand() > target {
+			for sl.Level > 0 && s.viewDemand() > target {
 				nl := sl.Level - 1
 				nf := s.dc.FinishAtLevel(sl, nl, now)
 				if d := sl.Job.Deadline; d > 0 && nf > d {
@@ -248,8 +248,8 @@ func (s *sim) naiveMatch(now units.Seconds) []*cluster.Slice {
 		for _, sl := range running {
 			raised := false
 			for sl.Level < sl.AssignedLevel {
-				delta := s.dc.ProcPower(sl.ProcID, sl.Level+1) - s.dc.ProcPower(sl.ProcID, sl.Level)
-				if float64(s.dc.Demand())+float64(delta) > float64(target) {
+				delta := s.viewProcPower(sl.ProcID, sl.Level+1) - s.viewProcPower(sl.ProcID, sl.Level)
+				if float64(s.viewDemand())+float64(delta) > float64(target) {
 					break
 				}
 				s.dc.SetLevel(sl, sl.Level+1, now)

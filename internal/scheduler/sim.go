@@ -16,6 +16,7 @@ import (
 	"iscope/internal/profiling"
 	"iscope/internal/rng"
 	"iscope/internal/simulator"
+	"iscope/internal/telemetry"
 	"iscope/internal/units"
 	"iscope/internal/wind"
 	"iscope/internal/workload"
@@ -73,6 +74,17 @@ type RunConfig struct {
 	// violations, and battery capacity fade. nil — or a spec with no
 	// active class — leaves the run bit-identical to a fault-free one.
 	Faults *faults.Spec
+	// Telemetry optionally inserts the sensor-and-estimation layer
+	// between the power model and the scheduler: per-node aggregate
+	// sensors with a seed-driven error model, and a power view derived
+	// from their readings that every supply-tracking decision (matching,
+	// brownout pressure, fairness mode, level selection) flies on. The
+	// metrics account and the invariant monitor keep integrating ground
+	// truth. nil — or a spec with no active error source — leaves the
+	// run bit-identical to the oracle path: perfect sensors carry
+	// exactly the information the scheduler's self-model already has,
+	// so the layer is elided entirely.
+	Telemetry *telemetry.Spec
 	// RandomCOP draws each processor's cooling coefficient from the
 	// Greenberg et al. distribution the paper cites (normal on
 	// [0.6, 3.5], mean COP) instead of using a uniform value —
@@ -220,6 +232,9 @@ type Result struct {
 	// the monitor is disabled).
 	Brownout   metrics.BrownoutStats
 	Invariants invariants.Report
+
+	// Telemetry is the sensor layer's ledger (zero when disabled).
+	Telemetry metrics.TelemetryStats
 }
 
 type jobState struct {
@@ -260,6 +275,9 @@ type sim struct {
 
 	// faults is the active fault-injection state, nil when disabled.
 	faults *faultState
+
+	// telem is the sensor-and-estimation layer, nil when disabled.
+	telem *telemState
 
 	// brown is the brownout ladder's runtime, nil when disabled; mon is
 	// the invariant monitor, nil when disabled. invErr latches the first
@@ -566,6 +584,12 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig, streaming bool) (*sim, e
 			return nil, err
 		}
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Enabled() {
+		s.telem, err = newTelemState(cfg, fleet)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if scanner != nil {
 		s.onlineActive = true
 		s.online = cfg.Online.withDefaults()
@@ -631,6 +655,12 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig, streaming bool) (*sim, e
 		_ = s.eng.ScheduleTag(0, eventTag{Kind: tagSample})
 	}
 
+	// Sensor sampling ticks. The first read waits one interval: at t=0
+	// nothing runs, so there is no power to estimate yet.
+	if s.telem != nil {
+		_ = s.eng.AfterTag(s.telem.spec.SampleInterval, eventTag{Kind: tagTelemetry})
+	}
+
 	// Fault plan events (no-op schedule when faults are disabled).
 	if s.faults != nil {
 		s.scheduleFaultEvents()
@@ -670,6 +700,9 @@ func (s *sim) assembleResult() (*Result, error) {
 	if s.brown != nil {
 		s.finalizeBrownout(s.eng.Now())
 	}
+	if s.telem != nil {
+		s.finalizeTelemetry(s.eng.Now())
+	}
 	s.finishInvariants(s.eng.Now())
 	if s.invErr != nil {
 		return nil, s.invErr
@@ -706,6 +739,9 @@ func (s *sim) assembleResult() (*Result, error) {
 	if s.mon != nil {
 		res.Invariants = s.mon.Report()
 	}
+	if s.telem != nil {
+		res.Telemetry = s.telem.stats
+	}
 	res.MeanSlowdown, res.P95Slowdown, res.MeanWait = s.qualityMetrics()
 	if s.account.Battery != nil {
 		res.BatteryFinalSoC = s.account.Battery.SoC()
@@ -733,6 +769,8 @@ func (s *sim) dispatch(tag eventTag, now units.Seconds) {
 		s.onAuxTick(now)
 	case tagSample:
 		s.onSample(now)
+	case tagTelemetry:
+		s.onTelemetry(now)
 	case tagCheckpoint:
 		s.onCheckpointTick(now)
 	case tagCompletion:
@@ -1073,7 +1111,7 @@ func (s *sim) windAbundant() bool {
 	if s.cfg.Wind == nil || s.curWind <= 0 || math.IsInf(s.cfg.FairTheta, 1) {
 		return false
 	}
-	return float64(s.curWind) >= s.cfg.FairTheta*float64(s.dc.Demand())
+	return float64(s.curWind) >= s.cfg.FairTheta*float64(s.viewDemand())
 }
 
 // leastUsedOrder sorts processors by accumulated utilization time
@@ -1150,7 +1188,7 @@ func (s *sim) chooseLevel(id int, j *workload.Job, maxTime units.Seconds, abunda
 		if maxTime > 0 && t > maxTime {
 			continue
 		}
-		e := float64(s.know.EstPower(id, l)) * float64(t)
+		e := float64(s.estPower(id, l)) * float64(t)
 		if e < bestE {
 			bestE = e
 			best = l
@@ -1403,14 +1441,14 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 		return s.naiveMatch(now)
 	}
 	target := s.curWind
-	demand := s.dc.Demand()
+	demand := s.viewDemand()
 	changed := s.changedBuf[:0]
 
 	switch {
 	case demand > target && target > 0:
 		running := s.sortRunningBySlack(now, true)
 		for _, sl := range running {
-			if s.dc.Demand() <= target {
+			if s.viewDemand() <= target {
 				break
 			}
 			// Slowing the running slice also delays everything queued
@@ -1419,7 +1457,7 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 			// are facing violation of their deadlines", Section V.C).
 			maxDelay := s.dc.QueueSlack(sl.ProcID, now)
 			lowered := false
-			for sl.Level > 0 && s.dc.Demand() > target {
+			for sl.Level > 0 && s.viewDemand() > target {
 				nl := sl.Level - 1
 				nf := s.dc.FinishAtLevel(sl, nl, now)
 				if d := sl.Job.Deadline; d > 0 && nf > d {
@@ -1451,8 +1489,8 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 		for _, sl := range running {
 			raised := false
 			for sl.Level < sl.AssignedLevel {
-				delta := s.dc.ProcPower(sl.ProcID, sl.Level+1) - s.dc.ProcPower(sl.ProcID, sl.Level)
-				if float64(s.dc.Demand())+float64(delta) > float64(target) {
+				delta := s.viewProcPower(sl.ProcID, sl.Level+1) - s.viewProcPower(sl.ProcID, sl.Level)
+				if float64(s.viewDemand())+float64(delta) > float64(target) {
 					break
 				}
 				s.dc.SetLevel(sl, sl.Level+1, now)

@@ -85,6 +85,15 @@ func TestStepLoopMatchesBatchRun(t *testing.T) {
 			cfg.EnableRebalance = true
 			cfg.Brownout = testgrid.AggressiveBrownout()
 		}},
+		// HostileTelemetry pins its own horizon, so the head-only and
+		// full-trace runs compile identical sensor plans (the default
+		// would derive from each config trace's last submit).
+		{"telemetry", func(cfg *RunConfig) {
+			spec := testgrid.DenseFaults()
+			spec.Horizon = units.Days(2)
+			cfg.Faults = spec
+			cfg.Telemetry = testgrid.HostileTelemetry(7)
+		}},
 	}
 	for _, v := range variants {
 		v := v

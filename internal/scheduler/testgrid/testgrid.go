@@ -20,6 +20,7 @@ import (
 	"iscope/internal/brownout"
 	"iscope/internal/faults"
 	"iscope/internal/rng"
+	"iscope/internal/telemetry"
 	"iscope/internal/units"
 	"iscope/internal/wind"
 	"iscope/internal/workload"
@@ -96,6 +97,30 @@ func ChaosSpec(seed uint64) *faults.Spec {
 		FadeInterval:   units.Hours(r.Uniform(2, 6)),
 		FadeFrac:       r.Uniform(0.01, 0.1),
 		Horizon:        units.Hours(12),
+	}
+}
+
+// HostileTelemetry draws a randomized hostile sensor spec for the
+// chaos harness: heavy noise and drift, coarse quantization, and every
+// fault class (dropouts, stuck-at, spikes) active at rates well above
+// anything a production fleet would tolerate. The guard margin is kept
+// tight so the misestimation guard actually trips within the run. The
+// horizon is pinned explicitly so resumed/streaming runs agree on it.
+func HostileTelemetry(seed uint64) *telemetry.Spec {
+	r := rng.Named(seed, "hostile-telemetry")
+	return &telemetry.Spec{
+		SampleInterval:  units.Seconds(r.Uniform(30, 120)),
+		NoiseFrac:       r.Uniform(0.05, 0.15),
+		DriftFracPerDay: r.Uniform(0.1, 0.4),
+		QuantStep:       r.Uniform(5, 25),
+		ProcsPerNode:    2 + int(r.Uniform(0, 3)),
+		DropoutsPerDay:  r.Uniform(12, 30),
+		DropoutMeanDur:  units.Minutes(r.Uniform(10, 45)),
+		StuckFrac:       r.Uniform(0.1, 0.3),
+		SpikesPerDay:    r.Uniform(6, 20),
+		SpikeFrac:       r.Uniform(0.4, 0.9),
+		GuardMargin:     r.Uniform(0.05, 0.12),
+		Horizon:         units.Hours(18),
 	}
 }
 

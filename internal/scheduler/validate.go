@@ -64,6 +64,11 @@ func (cfg *RunConfig) validate(streaming bool) error {
 			return &ConfigError{Field: "Faults", Reason: err.Error()}
 		}
 	}
+	if cfg.Telemetry != nil {
+		if err := cfg.Telemetry.Validate(); err != nil {
+			return &ConfigError{Field: "Telemetry", Reason: err.Error()}
+		}
+	}
 	if cfg.Checkpoint != nil {
 		if cfg.Checkpoint.Sink == nil {
 			return &ConfigError{Field: "Checkpoint", Reason: "checkpoint config without a sink"}

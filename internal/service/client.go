@@ -47,7 +47,10 @@ type Client struct {
 	Retries int
 	// Backoff is the delay before the first retry (default 50ms),
 	// doubling each retry up to MaxBackoff (default 2s), each delay
-	// jittered in [0.5x, 1.5x).
+	// jittered in [0.5x, 1.5x). When a 503 response carries a
+	// Retry-After header, the server's figure is used for that retry
+	// instead — the daemon knows how long its shed or journal stall
+	// will last; the client's schedule is a guess.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 	// RetrySeed makes the backoff jitter deterministic for
@@ -142,6 +145,48 @@ func (c *Client) retryDelay(n int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// maxRetryAfter bounds how long a server-sent Retry-After can hold
+// the client: a typo'd or hostile header must not park a retry loop
+// for an hour.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter reads a Retry-After header value — integer seconds
+// or an HTTP-date — into a bounded delay. Absent, malformed, zero and
+// past values all yield 0, which falls back to the backoff schedule.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = time.Until(at)
+	}
+	if d <= 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// retryWait picks the delay before retry attempt n (0-based): the
+// server's Retry-After figure when the previous failure carried one,
+// the jittered exponential backoff otherwise.
+func (c *Client) retryWait(prev error, n int) time.Duration {
+	var aerr *APIError
+	if errors.As(prev, &aerr) && aerr.RetryAfter > 0 {
+		return aerr.RetryAfter
+	}
+	return c.retryDelay(n)
+}
+
 // retryable reports whether an attempt's failure might succeed on
 // retry: transport errors and attempt timeouts (the request may never
 // have arrived — or the response was lost after it did, which the
@@ -165,7 +210,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ide
 		if attempt > 0 {
 			retried = true
 			select {
-			case <-time.After(c.retryDelay(attempt - 1)):
+			case <-time.After(c.retryWait(err, attempt-1)):
 			case <-ctx.Done():
 				return retried, fmt.Errorf("service client: %w", ctx.Err())
 			}
@@ -220,6 +265,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, in, out any, 
 		}
 		if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
 			env.Error.Status = resp.StatusCode
+			env.Error.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			return env.Error
 		}
 		return fmt.Errorf("service client: %s %s: status %d: %s", method, path, resp.StatusCode, raw)

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shed503 answers every request with a 503 envelope carrying the given
+// Retry-After header value ("" omits the header), until the counter
+// passes failures, after which it returns an empty tenant list.
+func shed503(failures int64, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeErr(w, errOverloaded())
+			return
+		}
+		writeJSON(w, http.StatusOK, []StatusResponse{})
+	}))
+	return srv, &calls
+}
+
+// TestClientSurfacesRetryAfter pins the parse path: a 503 with a
+// Retry-After header comes back as an *APIError carrying the server's
+// figure, so the retry loop (and any caller managing its own schedule)
+// can honor it.
+func TestClientSurfacesRetryAfter(t *testing.T) {
+	srv, _ := shed503(1<<62, "2")
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL} // Retries: 0 — fail fast, no sleeping
+	_, err := c.ListTenants(context.Background())
+	var aerr *APIError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("got %v, want *APIError", err)
+	}
+	if aerr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", aerr.Status)
+	}
+	if aerr.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", aerr.RetryAfter)
+	}
+}
+
+// TestRetryWaitPrefersServerHint covers the delay selection: a server
+// hint wins over the backoff schedule, and errors without one fall
+// back to the jittered exponential.
+func TestRetryWaitPrefersServerHint(t *testing.T) {
+	c := &Client{Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, RetrySeed: 7}
+	hinted := &APIError{Status: 503, RetryAfter: 2 * time.Second}
+	if got := c.retryWait(hinted, 0); got != 2*time.Second {
+		t.Fatalf("retryWait(hinted) = %v, want the server's 2s", got)
+	}
+	bare := &APIError{Status: 503}
+	if got := c.retryWait(bare, 0); got < 25*time.Millisecond || got > 75*time.Millisecond {
+		t.Fatalf("retryWait(bare) = %v, want jittered backoff in [25ms, 75ms)", got)
+	}
+	if got := c.retryWait(errors.New("conn refused"), 0); got < 25*time.Millisecond || got > 75*time.Millisecond {
+		t.Fatalf("retryWait(transport) = %v, want jittered backoff in [25ms, 75ms)", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"garbage", 0},
+		{"0", 0},
+		{"-3", 0},
+		{"1", time.Second},
+		{" 2 ", 2 * time.Second},
+		{"999999", maxRetryAfter},
+		// An HTTP-date in the past must not produce a negative wait.
+		{time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// A future HTTP-date rounds to roughly the remaining interval.
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got < 80*time.Second || got > 91*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want ~90s", got)
+	}
+}
+
+// TestClientHonorsRetryAfterEndToEnd proves the header steers the live
+// retry loop: the client's own backoff is configured absurdly long, so
+// the call only completes quickly because the server's 1-second hint
+// took precedence.
+func TestClientHonorsRetryAfterEndToEnd(t *testing.T) {
+	srv, calls := shed503(1, "1")
+	defer srv.Close()
+	c := &Client{
+		BaseURL:    srv.URL,
+		Retries:    2,
+		Backoff:    time.Minute, // would jitter to >= 30s if honored
+		MaxBackoff: time.Minute,
+		RetrySeed:  7,
+	}
+	start := time.Now()
+	if _, err := c.ListTenants(context.Background()); err != nil {
+		t.Fatalf("ListTenants after shed: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 900*time.Millisecond {
+		t.Fatalf("retry fired after %v, before the server's 1s Retry-After", elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("retry took %v; the client fell back to its own %v backoff", elapsed, c.Backoff)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (shed + honored retry)", got)
+	}
+}

@@ -157,6 +157,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, aerr *APIError) {
+	// Every 503 carries a Retry-After hint: the condition is transient
+	// by definition (shed or journal stall), and the client's retry
+	// loop prefers the server's figure over its own backoff schedule.
+	if aerr.Status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, aerr.Status, struct {
 		Error *APIError `json:"error"`
 	}{aerr})

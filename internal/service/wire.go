@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"time"
 
 	"iscope/internal/units"
 	"iscope/internal/workload"
@@ -186,6 +187,10 @@ type APIError struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfter is the server's Retry-After hint, when the response
+	// carried one (typically on 503). Transport metadata like Status:
+	// filled by the client from the header, never serialized.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }

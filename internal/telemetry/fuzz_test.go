@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// FuzzTelemetrySpec hardens the -telemetry-spec parser and the model
+// compiler behind it: arbitrary spec strings must either be rejected
+// with an error or parse to a Spec that validates, survives a defaults
+// round-trip, and compiles — in bounded time — to a model whose every
+// dropout window and spike lies inside the horizon with sane payloads.
+func FuzzTelemetrySpec(f *testing.F) {
+	f.Add("", uint64(1))
+	f.Add("noise=0.1,drift=0.05,dropouts=6,stuck=0.1,margin=0.2", uint64(2))
+	f.Add("interval=30s,dropmean=5m,horizon=12h,quant=2.5,node=8", uint64(3))
+	f.Add("noise=NaN", uint64(4))
+	f.Add("drift=+Inf,spikes=1e308", uint64(5))
+	f.Add("noise=0.02,noise=0.9", uint64(6))
+	f.Add("spikes=3,spikemag=0.8,horizon=1e9", uint64(7))
+	f.Add(",,=,a=b=c", uint64(8))
+	f.Fuzz(func(t *testing.T, raw string, seed uint64) {
+		spec, err := ParseSpec(raw)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) returned an invalid spec: %v", raw, verr)
+		}
+		wd := spec.WithDefaults()
+		if verr := wd.Validate(); verr != nil {
+			t.Fatalf("WithDefaults broke validity for %q: %v", raw, verr)
+		}
+		// Keep the fuzzer inside the regime where Compile should succeed
+		// on valid specs in bounded time: modest fleet, bounded horizon.
+		if spec.Horizon > units.Days(10) {
+			spec.Horizon = units.Seconds(math.Mod(float64(spec.Horizon), float64(units.Days(10))))
+		}
+		if spec.Horizon <= 0 {
+			spec.Horizon = units.Days(1)
+		}
+		m, err := Compile(spec, 16, seed)
+		if err != nil {
+			// An active spec may only be rejected here for a missing
+			// horizon, which we just filled.
+			t.Fatalf("Compile rejected validated spec %q: %v", raw, err)
+		}
+		for i, ws := range m.drops {
+			prev := units.Seconds(0)
+			for j, w := range ws {
+				if w.Start < prev || w.End <= w.Start || w.End > m.spec.Horizon {
+					t.Fatalf("node %d window %d malformed: %+v (horizon %v)", i, j, w, m.spec.Horizon)
+				}
+				prev = w.End
+			}
+		}
+		for i, sp := range m.spikes {
+			prev := units.Seconds(0)
+			for j, s := range sp {
+				if s.At < prev || s.At >= m.spec.Horizon {
+					t.Fatalf("node %d spike %d out of order or range: %+v", i, j, s)
+				}
+				if math.IsNaN(s.Factor) || s.Factor < 0 {
+					t.Fatalf("node %d spike %d factor %v", i, j, s.Factor)
+				}
+				prev = s.At
+			}
+		}
+		for i, at := range m.stuckAt {
+			if at >= 0 && at > m.spec.Horizon {
+				t.Fatalf("sensor %d stuck onset %v past horizon %v", i, at, m.spec.Horizon)
+			}
+		}
+		// One sampling pass must stay finite and non-negative.
+		truth := make([]float64, m.Nodes())
+		out := make([]float64, m.Nodes())
+		for i := range truth {
+			truth[i] = 250
+		}
+		for now := units.Seconds(60); now <= units.Hours(1); now += 300 {
+			m.Sample(now, truth, out)
+			for i, r := range out {
+				if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+					t.Fatalf("sensor %d read %v at %v (spec %q)", i, r, now, raw)
+				}
+			}
+		}
+		_ = strings.TrimSpace(raw)
+	})
+}

@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"iscope/internal/units"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{NoiseFrac: -0.1},
+		{NoiseFrac: 1.5},
+		{NoiseFrac: math.NaN()},
+		{DriftFracPerDay: math.Inf(1)},
+		{QuantStep: -1},
+		{ProcsPerNode: -2},
+		{DropoutsPerDay: -1},
+		{DropoutMeanDur: -60},
+		{StuckFrac: 2},
+		{SpikesPerDay: -3},
+		{SpikeFrac: 1.2},
+		{GuardMargin: -0.5},
+		{Horizon: -1},
+		{SampleInterval: -30},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d (%+v) passed validation", i, s)
+		}
+	}
+}
+
+func TestEnabledAndDefaults(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	// A spec with only the sampling interval set is still perfect
+	// sensors: no error source means no telemetry wiring.
+	if (Spec{SampleInterval: 30, ProcsPerNode: 8, GuardMargin: 0.2}).Enabled() {
+		t.Fatal("error-free spec reports enabled")
+	}
+	for _, s := range []Spec{
+		{NoiseFrac: 0.01},
+		{DriftFracPerDay: 0.05},
+		{QuantStep: 10},
+		{DropoutsPerDay: 2},
+		{StuckFrac: 0.1},
+		{SpikesPerDay: 1},
+	} {
+		if !s.Enabled() {
+			t.Errorf("spec %+v should be enabled", s)
+		}
+	}
+	d := Spec{DropoutsPerDay: 3, SpikesPerDay: 2}.WithDefaults()
+	if d.SampleInterval != 60 || d.ProcsPerNode != 4 || d.GuardMargin != 0.15 {
+		t.Fatalf("primary defaults not filled: %+v", d)
+	}
+	if d.DropoutMeanDur != units.Minutes(10) || d.SpikeFrac != 0.5 {
+		t.Fatalf("class defaults not filled: %+v", d)
+	}
+	if z := (Spec{}).WithDefaults(); z != (Spec{}) {
+		t.Fatalf("zero spec grew defaults: %+v", z)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	got, err := ParseSpec("noise=0.1,drift=0.05,quant=2.5,node=8,dropouts=6,dropmean=5m,stuck=0.25,spikes=3,spikemag=0.8,margin=0.3,interval=30s,horizon=12h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		SampleInterval:  30,
+		NoiseFrac:       0.1,
+		DriftFracPerDay: 0.05,
+		QuantStep:       2.5,
+		ProcsPerNode:    8,
+		DropoutsPerDay:  6,
+		DropoutMeanDur:  units.Minutes(5),
+		StuckFrac:       0.25,
+		SpikesPerDay:    3,
+		SpikeFrac:       0.8,
+		GuardMargin:     0.3,
+		Horizon:         units.Hours(12),
+	}
+	if got != want {
+		t.Fatalf("parsed %+v, want %+v", got, want)
+	}
+	if got, err := ParseSpec(""); err != nil || got != DefaultSpec() {
+		t.Fatalf("empty spec: got %+v, %v; want defaults", got, err)
+	}
+	for _, bad := range []string{
+		"noise", "noise=abc", "bogus=1", "noise=2", "dropmean=-5m", "node=x",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	spec.StuckFrac = 0.2
+	spec.Horizon = units.Days(2)
+	a, err := Compile(spec, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(spec, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.drops, b.drops) || !reflect.DeepEqual(a.spikes, b.spikes) ||
+		!reflect.DeepEqual(a.driftRate, b.driftRate) || !reflect.DeepEqual(a.stuckAt, b.stuckAt) {
+		t.Fatal("two compiles of the same (spec, procs, seed) differ")
+	}
+	c, err := Compile(spec, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.drops, c.drops) && reflect.DeepEqual(a.driftRate, c.driftRate) {
+		t.Fatal("different seeds produced the identical plan")
+	}
+	if a.Nodes() != 4 {
+		t.Fatalf("16 procs at 4/node -> %d nodes, want 4", a.Nodes())
+	}
+	if a.NodeOf(0) != 0 || a.NodeOf(3) != 0 || a.NodeOf(4) != 1 || a.NodeOf(15) != 3 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	if a.StuckSensors() == 0 {
+		t.Fatal("positive stuck fraction froze no sensors")
+	}
+}
+
+func TestCompileRejectsActiveSpecWithoutHorizon(t *testing.T) {
+	if _, err := Compile(Spec{NoiseFrac: 0.1}, 4, 1); err == nil {
+		t.Fatal("active spec without horizon compiled")
+	}
+	if _, err := Compile(Spec{}, 0, 1); err == nil {
+		t.Fatal("zero procs compiled")
+	}
+	if _, err := Compile(Spec{}, 4, 1); err != nil {
+		t.Fatalf("perfect-sensor spec should compile without a horizon: %v", err)
+	}
+}
+
+func TestPerfectSensorsReadTrue(t *testing.T) {
+	m, err := Compile(Spec{}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{120.5}
+	out := make([]float64, 1)
+	if dropped := m.Sample(60, truth, out); dropped != 0 {
+		t.Fatalf("perfect sensors dropped %d", dropped)
+	}
+	if out[0] != truth[0] {
+		t.Fatalf("perfect sensor read %v, want %v", out[0], truth[0])
+	}
+}
+
+func TestNoiseAndQuantization(t *testing.T) {
+	spec := Spec{NoiseFrac: 0.05, QuantStep: 1, ProcsPerNode: 1, Horizon: units.Days(1)}
+	m, err := Compile(spec, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{200, 200, 200, 200}
+	out := make([]float64, 4)
+	saw := false
+	for now := units.Seconds(60); now < units.Hours(1); now += 60 {
+		m.Sample(now, truth, out)
+		for i, r := range out {
+			if r != math.Round(r) {
+				t.Fatalf("reading %v not on the 1 W quantization grid", r)
+			}
+			if r < 0 {
+				t.Fatalf("negative reading %v", r)
+			}
+			if r != truth[i] {
+				saw = true
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("5% noise never perturbed a reading")
+	}
+}
+
+func TestDriftGrowsWithTime(t *testing.T) {
+	spec := Spec{DriftFracPerDay: 0.2, ProcsPerNode: 1, Horizon: units.Days(10)}
+	m, err := Compile(spec, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{100}
+	out := make([]float64, 1)
+	m.Sample(units.Hours(1), truth, out)
+	early := math.Abs(out[0] - 100)
+	m.Sample(units.Days(5), truth, out)
+	late := math.Abs(out[0] - 100)
+	if late <= early {
+		t.Fatalf("drift error did not grow: %v at 1h vs %v at 5d", early, late)
+	}
+	want := 100 * math.Abs(m.driftRate[0]) * 5
+	if math.Abs(late-want) > 1e-9 {
+		t.Fatalf("5-day drift error %v, want %v", late, want)
+	}
+}
+
+func TestDropoutHoldsLastKnownValue(t *testing.T) {
+	spec := Spec{DropoutsPerDay: 4, DropoutMeanDur: units.Minutes(20), ProcsPerNode: 1, Horizon: units.Days(2)}
+	m, err := Compile(spec, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DropoutWindows() == 0 {
+		t.Fatal("no dropout windows compiled")
+	}
+	w := m.drops[0][0]
+	out := make([]float64, 1)
+
+	// Fresh read before the window, then a read inside it with changed
+	// truth: the sensor must hold the stale value.
+	m.Sample(w.Start-1, []float64{150}, out)
+	if out[0] != 150 {
+		t.Fatalf("fault-free read %v, want 150", out[0])
+	}
+	mid := (w.Start + w.End) / 2
+	if dropped := m.Sample(mid, []float64{900}, out); dropped != 1 {
+		t.Fatalf("in-window sample dropped %d sensors, want 1", dropped)
+	}
+	if out[0] != 150 {
+		t.Fatalf("in-dropout read %v, want stale 150", out[0])
+	}
+
+	// A sensor that never read before its dropout reads zero.
+	m2, _ := Compile(spec, 1, 9)
+	if m2.Sample(mid, []float64{900}, out); out[0] != 0 {
+		t.Fatalf("history-free dropout read %v, want 0", out[0])
+	}
+}
+
+func TestStuckSensorFreezes(t *testing.T) {
+	spec := Spec{StuckFrac: 1, ProcsPerNode: 1, Horizon: units.Days(1)}
+	m, err := Compile(spec, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := m.stuckAt[0]
+	if onset < 0 {
+		t.Fatal("stuck fraction 1 left the only sensor free")
+	}
+	out := make([]float64, 1)
+	m.Sample(onset+1, []float64{300}, out)
+	frozen := out[0]
+	m.Sample(onset+100, []float64{700}, out)
+	if out[0] != frozen {
+		t.Fatalf("stuck sensor moved: %v then %v", frozen, out[0])
+	}
+	// Past the horizon the fleet is recalibrated and reads true again.
+	m.Sample(spec.Horizon+60, []float64{700}, out)
+	if out[0] != 700 {
+		t.Fatalf("post-horizon read %v, want true 700", out[0])
+	}
+}
+
+func TestCaptureRestoreReplaysExactly(t *testing.T) {
+	spec := DefaultSpec()
+	spec.StuckFrac = 0.3
+	spec.DropoutsPerDay = 8
+	spec.Horizon = units.Days(2)
+	a, err := Compile(spec, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, a.Nodes())
+	out := make([]float64, a.Nodes())
+	for i := range truth {
+		truth[i] = 100 + 10*float64(i)
+	}
+	for now := units.Seconds(60); now <= units.Hours(6); now += 60 {
+		a.Sample(now, truth, out)
+	}
+	st, err := a.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Compile(spec, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	outA := make([]float64, a.Nodes())
+	outB := make([]float64, b.Nodes())
+	for now := units.Hours(6) + 60; now <= units.Hours(12); now += 60 {
+		da := a.Sample(now, truth, outA)
+		db := b.Sample(now, truth, outB)
+		if da != db || !reflect.DeepEqual(outA, outB) {
+			t.Fatalf("restored model diverged at %v: %v/%v vs %v/%v", now, outA, da, outB, db)
+		}
+	}
+
+	// Restoring mismatched geometry is a typed failure, not corruption.
+	c, _ := Compile(spec, 8, 21)
+	if err := c.RestoreState(st); err == nil {
+		t.Fatal("restore across sensor-count mismatch succeeded")
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"iscope/internal/profiling"
 	"iscope/internal/scheduler"
 	"iscope/internal/solar"
+	"iscope/internal/telemetry"
 	"iscope/internal/units"
 	"iscope/internal/wind"
 	"iscope/internal/workload"
@@ -228,6 +229,33 @@ type FaultStats = metrics.FaultStats
 // battery fade.
 func DefaultFaultSpec() FaultSpec { return faults.DefaultSpec() }
 
+// TelemetrySpec parametrizes the deterministic sensor-and-estimation
+// layer (RunConfig.Telemetry): per-node aggregate power sensors with
+// gaussian read noise, calibration drift, quantization, and injectable
+// sensor faults (dropouts, stuck-at readings, spike transients), plus
+// the disaggregator that turns node aggregates back into the per-
+// processor estimates the scheduler acts on. A nil RunConfig.Telemetry
+// — or any spec with every error source at zero — leaves the run
+// bit-identical to the oracle (true-power) path.
+type TelemetrySpec = telemetry.Spec
+
+// TelemetryStats is the sensor layer's ledger (Result.Telemetry):
+// samples taken, estimation-error statistics, dropout staleness time,
+// and the misestimation guard's trip count and degraded dwell.
+type TelemetryStats = metrics.TelemetryStats
+
+// DefaultTelemetrySpec returns a production-plausible sensor
+// environment: 60 s sampling, 2% read noise, up to 1%/day calibration
+// drift, 5 W quantization, one node sensor per four processors, rare
+// dropouts and spikes, and a 15% misestimation guard margin.
+func DefaultTelemetrySpec() TelemetrySpec { return telemetry.DefaultSpec() }
+
+// ParseTelemetrySpec parses a "key=value,key=value" sensor-environment
+// string (keys interval, noise, drift, quant, node, dropouts, dropmean,
+// stuck, spikes, spikemag, margin, horizon) on top of the defaults —
+// the -telemetry-spec CLI format.
+func ParseTelemetrySpec(spec string) (TelemetrySpec, error) { return telemetry.ParseSpec(spec) }
+
 // BrownoutConfig parametrizes the staged-degradation ladder
 // (RunConfig.Brownout): under a sustained supply deficit the scheduler
 // climbs through DVFS down-leveling, admission deferral, a battery
@@ -325,6 +353,11 @@ type AblationResult = experiments.AblationResult
 // scanned hardware knowledge.
 type BrownoutStudyResult = experiments.BrownoutStudyResult
 
+// TelemetryStudyResult quantifies how the ScanEffi-over-BinEffi
+// advantage degrades as power-sensor estimation error grows, and pins
+// that ground-truth invariants hold at every error level.
+type TelemetryStudyResult = experiments.TelemetryStudyResult
+
 // The experiment drivers.
 func Fig4(o ExperimentOptions) (*Fig4Result, error)          { return experiments.Fig4(o) }
 func Fig5(o ExperimentOptions) (*Fig5Result, error)          { return experiments.Fig5(o) }
@@ -336,4 +369,7 @@ func Fig10(o ExperimentOptions) (*Fig10Result, error)        { return experiment
 func Ablations(o ExperimentOptions) (*AblationResult, error) { return experiments.Ablations(o) }
 func BrownoutStudy(o ExperimentOptions) (*BrownoutStudyResult, error) {
 	return experiments.BrownoutStudy(o)
+}
+func TelemetryStudy(o ExperimentOptions) (*TelemetryStudyResult, error) {
+	return experiments.TelemetryStudy(o)
 }
