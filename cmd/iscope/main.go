@@ -49,6 +49,8 @@ type options struct {
 	scheme    string
 	procs     int
 	jobs      int
+	maxWidth  int
+	rebalance bool
 	spanDays  float64
 	hu        float64
 	rate      float64
@@ -101,6 +103,8 @@ func main() {
 	flag.StringVar(&o.scheme, "scheme", "ScanFair", "scheduling scheme (BinRan, BinEffi, ScanRan, ScanEffi, ScanFair, BinFair)")
 	flag.IntVar(&o.procs, "procs", 960, "number of processors")
 	flag.IntVar(&o.jobs, "jobs", 1200, "number of synthesized jobs")
+	flag.IntVar(&o.maxWidth, "maxwidth", 0, "widest synthesized job in processors (0 = procs/2; the bench tiers use 64)")
+	flag.BoolVar(&o.rebalance, "rebalance", false, "enable periodic queue rebalancing (the bench large tiers run with it on)")
 	flag.Float64Var(&o.spanDays, "span", 2, "workload arrival window in days")
 	flag.Float64Var(&o.hu, "hu", 0.3, "fraction of high-urgency jobs")
 	flag.Float64Var(&o.rate, "rate", 1, "arrival-rate factor (5 = submit times compressed to 20%)")
@@ -204,6 +208,19 @@ func (o options) faultSpec() *iscope.FaultSpec {
 	return &spec
 }
 
+// synthMaxWidth is the widest job SynthesizeWorkload may emit: the
+// explicit -maxwidth when given, else half the fleet.
+func (o options) synthMaxWidth() int {
+	if o.maxWidth > 0 {
+		return o.maxWidth
+	}
+	maxW := o.procs / 2
+	if maxW < 1 {
+		maxW = 1
+	}
+	return maxW
+}
+
 func run(ctx context.Context, o options) (err error) {
 	prof, err := profiles.Start(o.cpuProfile, o.memProfile, o.execTrace)
 	if err != nil {
@@ -243,11 +260,7 @@ func run(ctx context.Context, o options) (err error) {
 			return err
 		}
 	} else {
-		maxW := o.procs / 2
-		if maxW < 1 {
-			maxW = 1
-		}
-		tr, err = iscope.SynthesizeWorkload(o.seed, o.jobs, maxW, o.spanDays, o.hu)
+		tr, err = iscope.SynthesizeWorkload(o.seed, o.jobs, o.synthMaxWidth(), o.spanDays, o.hu)
 		if err != nil {
 			return err
 		}
@@ -258,7 +271,7 @@ func run(ctx context.Context, o options) (err error) {
 		}
 	}
 
-	cfg := iscope.RunConfig{Seed: o.seed, Jobs: tr, Workers: o.parallel}
+	cfg := iscope.RunConfig{Seed: o.seed, Jobs: tr, Workers: o.parallel, EnableRebalance: o.rebalance}
 	if o.useWind {
 		w, err := iscope.GenerateWind(o.seed+2, o.spanDays*2+2)
 		if err != nil {
@@ -423,6 +436,7 @@ func runDaemon(ctx context.Context, o options) error {
 		{"-brownout-spec", o.brownoutSpec != ""},
 		{"-checkpoint", o.checkpointPath != ""},
 		{"-resume", o.resumePath != ""},
+		{"-rebalance", o.rebalance},
 	} {
 		if f.set {
 			return fmt.Errorf("%s has no wire equivalent; drop it or run without -daemon", f.name)
@@ -446,11 +460,7 @@ func runDaemon(ctx context.Context, o options) error {
 		spec.Wind = &service.WindSpec{Seed: o.seed + 2, Days: o.spanDays*2 + 2, MeanFrac: o.windScale}
 	}
 
-	maxW := o.procs / 2
-	if maxW < 1 {
-		maxW = 1
-	}
-	tr, err := iscope.SynthesizeWorkload(o.seed, o.jobs, maxW, o.spanDays, o.hu)
+	tr, err := iscope.SynthesizeWorkload(o.seed, o.jobs, o.synthMaxWidth(), o.spanDays, o.hu)
 	if err != nil {
 		return err
 	}

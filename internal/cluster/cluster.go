@@ -68,37 +68,32 @@ func (s *Slice) Done() bool { return s.done }
 // Remaining returns the fraction of work left.
 func (s *Slice) Remaining() float64 { return s.remaining }
 
-// Processor is one schedulable CPU.
+// Processor is one schedulable CPU. It is a thin view over the
+// datacenter's structure-of-arrays state: the mutable fields (running
+// slice, queue, utilization, offline flags) live in flat parallel
+// slices on Datacenter, indexed by ID, so fleet-order walks and the
+// sharded kernels stream contiguous memory instead of chasing
+// per-processor pointers. The view keeps the familiar accessor API for
+// tests, checkpoint codecs and cold paths.
 type Processor struct {
 	ID   int
 	Chip *variation.Chip
-
-	queue   sliceQueue
-	current *Slice
-
-	// UtilTime accumulates busy time — the lifetime-wear proxy of the
-	// paper's Figure 9.
-	UtilTime  units.Seconds
-	busySince units.Seconds
-
-	// backlog is the summed full durations of queued (not yet started)
-	// slices at their assigned levels — the queue-drain estimate.
-	backlog units.Seconds
-
-	// offline marks the processor isolated from service (being
-	// profiled); offlineDraw is its power draw while isolated.
-	offline     bool
-	offlineDraw units.Watts
+	dc   *Datacenter
 }
 
 // Offline reports whether the processor is isolated from service.
-func (p *Processor) Offline() bool { return p.offline }
+func (p *Processor) Offline() bool { return p.dc.offline[p.ID] }
 
 // Current returns the running slice, nil when idle.
-func (p *Processor) Current() *Slice { return p.current }
+func (p *Processor) Current() *Slice { return p.dc.current[p.ID] }
 
 // QueueLen returns the number of waiting slices.
-func (p *Processor) QueueLen() int { return p.queue.len() }
+func (p *Processor) QueueLen() int { return p.dc.queues[p.ID].len() }
+
+// UtilTime returns the accumulated busy time — the lifetime-wear proxy
+// of the paper's Figure 9 — not counting any in-flight busy span (see
+// Datacenter.UtilAt for that).
+func (p *Processor) UtilTime() units.Seconds { return p.dc.utilTime[p.ID] }
 
 // sliceQueue is a FIFO of waiting slices with amortized allocation-free
 // push and pop. Popping advances a head index instead of re-slicing;
@@ -122,11 +117,21 @@ func (q *sliceQueue) at(i int) *Slice { return q.buf[q.head+i] }
 
 func (q *sliceQueue) push(s *Slice) {
 	if q.head > 0 && len(q.buf) == cap(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil // release for GC
+		live := len(q.buf) - q.head
+		if cap(q.buf) >= 64 && live*4 <= cap(q.buf) {
+			// The queue drained far below its high-water mark: move the
+			// live window to a smaller backing array so one past burst
+			// doesn't pin a fleet-scale allocation for the whole run.
+			nb := make([]*Slice, live, max(2*live, 16))
+			copy(nb, q.buf[q.head:])
+			q.buf = nb
+		} else {
+			n := copy(q.buf, q.buf[q.head:])
+			for i := n; i < len(q.buf); i++ {
+				q.buf[i] = nil // release for GC
+			}
+			q.buf = q.buf[:n]
 		}
-		q.buf = q.buf[:n]
 		q.head = 0
 	}
 	q.buf = append(q.buf, s)
@@ -170,9 +175,36 @@ func (q *sliceQueue) reset() {
 	q.head = 0
 }
 
-// Datacenter is the simulated facility.
+// Datacenter is the simulated facility. Mutable per-processor state is
+// held in flat parallel arrays indexed by processor ID (structure of
+// arrays): the hot kernels — utilization fills, availability
+// snapshots, running-slice collection, queue estimates — walk these
+// arrays linearly, and the PR-5 shard ranges become contiguous array
+// windows. Processor is a view over the same arrays.
 type Datacenter struct {
 	Procs []*Processor
+
+	chips []*variation.Chip
+
+	// Structure-of-arrays processor state, all indexed by processor ID.
+	current     []*Slice        // running slice, nil when idle
+	utilTime    []units.Seconds // accumulated busy time (wear proxy)
+	busySince   []units.Seconds // start of the in-flight busy span
+	backlog     []units.Seconds // summed durations of queued slices
+	offline     []bool          // isolated from service (profiling)
+	offlineDraw []units.Watts   // draw while isolated
+	queues      []sliceQueue    // per-processor FIFO of waiting slices
+
+	// fairDirty collects the processors whose utilization key (busy
+	// state or accumulated UtilTime) changed since the last
+	// ResetFairDirty — exactly the start/Complete/Preempt transitions.
+	// The scheduler's incremental least-used order repairs only these;
+	// fairDirtyOverflow reports that the set overflowed its bound (or
+	// was never tracked, e.g. right after construction or a state
+	// restore) and a full rebuild is required.
+	fairDirty         []int32
+	fairDirtyMark     []bool
+	fairDirtyOverflow bool
 
 	pm   *power.Model
 	volt VoltageFn
@@ -234,26 +266,72 @@ func NewWithCOPs(chips []*variation.Chip, pm *power.Model, volt VoltageFn, cops 
 		}
 	}
 	nLevels := pm.Table.NumLevels()
+	n := len(chips)
 	dc := &Datacenter{
-		Procs:    make([]*Processor, len(chips)),
-		pm:       pm,
-		volt:     volt,
-		cops:     append([]float64(nil), cops...),
-		nLevels:  nLevels,
-		pcache:   make([]units.Watts, len(chips)*nLevels),
-		pcacheOK: make([]bool, len(chips)*nLevels),
+		Procs:       make([]*Processor, n),
+		chips:       append([]*variation.Chip(nil), chips...),
+		current:     make([]*Slice, n),
+		utilTime:    make([]units.Seconds, n),
+		busySince:   make([]units.Seconds, n),
+		backlog:     make([]units.Seconds, n),
+		offline:     make([]bool, n),
+		offlineDraw: make([]units.Watts, n),
+		queues:      make([]sliceQueue, n),
+		// The dirty bound matches the scheduler's repair threshold:
+		// past ~n/8 changed processors a full rebuild is cheaper than
+		// a merge, so tracking further ids buys nothing.
+		fairDirty:         make([]int32, 0, n/8+64),
+		fairDirtyMark:     make([]bool, n),
+		fairDirtyOverflow: true, // no order built yet: first pass is full
+		pm:                pm,
+		volt:              volt,
+		cops:              append([]float64(nil), cops...),
+		nLevels:           nLevels,
+		pcache:            make([]units.Watts, n*nLevels),
+		pcacheOK:          make([]bool, n*nLevels),
 	}
-	// One contiguous backing array instead of a heap allocation per
-	// processor: fleet-order walks (utilization fills, availability
-	// snapshots, shard kernels) then stride through memory linearly.
-	// Pointers into the array are stable for the datacenter's lifetime,
-	// so dc.Procs[i] behaves exactly like an individual allocation.
-	backing := make([]Processor, len(chips))
+	// The views live in one contiguous backing array; they are
+	// immutable (ID, Chip, dc) so pointers stay valid for the
+	// datacenter's lifetime.
+	backing := make([]Processor, n)
 	for i, ch := range chips {
-		backing[i] = Processor{ID: i, Chip: ch}
+		backing[i] = Processor{ID: i, Chip: ch, dc: dc}
 		dc.Procs[i] = &backing[i]
 	}
 	return dc, nil
+}
+
+// markFair records that processor id's utilization key changed. O(1),
+// allocation-free, deduplicating; past the capacity bound it degrades
+// to the overflow flag (full rebuild).
+func (dc *Datacenter) markFair(id int) {
+	if dc.fairDirtyOverflow || dc.fairDirtyMark[id] {
+		return
+	}
+	if len(dc.fairDirty) == cap(dc.fairDirty) {
+		dc.fairDirtyOverflow = true
+		return
+	}
+	dc.fairDirtyMark[id] = true
+	dc.fairDirty = append(dc.fairDirty, int32(id))
+}
+
+// FairDirty returns the processors whose utilization key changed since
+// the last ResetFairDirty, and whether the set overflowed (meaning the
+// list is incomplete and callers must rebuild from scratch). The slice
+// is owned by the datacenter; it is valid until the next mutation.
+func (dc *Datacenter) FairDirty() ([]int32, bool) {
+	return dc.fairDirty, dc.fairDirtyOverflow
+}
+
+// ResetFairDirty empties the dirty set, typically right after a caller
+// consumed it to repair its ordering.
+func (dc *Datacenter) ResetFairDirty() {
+	for _, id := range dc.fairDirty {
+		dc.fairDirtyMark[id] = false
+	}
+	dc.fairDirty = dc.fairDirty[:0]
+	dc.fairDirtyOverflow = false
 }
 
 // Demand returns the current aggregate power draw including cooling.
@@ -269,12 +347,11 @@ func (dc *Datacenter) PowerModel() *power.Model { return dc.pm }
 // bookkeeping — which is what lets a sensor layer aggregate true
 // per-node power without a second accounting path.
 func (dc *Datacenter) ProcDraw(id int) units.Watts {
-	p := dc.Procs[id]
-	if p.offline {
-		return p.offlineDraw
+	if dc.offline[id] {
+		return dc.offlineDraw[id]
 	}
-	if p.current != nil {
-		return p.current.draw
+	if cur := dc.current[id]; cur != nil {
+		return cur.draw
 	}
 	return 0
 }
@@ -287,7 +364,7 @@ func (dc *Datacenter) ProcPower(id, level int) units.Watts {
 	if dc.pcacheOK[idx] {
 		return dc.pcache[idx]
 	}
-	ch := dc.Procs[id].Chip
+	ch := dc.chips[id]
 	cpu := dc.pm.CPUPower(ch.Alpha, ch.Beta, level, dc.volt(id, level))
 	w := power.WithCooling(cpu, dc.cops[id])
 	if !dc.pcacheOff {
@@ -336,14 +413,14 @@ func (dc *Datacenter) SliceDuration(s *Slice, l int) units.Seconds {
 // assumes current DVFS levels persist; power matching can shift it,
 // which is exactly the estimation error a real scheduler lives with.
 func (dc *Datacenter) AvailableAt(id int, now units.Seconds) units.Seconds {
-	p := dc.Procs[id]
-	if p.offline {
+	if dc.offline[id] {
 		return units.Seconds(math.Inf(1))
 	}
-	if p.current == nil {
+	cur := dc.current[id]
+	if cur == nil {
 		return now
 	}
-	return p.current.Finish + p.backlog
+	return cur.Finish + dc.backlog[id]
 }
 
 // SetOffline isolates an idle, queue-free processor from service for
@@ -352,8 +429,7 @@ func (dc *Datacenter) AvailableAt(id int, now units.Seconds) units.Seconds {
 // opportunistic profiling must only take truly idle nodes (Section
 // III.C).
 func (dc *Datacenter) SetOffline(id int, draw units.Watts) error {
-	p := dc.Procs[id]
-	if p.current != nil || p.queue.len() > 0 {
+	if dc.current[id] != nil || dc.queues[id].len() > 0 {
 		return fmt.Errorf("cluster: processor %d is not idle", id)
 	}
 	return dc.ForceOffline(id, draw)
@@ -365,18 +441,17 @@ func (dc *Datacenter) SetOffline(id int, draw units.Watts) error {
 // via SetOnline. The processor must not be running a slice (Preempt
 // first) and must not already be offline.
 func (dc *Datacenter) ForceOffline(id int, draw units.Watts) error {
-	p := dc.Procs[id]
-	if p.offline {
+	if dc.offline[id] {
 		return fmt.Errorf("cluster: processor %d already offline", id)
 	}
-	if p.current != nil {
+	if dc.current[id] != nil {
 		return fmt.Errorf("cluster: processor %d is running a slice", id)
 	}
 	if draw < 0 {
 		return fmt.Errorf("cluster: negative offline draw")
 	}
-	p.offline = true
-	p.offlineDraw = draw
+	dc.offline[id] = true
+	dc.offlineDraw[id] = draw
 	dc.demand += draw
 	dc.nOffline++
 	return nil
@@ -390,8 +465,7 @@ func (dc *Datacenter) ForceOffline(id int, draw units.Watts) error {
 // completion event dies. The processor is left idle — the caller
 // decides whether to restart the queue or take the node offline.
 func (dc *Datacenter) Preempt(id int, now units.Seconds) *Slice {
-	p := dc.Procs[id]
-	s := p.current
+	s := dc.current[id]
 	if s == nil {
 		return nil
 	}
@@ -400,9 +474,10 @@ func (dc *Datacenter) Preempt(id int, now units.Seconds) *Slice {
 	s.draw = 0
 	s.running = false
 	s.Gen++
-	p.UtilTime += now - p.busySince
-	p.current = nil
+	dc.utilTime[id] += now - dc.busySince[id]
+	dc.current[id] = nil
 	dc.nBusy--
+	dc.markFair(id)
 	return s
 }
 
@@ -414,9 +489,8 @@ func (dc *Datacenter) Requeue(s *Slice) {
 	if s.running || s.done {
 		return
 	}
-	p := dc.Procs[s.ProcID]
-	p.queue.pushFront(s)
-	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
+	dc.queues[s.ProcID].pushFront(s)
+	dc.backlog[s.ProcID] += dc.SliceDuration(s, s.AssignedLevel)
 }
 
 // ResetWork discards a preempted slice's progress so it re-executes
@@ -433,23 +507,22 @@ func (s *Slice) ResetWork() {
 // first queued slice if any arrived meanwhile (the returned slice's
 // completion must then be scheduled by the caller).
 func (dc *Datacenter) SetOnline(id int, now units.Seconds) *Slice {
-	p := dc.Procs[id]
-	if !p.offline {
+	if !dc.offline[id] {
 		return nil
 	}
-	p.offline = false
-	dc.demand -= p.offlineDraw
-	p.offlineDraw = 0
+	dc.offline[id] = false
+	dc.demand -= dc.offlineDraw[id]
+	dc.offlineDraw[id] = 0
 	dc.nOffline--
-	if p.current != nil || p.queue.len() == 0 {
+	if dc.current[id] != nil || dc.queues[id].len() == 0 {
 		return nil
 	}
-	next := p.queue.popFront()
-	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
-	if p.backlog < 0 {
-		p.backlog = 0
+	next := dc.queues[id].popFront()
+	dc.backlog[id] -= dc.SliceDuration(next, next.AssignedLevel)
+	if dc.backlog[id] < 0 {
+		dc.backlog[id] = 0
 	}
-	dc.start(p, next, now)
+	dc.start(id, next, now)
 	return next
 }
 
@@ -462,13 +535,13 @@ func (dc *Datacenter) Unqueue(s *Slice) bool {
 	if s.running || s.done {
 		return false
 	}
-	p := dc.Procs[s.ProcID]
-	for i, q := range p.queue.items() {
+	id := s.ProcID
+	for i, q := range dc.queues[id].items() {
 		if q == s {
-			p.queue.removeAt(i)
-			p.backlog -= dc.SliceDuration(s, s.AssignedLevel)
-			if p.backlog < 0 {
-				p.backlog = 0
+			dc.queues[id].removeAt(i)
+			dc.backlog[id] -= dc.SliceDuration(s, s.AssignedLevel)
+			if dc.backlog[id] < 0 {
+				dc.backlog[id] = 0
 			}
 			return true
 		}
@@ -480,8 +553,8 @@ func (dc *Datacenter) Unqueue(s *Slice) bool {
 // fleet to dst and returns it.
 func (dc *Datacenter) QueuedSlices(dst []*Slice) []*Slice {
 	dst = dst[:0]
-	for _, p := range dc.Procs {
-		dst = append(dst, p.queue.items()...)
+	for i := range dc.queues {
+		dst = append(dst, dc.queues[i].items()...)
 	}
 	return dst
 }
@@ -526,26 +599,27 @@ func NewSlice(j *workload.Job, procID, level int) *Slice {
 // is idle the slice starts immediately and is returned (its completion
 // must then be scheduled by the caller); otherwise nil is returned.
 func (dc *Datacenter) Enqueue(s *Slice, now units.Seconds) *Slice {
-	p := dc.Procs[s.ProcID]
-	if p.current == nil && !p.offline {
-		dc.start(p, s, now)
+	id := s.ProcID
+	if dc.current[id] == nil && !dc.offline[id] {
+		dc.start(id, s, now)
 		return s
 	}
-	p.queue.push(s)
-	p.backlog += dc.SliceDuration(s, s.AssignedLevel)
+	dc.queues[id].push(s)
+	dc.backlog[id] += dc.SliceDuration(s, s.AssignedLevel)
 	return nil
 }
 
-func (dc *Datacenter) start(p *Processor, s *Slice, now units.Seconds) {
-	p.current = s
+func (dc *Datacenter) start(id int, s *Slice, now units.Seconds) {
+	dc.current[id] = s
 	dc.nBusy++
-	p.busySince = now
+	dc.busySince[id] = now
 	s.running = true
 	s.lastUpdate = now
 	s.Level = s.AssignedLevel
 	s.Finish = now + units.Seconds(s.remaining*float64(dc.SliceDuration(s, s.Level)))
-	s.draw = dc.ProcPower(p.ID, s.Level)
+	s.draw = dc.ProcPower(id, s.Level)
 	dc.demand += s.draw
+	dc.markFair(id)
 }
 
 // Complete finishes processor id's running slice and starts the next
@@ -553,8 +627,7 @@ func (dc *Datacenter) start(p *Processor, s *Slice, now units.Seconds) {
 // queue is empty). The caller is responsible for only invoking this at
 // the slice's current Finish time with a matching generation.
 func (dc *Datacenter) Complete(id int, now units.Seconds) *Slice {
-	p := dc.Procs[id]
-	s := p.current
+	s := dc.current[id]
 	if s == nil {
 		return nil
 	}
@@ -563,18 +636,19 @@ func (dc *Datacenter) Complete(id int, now units.Seconds) *Slice {
 	s.running = false
 	s.done = true
 	s.remaining = 0
-	p.UtilTime += now - p.busySince
-	p.current = nil
+	dc.utilTime[id] += now - dc.busySince[id]
+	dc.current[id] = nil
 	dc.nBusy--
-	if p.queue.len() == 0 {
+	dc.markFair(id)
+	if dc.queues[id].len() == 0 {
 		return nil
 	}
-	next := p.queue.popFront()
-	p.backlog -= dc.SliceDuration(next, next.AssignedLevel)
-	if p.backlog < 0 {
-		p.backlog = 0
+	next := dc.queues[id].popFront()
+	dc.backlog[id] -= dc.SliceDuration(next, next.AssignedLevel)
+	if dc.backlog[id] < 0 {
+		dc.backlog[id] = 0
 	}
-	dc.start(p, next, now)
+	dc.start(id, next, now)
 	return next
 }
 
@@ -585,13 +659,12 @@ func (dc *Datacenter) SetLevel(s *Slice, level int, now units.Seconds) {
 	if !s.running || level == s.Level {
 		return
 	}
-	p := dc.Procs[s.ProcID]
 	dc.demand -= s.draw
 	dc.progress(s, now)
 	s.Level = level
 	s.Gen++
 	s.Finish = now + units.Seconds(s.remaining*float64(dc.SliceDuration(s, level)))
-	s.draw = dc.ProcPower(p.ID, level)
+	s.draw = dc.ProcPower(s.ProcID, level)
 	dc.demand += s.draw
 }
 
@@ -629,13 +702,13 @@ func (dc *Datacenter) progress(s *Slice, now units.Seconds) {
 // some queued slice's estimated completion crosses its deadline.
 // +Inf when the queue is empty or deadline-free.
 func (dc *Datacenter) QueueSlack(id int, now units.Seconds) units.Seconds {
-	p := dc.Procs[id]
 	slackMin := units.Seconds(math.Inf(1))
-	if p.current == nil {
+	cur := dc.current[id]
+	if cur == nil {
 		return slackMin
 	}
-	t := p.current.Finish
-	for _, q := range p.queue.items() {
+	t := cur.Finish
+	for _, q := range dc.queues[id].items() {
 		t += dc.SliceDuration(q, q.AssignedLevel)
 		if q.Job.Deadline > 0 {
 			if s := q.Job.Deadline - t; s < slackMin {
@@ -650,12 +723,36 @@ func (dc *Datacenter) QueueSlack(id int, now units.Seconds) units.Seconds {
 // returns it, avoiding per-tick allocation in the matching loop.
 func (dc *Datacenter) RunningSlices(dst []*Slice) []*Slice {
 	dst = dst[:0]
-	for _, p := range dc.Procs {
-		if p.current != nil {
-			dst = append(dst, p.current)
+	for _, cur := range dc.current {
+		if cur != nil {
+			dst = append(dst, cur)
 		}
 	}
 	return dst
+}
+
+// CurrentView returns the running-slice array indexed by processor ID
+// (nil entries are idle processors). Read-only: callers must not
+// modify it. It exists so fleet-order scans stream one flat array
+// instead of dereferencing every Processor view.
+func (dc *Datacenter) CurrentView() []*Slice { return dc.current }
+
+// IsBusy reports whether processor id is running a slice.
+func (dc *Datacenter) IsBusy(id int) bool { return dc.current[id] != nil }
+
+// UtilTimeOf returns processor id's accumulated busy time, not
+// counting any in-flight busy span.
+func (dc *Datacenter) UtilTimeOf(id int) units.Seconds { return dc.utilTime[id] }
+
+// UtilAt returns processor id's busy time at now — exactly the value
+// UtilTimesInto writes for that processor, computed with the identical
+// float expression so orderings built from either agree bit-for-bit.
+func (dc *Datacenter) UtilAt(id int, now units.Seconds) units.Seconds {
+	u := dc.utilTime[id]
+	if dc.current[id] != nil {
+		u += now - dc.busySince[id]
+	}
+	return u
 }
 
 // UtilTimes returns each processor's accumulated busy time, adding the
@@ -668,10 +765,10 @@ func (dc *Datacenter) UtilTimes(now units.Seconds) []units.Seconds {
 // that must not allocate.
 func (dc *Datacenter) UtilTimesInto(dst []units.Seconds, now units.Seconds) []units.Seconds {
 	dst = dst[:0]
-	for _, p := range dc.Procs {
-		u := p.UtilTime
-		if p.current != nil {
-			u += now - p.busySince
+	for id := range dc.utilTime {
+		u := dc.utilTime[id]
+		if dc.current[id] != nil {
+			u += now - dc.busySince[id]
 		}
 		dst = append(dst, u)
 	}
@@ -684,10 +781,9 @@ func (dc *Datacenter) UtilTimesInto(dst []units.Seconds, now units.Seconds) []un
 // concurrently; each entry is exactly the value UtilTimesInto writes.
 func (dc *Datacenter) UtilShard(dst []units.Seconds, now units.Seconds, lo, hi int) {
 	for id := lo; id < hi; id++ {
-		p := dc.Procs[id]
-		u := p.UtilTime
-		if p.current != nil {
-			u += now - p.busySince
+		u := dc.utilTime[id]
+		if dc.current[id] != nil {
+			u += now - dc.busySince[id]
 		}
 		dst[id] = u
 	}
@@ -707,7 +803,7 @@ func (dc *Datacenter) AvailShard(dst []units.Seconds, now units.Seconds, lo, hi 
 // RunningSlices, for per-worker collection buffers.
 func (dc *Datacenter) RunningShard(dst []*Slice, lo, hi int) []*Slice {
 	for id := lo; id < hi; id++ {
-		if cur := dc.Procs[id].current; cur != nil {
+		if cur := dc.current[id]; cur != nil {
 			dst = append(dst, cur)
 		}
 	}
@@ -720,15 +816,14 @@ func (dc *Datacenter) RunningShard(dst []*Slice, lo, hi int) []*Slice {
 // only touch caller-shard state when ranges run concurrently.
 func (dc *Datacenter) QueueEstimatesShard(lo, hi int, fn func(s *Slice, estStart units.Seconds)) {
 	for id := lo; id < hi; id++ {
-		p := dc.Procs[id]
-		if p.queue.len() == 0 {
+		if dc.queues[id].len() == 0 {
 			continue
 		}
 		t := units.Seconds(math.Inf(1))
-		if p.current != nil {
-			t = p.current.Finish
+		if cur := dc.current[id]; cur != nil {
+			t = cur.Finish
 		}
-		for _, q := range p.queue.items() {
+		for _, q := range dc.queues[id].items() {
 			fn(q, t)
 			t += dc.SliceDuration(q, q.AssignedLevel)
 		}
@@ -740,11 +835,11 @@ func (dc *Datacenter) QueueEstimatesShard(lo, hi int, fn func(s *Slice, estStart
 // scheduler's outstanding placements (the no-slice-leak invariant the
 // online monitor checks every tick).
 func (dc *Datacenter) LiveSlices() (running, queued int) {
-	for _, p := range dc.Procs {
-		if p.current != nil {
+	for id := range dc.current {
+		if dc.current[id] != nil {
 			running++
 		}
-		queued += p.queue.len()
+		queued += dc.queues[id].len()
 	}
 	return running, queued
 }

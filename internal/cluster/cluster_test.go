@@ -105,7 +105,7 @@ func TestCompleteStartsNext(t *testing.T) {
 	if b.Finish != 150 {
 		t.Fatalf("next finish = %v, want 150", b.Finish)
 	}
-	if got := dc.Procs[0].UtilTime; got != 100 {
+	if got := dc.Procs[0].UtilTime(); got != 100 {
 		t.Fatalf("UtilTime = %v, want 100", got)
 	}
 	// Complete the second too; demand should return to zero.
@@ -115,8 +115,8 @@ func TestCompleteStartsNext(t *testing.T) {
 	if math.Abs(float64(dc.Demand())) > 1e-9 {
 		t.Fatalf("demand = %v after all work done, want 0", dc.Demand())
 	}
-	if dc.Procs[0].UtilTime != 150 {
-		t.Fatalf("UtilTime = %v, want 150", dc.Procs[0].UtilTime)
+	if dc.Procs[0].UtilTime() != 150 {
+		t.Fatalf("UtilTime = %v, want 150", dc.Procs[0].UtilTime())
 	}
 }
 

@@ -35,8 +35,8 @@ func TestPreemptRequeueResume(t *testing.T) {
 	if dc.Demand() != 0 {
 		t.Fatalf("demand %v after preempt, want 0", dc.Demand())
 	}
-	if dc.Procs[0].UtilTime != 400 {
-		t.Fatalf("util time %v, want 400", dc.Procs[0].UtilTime)
+	if dc.Procs[0].UtilTime() != 400 {
+		t.Fatalf("util time %v, want 400", dc.Procs[0].UtilTime())
 	}
 
 	dc.Requeue(s)
@@ -68,7 +68,7 @@ func TestPreemptRequeueResume(t *testing.T) {
 	if !s.Done() {
 		t.Fatal("slice did not complete after resume")
 	}
-	if got, want := float64(dc.Procs[0].UtilTime), 1000.0; math.Abs(got-want) > 1e-6 {
+	if got, want := float64(dc.Procs[0].UtilTime()), 1000.0; math.Abs(got-want) > 1e-6 {
 		t.Fatalf("total util %v, want %v (work conserved across preemption)", got, want)
 	}
 }
@@ -84,7 +84,7 @@ func TestRequeueFrontOrdering(t *testing.T) {
 	dc.Enqueue(waiting, 0)
 	pre := dc.Preempt(0, 50)
 	dc.Requeue(pre)
-	if dc.Procs[0].queue.at(0) != pre {
+	if dc.queues[0].at(0) != pre {
 		t.Fatal("preempted slice not at queue front")
 	}
 }

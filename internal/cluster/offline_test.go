@@ -103,13 +103,13 @@ func TestOfflineDuringDrainKeepsUtilBooks(t *testing.T) {
 	top := dc.PowerModel().Table.Top()
 	_ = dc.SetOffline(0, 115)
 	_ = dc.SetOnline(0, units.Hours(2))
-	if dc.Procs[0].UtilTime != 0 {
-		t.Fatalf("profiling time leaked into UtilTime: %v", dc.Procs[0].UtilTime)
+	if dc.Procs[0].UtilTime() != 0 {
+		t.Fatalf("profiling time leaked into UtilTime: %v", dc.Procs[0].UtilTime())
 	}
 	s := NewSlice(&workload.Job{ID: 9, Procs: 1, Runtime: 100, Boundness: 1}, 0, top)
 	dc.Enqueue(s, units.Hours(2))
 	dc.Complete(0, s.Finish)
-	if math.Abs(float64(dc.Procs[0].UtilTime)-100) > 1e-9 {
-		t.Fatalf("UtilTime = %v, want 100", dc.Procs[0].UtilTime)
+	if math.Abs(float64(dc.Procs[0].UtilTime())-100) > 1e-9 {
+		t.Fatalf("UtilTime = %v, want 100", dc.Procs[0].UtilTime())
 	}
 }

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The slice queue must not pin Slice memory after draining: every
+// vacated slot is nil-ed, and a queue that shrank far below a past
+// burst's high-water mark releases the oversized backing array on the
+// next compaction. At million-processor scale a leaked backing array
+// per queue is gigabytes.
+
+func TestSliceQueueReleasesDrainedPointers(t *testing.T) {
+	var q sliceQueue
+	for i := 0; i < 100; i++ {
+		q.push(&Slice{Serial: i})
+	}
+	for i := 0; i < 100; i++ {
+		q.popFront()
+	}
+	for i, s := range q.buf[:cap(q.buf)] {
+		if s != nil {
+			t.Fatalf("drained queue still holds a slice at slot %d", i)
+		}
+	}
+
+	// removeAt and reset must nil their vacated slots too.
+	q.push(&Slice{Serial: 0})
+	q.push(&Slice{Serial: 1})
+	q.removeAt(1)
+	if got := q.buf[:cap(q.buf)][1]; got != nil {
+		t.Fatal("removeAt left a live pointer in the vacated slot")
+	}
+	q.reset()
+	for i, s := range q.buf[:cap(q.buf)] {
+		if s != nil {
+			t.Fatalf("reset left a live pointer at slot %d", i)
+		}
+	}
+}
+
+func TestSliceQueueShrinksAfterBurst(t *testing.T) {
+	var q sliceQueue
+	// A burst grows the backing array...
+	for i := 0; i < 1024; i++ {
+		q.push(&Slice{Serial: i})
+	}
+	burstCap := cap(q.buf)
+	// ...then the queue drains to a trickle.
+	for q.len() > 2 {
+		q.popFront()
+	}
+	// Steady-state pushes/pops eventually wrap the head to the end of
+	// the backing array; the compaction there must move to a smaller
+	// array instead of recycling the burst-sized one.
+	for i := 0; i < 4*burstCap; i++ {
+		q.push(&Slice{Serial: i})
+		q.popFront()
+	}
+	if cap(q.buf) >= burstCap {
+		t.Fatalf("queue still pins the burst-sized backing array: cap %d (burst %d)", cap(q.buf), burstCap)
+	}
+	if q.len() != 2 {
+		t.Fatalf("live count changed during shrink: %d", q.len())
+	}
+}
+
+func TestSliceQueueDrainedSlicesAreCollectable(t *testing.T) {
+	var q sliceQueue
+	collected := make(chan struct{}, 1)
+	func() {
+		s := &Slice{Serial: 7}
+		runtime.SetFinalizer(s, func(*Slice) { close(collected) })
+		q.push(s)
+		q.push(&Slice{Serial: 8}) // keep the queue non-empty
+		q.popFront()
+	}()
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+		}
+	}
+	t.Fatal("popped slice was never collected: the queue still references it")
+}

@@ -67,18 +67,18 @@ func (dc *Datacenter) CaptureState(jobRef func(*workload.Job) int) State {
 			Draw:          s.draw,
 		}
 	}
-	for i, p := range dc.Procs {
+	for i := range dc.Procs {
 		ps := ProcState{
-			UtilTime:    p.UtilTime,
-			BusySince:   p.busySince,
-			Backlog:     p.backlog,
-			Offline:     p.offline,
-			OfflineDraw: p.offlineDraw,
+			UtilTime:    dc.utilTime[i],
+			BusySince:   dc.busySince[i],
+			Backlog:     dc.backlog[i],
+			Offline:     dc.offline[i],
+			OfflineDraw: dc.offlineDraw[i],
 		}
-		if p.current != nil {
-			ps.Current = []SliceState{cap(p.current)}
+		if cur := dc.current[i]; cur != nil {
+			ps.Current = []SliceState{cap(cur)}
 		}
-		for _, q := range p.queue.items() {
+		for _, q := range dc.queues[i].items() {
 			ps.Queue = append(ps.Queue, cap(q))
 		}
 		st.Procs[i] = ps
@@ -121,14 +121,13 @@ func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error
 		return s, nil
 	}
 	for i, ps := range st.Procs {
-		p := dc.Procs[i]
-		p.UtilTime = ps.UtilTime
-		p.busySince = ps.BusySince
-		p.backlog = ps.Backlog
-		p.offline = ps.Offline
-		p.offlineDraw = ps.OfflineDraw
-		p.current = nil
-		p.queue.reset()
+		dc.utilTime[i] = ps.UtilTime
+		dc.busySince[i] = ps.BusySince
+		dc.backlog[i] = ps.Backlog
+		dc.offline[i] = ps.Offline
+		dc.offlineDraw[i] = ps.OfflineDraw
+		dc.current[i] = nil
+		dc.queues[i].reset()
 		if len(ps.Current) > 1 {
 			return nil, fmt.Errorf("cluster: processor %d snapshot has %d running slices", i, len(ps.Current))
 		}
@@ -137,28 +136,32 @@ func (dc *Datacenter) RestoreState(st State, job func(int) (*workload.Job, error
 			if err != nil {
 				return nil, err
 			}
-			p.current = s
+			dc.current[i] = s
 		}
 		for _, qs := range ps.Queue {
 			s, err := restore(qs)
 			if err != nil {
 				return nil, err
 			}
-			p.queue.push(s)
+			dc.queues[i].push(s)
 		}
 	}
 	dc.demand = st.Demand
 	// The overlay bypassed start/Complete/SetOffline, so the O(1)
-	// counters are recomputed from the restored truth.
+	// counters are recomputed from the restored truth, and any
+	// incremental ordering derived from the pre-restore state is
+	// invalid — signal a full rebuild through the dirty overflow.
 	dc.nBusy, dc.nOffline = 0, 0
-	for _, p := range dc.Procs {
-		if p.current != nil {
+	for i := range dc.current {
+		if dc.current[i] != nil {
 			dc.nBusy++
 		}
-		if p.offline {
+		if dc.offline[i] {
 			dc.nOffline++
 		}
 	}
+	dc.ResetFairDirty()
+	dc.fairDirtyOverflow = true
 	// The caller typically restores voltage-regime state (profiling
 	// knowledge, fault overrides) after this overlay, so any draw
 	// memoized before or during the restore could be stale.

@@ -99,6 +99,62 @@ func TestLeastUsedOrderAllocFree(t *testing.T) {
 	})
 }
 
+// TestIncrementalRepairAllocFree pins the dirty-set repair paths the
+// incremental order maintenance runs between full rebuilds: a fair
+// order repaired around one dirtied processor, an efficiency order
+// repaired around one re-ranked chip, and a slack order re-derived
+// across a deficit/surplus direction flip. Each is the steady-state
+// fast path at million-processor scale, so per-call growth here is a
+// scaling regression even when the full rebuilds stay clean.
+func TestIncrementalRepairAllocFree(t *testing.T) {
+	s := warmSim(t)
+	// The warmup may have stopped at an instant where every processor
+	// is between slices; step until one is busy so the preempt cycle
+	// below has a target.
+	busy := -1
+	for busy < 0 {
+		for i := range s.dc.Procs {
+			if s.dc.IsBusy(i) {
+				busy = i
+				break
+			}
+		}
+		if busy < 0 && !s.eng.Step() {
+			t.Fatal("event queue drained before any processor went busy")
+		}
+	}
+	now := s.eng.Now()
+	fairRepair := func() {
+		// A preempt/enqueue round-trip at the same instant leaves the
+		// cluster state unchanged but marks the processor fair-dirty,
+		// so every call takes the one-dirty repair path.
+		if sl := s.dc.Preempt(busy, now); sl != nil {
+			s.dc.Enqueue(sl, now)
+		}
+		s.fairValid = false
+		_ = s.leastUsedOrder(now)
+	}
+	fairRepair() // warm: the first call rebuilds and sizes the retained lists
+	fairRepair() // warm: the first repair sizes the patch scratch
+	measure(t, "repairFairOrder", fairRepair)
+
+	effRepair := func() {
+		s.markEffDirty(3)
+		s.refreshEffOrder()
+	}
+	effRepair()
+	effRepair()
+	measure(t, "repairEffOrder", effRepair)
+
+	slackFlip := func() {
+		_ = s.sortRunningBySlack(now, true)
+		_ = s.sortRunningBySlack(now, false)
+	}
+	slackFlip()
+	slackFlip()
+	measure(t, "sortRunningBySlack(flip)", slackFlip)
+}
+
 // TestUtilTimesIntoNoEscape guards the helper the fair order depends
 // on: filling the reused buffer must not allocate.
 func TestUtilTimesIntoNoEscape(t *testing.T) {

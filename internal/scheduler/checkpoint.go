@@ -497,6 +497,14 @@ func (s *sim) restore(data []byte) error {
 	s.slicesDone = snap.SlicesDone
 	s.sliceSeq = snap.SliceSeq
 	s.fairValid = false
+	// The snapshot carries dirty *flags* but not the dirty id sets the
+	// incremental order repairs consume, so every retained order cache
+	// is stale: force full rebuilds on first use. (RestoreState already
+	// raised the cluster's fair-dirty overflow; these cover the
+	// scheduler-side efficiency and slack caches.)
+	s.fairListsOK = false
+	s.effCacheOK = false
+	s.resetEffDirty()
 
 	if s.onlineActive {
 		if len(snap.ScanState) != len(s.scanState) {

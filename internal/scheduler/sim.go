@@ -357,6 +357,59 @@ type sim struct {
 	permBuf       []int
 	effKeys       []effKey
 
+	// Incremental fair-order maintenance (serial tier). Idle processors'
+	// utilization keys are static (no in-flight span), so fairIdle — the
+	// idle fleet sorted by (u, id) — stays exactly sorted until a
+	// processor the cluster reports dirty (FairDirty) starts or stops.
+	// Instead of rewriting the idle list each pass, dirty processors'
+	// old entries are abandoned in place (invalidated by bumping the
+	// processor's fairVer stamp) and their fresh keys merged into the
+	// small idleExtra overlay; only the busy minority, whose keys move
+	// with now, is re-keyed per pass. The order itself is never
+	// materialized eagerly: extendFairMemo streams the three sorted
+	// sources on demand into the fairOrder memo, so a pass costs
+	// O(busy + dirty + consumed prefix) instead of O(fleet).
+	// fullFairPass is the fallback past the dirt threshold — and the
+	// compaction that clears accumulated stale entries.
+	fairIdle    []idleEntry // main idle list; may carry stale entries
+	idleExtra   []idleEntry // sorted overlay of re-keyed idle entries
+	idleScratch []idleEntry // overlay merge scratch
+	idlePatch   []idleEntry // per-pass freshly idle keys
+	fairBusy    []int32     // busy processors in last pass's order
+	busyKeys    []utilKey
+	busyKeys2   []utilKey
+	busyPatch   []utilKey
+	fairVer     []int32 // per-proc entry version; bumped when dirty
+	fairStale   int     // stale entries abandoned since the last full pass
+	fairII      int     // pass cursors into fairIdle / idleExtra / busyKeys
+	fairEI      int
+	fairBI      int
+	fairListsOK bool
+	dirtyMark   []int64 // epoch-stamped dirty membership
+	dirtyEpoch  int64
+
+	// Incremental efficiency-order maintenance. effRank caches the last
+	// EffRank per processor and effPos its index in effPref; finishScan
+	// marks the one chip whose knowledge moved, and the refresh merges
+	// just those back instead of re-ranking the fleet.
+	effRank          []float64
+	effPos           []int32
+	effPref2         []int
+	effPatch         []effKey
+	effDirty         []int32
+	effDirtyMark     []bool
+	effDirtyOverflow bool
+	effCacheOK       bool
+
+	// Incremental slack-order maintenance. runKeys holds the slack keys
+	// aligned with runSorted from the previous matching pass; a key is
+	// still exact iff the slice kept its generation (slack = deadline −
+	// finish is time-independent, and every finish move bumps Gen), so a
+	// pass repairs only gen-stale slices and newcomers.
+	runKeys    []runKey
+	runKeys2   []runKey
+	runSorted2 []*cluster.Slice
+
 	// par is the sharded parallel tier (see parallel.go), nil when
 	// Workers <= 1 or in naive mode. It holds only per-call scratch and
 	// the worker pool — never simulation state — so checkpoints ignore
@@ -377,6 +430,30 @@ type utilKey struct {
 	id int
 }
 
+// idleEntry is one idle processor's position in the retained fair
+// order. Entries are never deleted from the sorted lists they live in;
+// an entry is authoritative iff its ver matches the processor's current
+// fairVer stamp, so invalidating every entry of a dirtied processor is
+// one counter bump and iteration simply skips the husks. At most one
+// entry per processor can be valid at a time: each dirty pass bumps the
+// stamp once and writes exactly one fresh entry.
+type idleEntry struct {
+	u       units.Seconds
+	id, ver int32
+}
+
+// idleAsc orders idle entries by the same strict (u, id) key as
+// utilAsc; ver is bookkeeping, never part of the sort key.
+func idleAsc(a, b idleEntry) int {
+	if a.u != b.u {
+		if a.u < b.u {
+			return -1
+		}
+		return 1
+	}
+	return int(a.id) - int(b.id)
+}
+
 // slackEntry pairs a running slice (by position in the scratch slice
 // being sorted) with its deadline slack, computed once before the
 // matching sort. Pointer-free on purpose: the sort's O(n log n) swaps
@@ -386,6 +463,15 @@ type slackEntry struct {
 	slack  units.Seconds
 	idx    int32 // position in the pre-sort running slice
 	procID int32 // deadline tiebreak; one running slice per processor
+}
+
+// runKey is the retained sort key of one entry in runSorted: the slack
+// and tiebreak the previous pass sorted by, plus the slice generation
+// that proves the key is still exact (any Finish move bumps Gen).
+type runKey struct {
+	slack  units.Seconds
+	procID int32
+	gen    int32
 }
 
 // rebalCand is one queued slice endangered by its estimated start.
@@ -547,10 +633,32 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig, streaming bool) (*sim, e
 		initialJobs = cfg.Jobs.Jobs
 	}
 
+	// Event-queue backend. Optimized runs bucket events on the run's
+	// tick grid (the supply/matching period — the timestamps events
+	// cluster at); naive runs keep the plain 4-ary heap so the
+	// equivalence suite proves the two backends pop bit-identically.
+	// The grid is a performance hint only: off-grid and far-future
+	// events overflow to the retained heap inside the engine.
+	grid := cfg.MatchInterval
+	if grid <= 0 {
+		if cfg.Wind != nil {
+			grid = cfg.Wind.Interval
+		} else {
+			grid = units.Minutes(10)
+		}
+	}
+	// Pending events peak at the not-yet-arrived jobs (all scheduled
+	// up front) plus one completion per processor and a few ticks.
+	evCap := len(initialJobs) + len(fleet.Chips) + 16
+	var eng *simulator.Engine[eventTag]
+	if cfg.naive {
+		eng = simulator.NewWithCapacity[eventTag](evCap)
+	} else {
+		eng = simulator.NewCalendarWithCapacity[eventTag](grid, evCap)
+	}
+
 	s := &sim{
-		// Pending events peak at the not-yet-arrived jobs (all scheduled
-		// up front) plus one completion per processor and a few ticks.
-		eng:       simulator.NewWithCapacity[eventTag](len(initialJobs) + len(fleet.Chips) + 16),
+		eng:       eng,
 		dc:        dc,
 		fleet:     fleet,
 		know:      know,
@@ -826,6 +934,7 @@ func (s *sim) rebuildSerialIndex(live map[int]*cluster.Slice) {
 		s.bySerial[serial] = sl
 	}
 	s.runSorted = s.runSorted[:0]
+	s.runKeys = s.runKeys[:0]
 }
 
 // sync integrates energy up to now at the current demand and wind.
@@ -936,13 +1045,14 @@ func (s *sim) selectProcs(j *workload.Job, now units.Seconds) []placement {
 		n = len(s.dc.Procs)
 	}
 	abundant := s.scheme.Policy == FairPolicy && s.windAbundant()
-	order := s.candidateOrder(now, abundant)
+	it := s.candidateIter(now, abundant)
 	out := s.placeBuf[:0]
 	s.takenEpoch++
 	epoch := s.takenEpoch
 
-	for _, id := range order {
-		if len(out) == n {
+	for len(out) < n {
+		id, ok := it.next()
+		if !ok {
 			break
 		}
 		avail := s.dc.AvailableAt(id, now)
@@ -1069,26 +1179,126 @@ func (s *sim) efficiencyOrder() []int {
 	return s.effPref
 }
 
-// refreshEffOrder re-sorts effPref in place with precomputed (rank,
-// position) keys. The current order serves as its own tiebreak — the
-// same evolution effOrder implements — and because positions form a
-// permutation the key pairs are all distinct, so this unstable sort is
-// deterministically equal to effOrder's stable one.
+// refreshEffOrder re-sorts effPref with precomputed (rank, position)
+// keys. The current order serves as its own tiebreak — the same
+// evolution effOrder implements — and because positions form a
+// permutation the key pairs are all distinct, so an unstable sort is
+// deterministically equal to effOrder's stable one. The serial tier
+// repairs incrementally: only the chips finishScan marked dirty can
+// have a different EffRank (the scan DB is the lone dynamic rank
+// input, and it moves one chip at a time), so the clean remainder of
+// effPref is already sorted under (cached rank, position) and the few
+// dirty chips merge back in.
 func (s *sim) refreshEffOrder() {
 	if s.par != nil {
 		s.parRefreshEffOrder()
+		s.effCacheOK = false
+		s.resetEffDirty()
 		return
 	}
+	if s.effCacheOK && !s.effDirtyOverflow && len(s.effDirty) <= len(s.effPref)/8 {
+		s.repairEffOrder()
+	} else {
+		s.fullEffOrder()
+	}
+	s.resetEffDirty()
+}
+
+// fullEffOrder is the non-incremental preference rebuild; it also
+// refreshes the rank/position caches the repair path leans on.
+func (s *sim) fullEffOrder() {
 	if s.effKeys == nil {
 		s.effKeys = make([]effKey, len(s.effPref))
 	}
+	if s.effRank == nil {
+		s.effRank = make([]float64, len(s.effPref))
+		s.effPos = make([]int32, len(s.effPref))
+		s.effPref2 = make([]int, 0, len(s.effPref))
+		s.effPatch = make([]effKey, 0, len(s.effPref)/8+8)
+	}
 	for i, id := range s.effPref {
-		s.effKeys[i] = effKey{rank: s.know.EffRank(id), pos: int32(i), id: int32(id)}
+		r := s.know.EffRank(id)
+		s.effRank[id] = r
+		s.effKeys[i] = effKey{rank: r, pos: int32(i), id: int32(id)}
 	}
 	slices.SortFunc(s.effKeys, effCmp)
 	for i := range s.effKeys {
-		s.effPref[i] = int(s.effKeys[i].id)
+		id := int(s.effKeys[i].id)
+		s.effPref[i] = id
+		s.effPos[id] = int32(i)
 	}
+	s.effCacheOK = true
+}
+
+// repairEffOrder merges the dirty chips — re-ranked, keyed by their
+// current position — into the clean remainder of effPref. The clean
+// subsequence is sorted under (cached rank, current position): effPref
+// was emitted rank-ascending and clean ranks have not moved, while
+// positions increase along it by construction. Both sequences sorted
+// under the strict effCmp order means the merge equals the full sort.
+func (s *sim) repairEffOrder() {
+	if len(s.effDirty) == 0 {
+		return // no rank moved: the cached order is already exact
+	}
+	patch := s.effPatch[:0]
+	for _, id := range s.effDirty {
+		r := s.know.EffRank(int(id))
+		s.effRank[id] = r
+		patch = append(patch, effKey{rank: r, pos: s.effPos[id], id: id})
+	}
+	slices.SortFunc(patch, effCmp)
+	s.effPatch = patch
+
+	out := s.effPref2[:0]
+	j := 0
+	for i, id := range s.effPref {
+		if s.effDirtyMark[id] {
+			continue
+		}
+		k := effKey{rank: s.effRank[id], pos: int32(i), id: int32(id)}
+		for j < len(patch) && effCmp(patch[j], k) < 0 {
+			out = append(out, int(patch[j].id))
+			j++
+		}
+		out = append(out, id)
+	}
+	for ; j < len(patch); j++ {
+		out = append(out, int(patch[j].id))
+	}
+	s.effPref, s.effPref2 = out, s.effPref
+	for i, id := range s.effPref {
+		s.effPos[id] = int32(i)
+	}
+}
+
+// markEffDirty records that a chip's efficiency rank may have moved
+// (its scan completed). O(1) and allocation-free past initialization;
+// overflow degrades to a full rebuild on the next refresh.
+func (s *sim) markEffDirty(id int) {
+	if s.effDirtyOverflow {
+		return
+	}
+	if s.effDirtyMark == nil {
+		s.effDirtyMark = make([]bool, len(s.dc.Procs))
+		s.effDirty = make([]int32, 0, len(s.dc.Procs)/8+64)
+	}
+	if s.effDirtyMark[id] {
+		return
+	}
+	if len(s.effDirty) == cap(s.effDirty) {
+		s.effDirtyOverflow = true
+		return
+	}
+	s.effDirtyMark[id] = true
+	s.effDirty = append(s.effDirty, int32(id))
+}
+
+func (s *sim) resetEffDirty() {
+	for _, id := range s.effDirty {
+		s.effDirtyMark[id] = false
+	}
+	s.effDirty = s.effDirty[:0]
+	s.effDirtyOverflow = false
 }
 
 // effCmp orders (rank ascending, previous position): positions form a
@@ -1116,9 +1326,15 @@ func (s *sim) windAbundant() bool {
 
 // leastUsedOrder sorts processors by accumulated utilization time
 // ascending ("historically least-used CPUs"), cached per event time.
-// The sort runs over precomputed (utilization, id) keys — a strict
-// total order, so the unstable sort matches the reference — in buffers
-// reused across calls.
+// The serial tier maintains the order incrementally and materializes
+// it lazily: ensureFairPass refreshes the retained sorted sources
+// (idle main list + overlay, per-pass busy keys), and extendFairMemo
+// streams their 3-way merge into fairOrder on demand. This function is
+// the materialize-everything entry point; selectProcs goes through
+// candidateIter instead and pulls only the prefix it consumes. Every
+// emission follows the identical (utilization, id) strict total order
+// the naive reference sorts, so all paths yield the same permutation
+// bit for bit.
 func (s *sim) leastUsedOrder(now units.Seconds) []int {
 	if s.cfg.naive {
 		return s.naiveLeastUsedOrder(now)
@@ -1126,33 +1342,271 @@ func (s *sim) leastUsedOrder(now units.Seconds) []int {
 	if s.par != nil {
 		return s.parLeastUsedOrder(now)
 	}
+	s.ensureFairPass(now)
+	for s.extendFairMemo() {
+	}
+	return s.fairOrder
+}
+
+// ensureFairPass begins a fair-order pass for the given instant unless
+// the current one is still valid. A pass freezes the order's sources —
+// the idle lists, the busy keys, and the fairVer validity stamps — at
+// entry, so cluster mutations later at the same instant do not bleed
+// into an order already being consumed (matching the naive reference,
+// which caches the fully sorted permutation per event time). Dirty
+// work beyond the thresholds, invalid retained lists, or too many
+// accumulated stale entries fall back to the compacting full pass.
+func (s *sim) ensureFairPass(now units.Seconds) {
 	if s.fairValid && s.fairOrderAt == now {
-		return s.fairOrder
+		return
 	}
-	s.utilBuf = s.dc.UtilTimesInto(s.utilBuf, now)
-	if s.fairOrder == nil {
-		s.fairOrder = make([]int, len(s.utilBuf))
-		for i := range s.fairOrder {
-			s.fairOrder[i] = i
-		}
-		s.fairKeys = make([]utilKey, len(s.utilBuf))
+	dirty, overflow := s.dc.FairDirty()
+	n := len(s.dc.Procs)
+	staleMax := n / 32
+	if staleMax < 1024 {
+		staleMax = 1024
 	}
-	// Seed the keys in the previous sorted order: busy processors all
-	// accrue utilization at the same rate, so between two syncs the
-	// order only changes where a busy processor overtakes an idle one.
-	// The nearly-sorted input hits pdqsort's partial-insertion fast
-	// path, and because (u, id) is a strict total order the result is
-	// identical from any starting permutation.
-	for i, id := range s.fairOrder {
-		s.fairKeys[i] = utilKey{u: s.utilBuf[id], id: id}
+	if s.fairListsOK && !overflow && len(dirty) <= n/8 &&
+		s.fairStale+len(dirty) <= staleMax {
+		s.repairFairPass(now, dirty)
+	} else {
+		s.fullFairPass(now)
 	}
-	slices.SortFunc(s.fairKeys, utilAsc)
-	for i, k := range s.fairKeys {
-		s.fairOrder[i] = k.id
-	}
+	s.dc.ResetFairDirty()
 	s.fairOrderAt = now
 	s.fairValid = true
-	return s.fairOrder
+	s.fairOrder = s.fairOrder[:0]
+	s.fairII, s.fairEI, s.fairBI = 0, 0, 0
+}
+
+// fullFairPass is the non-incremental rebuild: one sort of the whole
+// fleet that rederives the retained lists the repair passes patch, and
+// the compaction point where stale entries and the overlay are shed.
+func (s *sim) fullFairPass(now units.Seconds) {
+	s.utilBuf = s.dc.UtilTimesInto(s.utilBuf, now)
+	if s.fairKeys == nil {
+		s.fairKeys = make([]utilKey, len(s.utilBuf))
+		for i := range s.fairKeys {
+			s.fairKeys[i].id = i
+		}
+		s.fairOrder = make([]int, 0, len(s.utilBuf))
+		s.fairVer = make([]int32, len(s.utilBuf))
+	}
+	// Re-key in the previous full pass's sorted order: busy processors
+	// all accrue utilization at the same rate, so the permutation only
+	// changes where a busy processor overtakes an idle one. The
+	// nearly-sorted input hits pdqsort's partial-insertion fast path,
+	// and because (u, id) is a strict total order the result is
+	// identical from any starting permutation.
+	for i := range s.fairKeys {
+		s.fairKeys[i].u = s.utilBuf[s.fairKeys[i].id]
+	}
+	slices.SortFunc(s.fairKeys, utilAsc)
+	s.fairIdle = s.fairIdle[:0]
+	s.idleExtra = s.idleExtra[:0]
+	s.fairStale = 0
+	s.fairBusy = s.fairBusy[:0]
+	s.busyKeys = s.busyKeys[:0]
+	for _, k := range s.fairKeys {
+		// Idle keys are exact (no in-flight term), so the partition of
+		// the sorted keys seeds the incremental lists directly. Writing
+		// entries at the processors' current stamps revalidates them
+		// without touching fairVer — abandoned husks all carry older
+		// stamps.
+		if s.dc.IsBusy(k.id) {
+			s.fairBusy = append(s.fairBusy, int32(k.id))
+			s.busyKeys = append(s.busyKeys, k)
+		} else {
+			s.fairIdle = append(s.fairIdle, idleEntry{u: k.u, id: int32(k.id), ver: s.fairVer[k.id]})
+		}
+	}
+	s.fairListsOK = true
+}
+
+// repairFairPass refreshes the pass sources around the dirty set alone.
+// Dirty processors have every old idle entry invalidated by one fairVer
+// bump; the ones idle now contribute one fresh entry merged into the
+// idleExtra overlay, and the ones busy now join the re-keyed busy list.
+// Idle keys are utilTime exactly and busy keys use the same float
+// expression as UtilTimesInto (see Datacenter.UtilAt), so every key
+// equals the one fullFairPass would compute and the streamed merge —
+// under the strict (u, id) order — is identical to the full sort.
+func (s *sim) repairFairPass(now units.Seconds, dirty []int32) {
+	if s.dirtyMark == nil {
+		s.dirtyMark = make([]int64, len(s.dc.Procs))
+	}
+	s.dirtyEpoch++
+	for _, id := range dirty {
+		s.dirtyMark[id] = s.dirtyEpoch
+		s.fairVer[id]++
+	}
+	s.fairStale += len(dirty)
+
+	// Re-key the busy carry-over in its retained order. In real
+	// arithmetic every continuously busy processor's key shifts by the
+	// same amount between passes, so the carried order is preserved;
+	// float rounding can flip near-ties by an ulp, so any re-keyed
+	// element that lands below its predecessor is extracted into the
+	// busy patch instead of trusted. The clean majority then needs no
+	// sort at all — only the small patch (extracted flips plus dirty
+	// processors that are busy now) is sorted and merged back, which is
+	// what keeps this pass linear in the busy minority, not the fleet.
+	busy := s.busyKeys[:0]
+	bpatch := s.busyPatch[:0]
+	for _, id := range s.fairBusy {
+		if s.dirtyMark[id] == s.dirtyEpoch {
+			continue
+		}
+		k := utilKey{u: s.dc.UtilAt(int(id), now), id: int(id)}
+		if n := len(busy); n > 0 && utilAsc(k, busy[n-1]) < 0 {
+			bpatch = append(bpatch, k)
+		} else {
+			busy = append(busy, k)
+		}
+	}
+	patch := s.idlePatch[:0]
+	for _, id := range dirty {
+		if s.dc.IsBusy(int(id)) {
+			bpatch = append(bpatch, utilKey{u: s.dc.UtilAt(int(id), now), id: int(id)})
+		} else {
+			patch = append(patch, idleEntry{u: s.dc.UtilTimeOf(int(id)), id: id, ver: s.fairVer[id]})
+		}
+	}
+	slices.SortFunc(bpatch, utilAsc)
+	if len(bpatch) > 0 {
+		// Merge the sorted clean majority with the sorted patch; under
+		// the strict (u, id) order the merge equals the full sort.
+		merged := s.busyKeys2[:0]
+		bj := 0
+		for _, k := range busy {
+			for bj < len(bpatch) && utilAsc(bpatch[bj], k) < 0 {
+				merged = append(merged, bpatch[bj])
+				bj++
+			}
+			merged = append(merged, k)
+		}
+		merged = append(merged, bpatch[bj:]...)
+		busy, s.busyKeys2 = merged, busy[:0]
+	}
+	s.busyKeys = busy
+	s.busyPatch = bpatch[:0]
+
+	// The carry for the next pass is this pass's busy list.
+	s.fairBusy = s.fairBusy[:0]
+	for _, k := range busy {
+		s.fairBusy = append(s.fairBusy, int32(k.id))
+	}
+
+	// Fold the freshly idle keys into the overlay. The main idle list is
+	// untouched — the dirty processors' entries there are already dead
+	// via the stamp bump — so this costs the overlay's size, which
+	// compaction keeps a small fraction of the fleet.
+	if len(patch) > 0 {
+		slices.SortFunc(patch, idleAsc)
+		merged := s.idleScratch[:0]
+		j := 0
+		for _, k := range s.idleExtra {
+			for j < len(patch) && idleAsc(patch[j], k) < 0 {
+				merged = append(merged, patch[j])
+				j++
+			}
+			merged = append(merged, k)
+		}
+		merged = append(merged, patch[j:]...)
+		s.idleExtra, s.idleScratch = merged, s.idleExtra[:0]
+	}
+	s.idlePatch = patch[:0]
+}
+
+// extendFairMemo appends the next processor of the frozen pass's order
+// to the fairOrder memo, returning false once the fleet is exhausted.
+// It merges three sorted sources — the main idle list, the idleExtra
+// overlay (both skipping entries whose version stamp is stale), and
+// the per-pass busy keys. Validity is frozen with the pass: stamps
+// only move in repairFairPass, so a processor placed mid-pass keeps
+// its pass-entry position exactly as the cached-permutation semantics
+// require. At most one idle entry per processor is valid and busy
+// processors never have one, so the heads are always three distinct
+// (u, id) keys and the strict comparison needs no dedup.
+func (s *sim) extendFairMemo() bool {
+	for s.fairII < len(s.fairIdle) && s.fairIdle[s.fairII].ver != s.fairVer[s.fairIdle[s.fairII].id] {
+		s.fairII++
+	}
+	for s.fairEI < len(s.idleExtra) && s.idleExtra[s.fairEI].ver != s.fairVer[s.idleExtra[s.fairEI].id] {
+		s.fairEI++
+	}
+	var (
+		bu  units.Seconds
+		bid int
+		src int // 0 none, 1 main idle, 2 overlay, 3 busy
+	)
+	if s.fairII < len(s.fairIdle) {
+		e := s.fairIdle[s.fairII]
+		bu, bid, src = e.u, int(e.id), 1
+	}
+	if s.fairEI < len(s.idleExtra) {
+		if e := s.idleExtra[s.fairEI]; src == 0 || e.u < bu || (e.u == bu && int(e.id) < bid) {
+			bu, bid, src = e.u, int(e.id), 2
+		}
+	}
+	if s.fairBI < len(s.busyKeys) {
+		if k := s.busyKeys[s.fairBI]; src == 0 || k.u < bu || (k.u == bu && k.id < bid) {
+			bid, src = k.id, 3
+		}
+	}
+	switch src {
+	case 0:
+		return false
+	case 1:
+		s.fairII++
+	case 2:
+		s.fairEI++
+	default:
+		s.fairBI++
+	}
+	s.fairOrder = append(s.fairOrder, bid)
+	return true
+}
+
+// candIter streams a candidate order. For the serial fair-abundant
+// path it materializes the order lazily through the pass memo — every
+// iterator at the same instant replays the shared prefix, and only the
+// frontier consumer extends it — so a placement pass over a mostly-
+// idle million-processor fleet touches dozens of entries, not the
+// fleet. All other policies and tiers wrap the eagerly built slice.
+type candIter struct {
+	s     *sim
+	fixed []int
+	pos   int
+	lazy  bool
+}
+
+func (s *sim) candidateIter(now units.Seconds, abundant bool) candIter {
+	if abundant && s.scheme.Policy == FairPolicy && !s.cfg.naive && s.par == nil {
+		s.ensureFairPass(now)
+		return candIter{s: s, lazy: true}
+	}
+	return candIter{fixed: s.candidateOrder(now, abundant)}
+}
+
+func (it *candIter) next() (int, bool) {
+	if !it.lazy {
+		if it.pos >= len(it.fixed) {
+			return 0, false
+		}
+		id := it.fixed[it.pos]
+		it.pos++
+		return id, true
+	}
+	s := it.s
+	for it.pos >= len(s.fairOrder) {
+		if !s.extendFairMemo() {
+			return 0, false
+		}
+	}
+	id := s.fairOrder[it.pos]
+	it.pos++
+	return id, true
 }
 
 func utilAsc(a, b utilKey) int {
@@ -1423,6 +1877,7 @@ func (s *sim) finishScan(id int, now units.Seconds) {
 	s.scanLeft--
 	s.profiled++
 	s.profilesDirty = true
+	s.markEffDirty(id)
 	if started := s.dc.SetOnline(id, now); started != nil {
 		s.scheduleCompletion(started)
 	}
@@ -1509,8 +1964,8 @@ func (s *sim) match(now units.Seconds) []*cluster.Slice {
 // its assigned DVFS level — the only state the surplus side of match
 // can act on.
 func (s *sim) anyBelowAssigned() bool {
-	for _, p := range s.dc.Procs {
-		if cur := p.Current(); cur != nil && cur.Level < cur.AssignedLevel {
+	for _, cur := range s.dc.CurrentView() {
+		if cur != nil && cur.Level < cur.AssignedLevel {
 			return true
 		}
 	}
@@ -1538,46 +1993,137 @@ func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice 
 	if s.par != nil {
 		return s.parSortRunningBySlack(now, desc)
 	}
+	if len(s.runKeys) != len(s.runSorted) {
+		// Keys not tracked for the carried list (fresh run, or a restore
+		// rebuilt the serial index). Dropping the carry is safe: the
+		// newcomer scan below rediscovers every running slice.
+		s.runSorted = s.runSorted[:0]
+		s.runKeys = s.runKeys[:0]
+	}
 	s.runEpoch++
-	running := s.runSorted[:0]
-	for _, sl := range s.runSorted {
-		if sl.Running() {
-			running = append(running, sl)
-			s.runStamp[sl.Serial] = s.runEpoch
+	// Partition the previous sorted list: slices that kept their
+	// generation kept their Finish, so their stored key is exact and
+	// their relative order still sorted; gen-stale survivors join the
+	// patch for re-keying.
+	baseS := s.runSorted
+	baseK := s.runKeys
+	baseN := 0
+	patchK := s.slackBuf[:0]
+	patchS := s.runBuf[:0]
+	for i, sl := range baseS {
+		if !sl.Running() {
+			continue
+		}
+		s.runStamp[sl.Serial] = s.runEpoch
+		if baseK[i].gen == int32(sl.Gen) {
+			baseS[baseN] = sl
+			baseK[baseN] = baseK[i]
+			baseN++
+		} else {
+			patchK = append(patchK, slackEntry{slack: slack(sl, now), idx: int32(len(patchS)), procID: int32(sl.ProcID)})
+			patchS = append(patchS, sl)
 		}
 	}
 	if desc != s.lastSlackDesc {
-		// The previous pass sorted the other direction; reversing the
-		// survivors (no comparisons) restores the nearly-sorted input
-		// the fast path needs.
-		slices.Reverse(running)
+		// The previous pass sorted the other direction. Reversing the
+		// exact-keyed base flips the slack order, but ties break by
+		// procID ascending in BOTH directions (matching slackDesc and
+		// slackAsc), so each equal-slack run — reversed wholesale into
+		// procID-descending — must be re-reversed in place. No-deadline
+		// slices all share +Inf slack, so such runs are common.
+		slices.Reverse(baseS[:baseN])
+		slices.Reverse(baseK[:baseN])
+		for i := 0; i < baseN; {
+			j := i + 1
+			for j < baseN && baseK[j].slack == baseK[i].slack {
+				j++
+			}
+			slices.Reverse(baseS[i:j])
+			slices.Reverse(baseK[i:j])
+			i = j
+		}
 		s.lastSlackDesc = desc
 	}
-	for _, p := range s.dc.Procs {
-		if cur := p.Current(); cur != nil && s.runStamp[cur.Serial] != s.runEpoch {
-			running = append(running, cur)
+	// Slices that started running since the previous pass.
+	for _, cur := range s.dc.CurrentView() {
+		if cur != nil && s.runStamp[cur.Serial] != s.runEpoch {
+			patchK = append(patchK, slackEntry{slack: slack(cur, now), idx: int32(len(patchS)), procID: int32(cur.ProcID)})
+			patchS = append(patchS, cur)
 		}
 	}
-	s.runSorted = running
-	keys := s.slackBuf[:0]
-	for i, sl := range running {
-		keys = append(keys, slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)})
+	s.runBuf = patchS
+	s.slackBuf = patchK
+
+	if len(patchK) > baseN/4+8 {
+		// Too much churn for a merge to win: rebuild wholesale from the
+		// combined candidate list, exactly the retained full path.
+		running := append(baseS[:baseN], patchS...)
+		s.runSorted = running
+		keys := s.slackBuf[:0]
+		for i, sl := range running {
+			keys = append(keys, slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)})
+		}
+		s.slackBuf = keys
+		if desc {
+			slices.SortFunc(keys, slackDesc)
+		} else {
+			slices.SortFunc(keys, slackAsc)
+		}
+		// Apply the sorted permutation through a scratch copy (the
+		// in-place running slice is both source and destination).
+		scratch := append(s.runSorted2[:0], running...)
+		s.runSorted2 = scratch[:0]
+		outK := s.runKeys2[:0]
+		for i, k := range keys {
+			running[i] = scratch[k.idx]
+			outK = append(outK, runKey{slack: k.slack, procID: k.procID, gen: int32(running[i].Gen)})
+		}
+		s.runKeys, s.runKeys2 = outK, s.runKeys[:0]
+		return running
 	}
-	s.slackBuf = keys
+
 	if desc {
-		slices.SortFunc(keys, slackDesc)
+		slices.SortFunc(patchK, slackDesc)
 	} else {
-		slices.SortFunc(keys, slackAsc)
+		slices.SortFunc(patchK, slackAsc)
 	}
-	// Apply the sorted permutation through a scratch copy (the in-place
-	// running slice is both source and destination). runBuf is free here:
-	// the incremental path never calls RunningSlices.
-	scratch := append(s.runBuf[:0], running...)
-	s.runBuf = scratch
-	for i, k := range keys {
-		running[i] = scratch[k.idx]
+	// Merge the exact-keyed base with the re-keyed patch. Both are
+	// sorted under the strict (slack, procID) direction order, so the
+	// merge emits the unique sorted permutation — identical to the full
+	// sort of all keys.
+	outS := s.runSorted2[:0]
+	outK := s.runKeys2[:0]
+	j := 0
+	for i := 0; i < baseN; i++ {
+		for j < len(patchK) && slackBefore(desc, patchK[j].slack, patchK[j].procID, baseK[i].slack, baseK[i].procID) {
+			sl := patchS[patchK[j].idx]
+			outS = append(outS, sl)
+			outK = append(outK, runKey{slack: patchK[j].slack, procID: patchK[j].procID, gen: int32(sl.Gen)})
+			j++
+		}
+		outS = append(outS, baseS[i])
+		outK = append(outK, baseK[i])
 	}
-	return running
+	for ; j < len(patchK); j++ {
+		sl := patchS[patchK[j].idx]
+		outS = append(outS, sl)
+		outK = append(outK, runKey{slack: patchK[j].slack, procID: patchK[j].procID, gen: int32(sl.Gen)})
+	}
+	s.runSorted, s.runSorted2 = outS, s.runSorted[:0]
+	s.runKeys, s.runKeys2 = outK, s.runKeys[:0]
+	return outS
+}
+
+// slackBefore reports whether key a strictly precedes key b in the
+// given direction — the merge-loop form of slackDesc/slackAsc.
+func slackBefore(desc bool, sa units.Seconds, pa int32, sb units.Seconds, pb int32) bool {
+	if sa != sb {
+		if desc {
+			return sa > sb
+		}
+		return sa < sb
+	}
+	return pa < pb
 }
 
 func slackDesc(a, b slackEntry) int {

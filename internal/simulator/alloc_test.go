@@ -1,0 +1,36 @@
+package simulator
+
+import (
+	"testing"
+
+	"iscope/internal/units"
+)
+
+// TestCalendarPushPopAllocFree pins the calendar ring's steady state:
+// once a bucket's item slice has reached capacity, scheduling into it
+// and draining it must not touch the heap. The schedule order is
+// deliberately descending so every cycle also exercises the lazy
+// re-sort in top() — the one non-trivial code path between push and
+// pop.
+func TestCalendarPushPopAllocFree(t *testing.T) {
+	grid := units.Seconds(600)
+	e := NewCalendarWithCapacity[int](grid, 64)
+	e.SetDispatcher(func(tag int, now units.Seconds) {})
+
+	cycle := func() {
+		base := e.Now()
+		// Tiny offsets keep the whole measurement inside one grid
+		// bucket; descending order forces the unsorted-push path.
+		for i := 31; i >= 0; i-- {
+			if err := e.ScheduleTag(base+units.Seconds(i)*1e-6, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e.Step() {
+		}
+	}
+	cycle() // warm: grow the bucket's item slice to capacity
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("calendar push/pop allocated %v times per cycle in steady state, want 0", allocs)
+	}
+}

@@ -60,13 +60,18 @@ type PendingEvent[T any] struct {
 // Engine is a discrete-event simulation loop. The zero value is not
 // usable; call New or NewWithCapacity.
 type Engine[T any] struct {
-	pq   []node[T] // 4-ary min-heap by (at, seq)
+	pq   []node[T] // 4-ary min-heap by (at, seq); overflow when cal != nil
 	now  units.Seconds
 	seq  uint64
 	fire Dispatcher[T]
 	// fns holds closure-event callbacks by sequence number, off the
 	// heap array (see node). Nil until the first closure event.
 	fns map[uint64]Callback
+	// cal, when non-nil, is the calendar-queue backend (see calendar.go):
+	// near-term events bucket by grid interval and pq becomes the
+	// overflow heap for events beyond the ring horizon. Pop order is
+	// identical either way.
+	cal *calendar[T]
 }
 
 // New returns an engine with the clock at zero.
@@ -87,7 +92,13 @@ func (e *Engine[T]) SetDispatcher(fn Dispatcher[T]) { e.fire = fn }
 func (e *Engine[T]) Now() units.Seconds { return e.now }
 
 // Pending returns the number of scheduled events.
-func (e *Engine[T]) Pending() int { return len(e.pq) }
+func (e *Engine[T]) Pending() int {
+	n := len(e.pq)
+	if e.cal != nil {
+		n += e.cal.count
+	}
+	return n
+}
 
 // Schedule enqueues fn at virtual time at. Scheduling in the past is an
 // error — it would silently reorder causality.
@@ -109,7 +120,7 @@ func (e *Engine[T]) ScheduleTagged(at units.Seconds, tag T, fn Callback) error {
 		e.fns = make(map[uint64]Callback)
 	}
 	e.fns[e.seq] = fn
-	e.push(node[T]{at: at, seq: e.seq, tag: tag, closure: true})
+	e.enq(node[T]{at: at, seq: e.seq, tag: tag, closure: true})
 	return nil
 }
 
@@ -120,7 +131,7 @@ func (e *Engine[T]) ScheduleTag(at units.Seconds, tag T) error {
 		return fmt.Errorf("simulator: scheduling at %v before now %v", at, e.now)
 	}
 	e.seq++
-	e.push(node[T]{at: at, seq: e.seq, tag: tag})
+	e.enq(node[T]{at: at, seq: e.seq, tag: tag})
 	return nil
 }
 
@@ -155,20 +166,26 @@ func (e *Engine[T]) SkipTo(seq uint64) {
 // PeekNext returns the (time, seq) of the event that Step would fire
 // next, without firing it; ok is false when the queue is empty.
 func (e *Engine[T]) PeekNext() (at units.Seconds, seq uint64, ok bool) {
-	if len(e.pq) == 0 {
-		return 0, 0, false
-	}
-	return e.pq[0].at, e.pq[0].seq, true
+	return e.peekMin()
 }
 
 // PendingEvents returns a snapshot of the queue sorted by firing order
 // (at, then seq). Closure events are flagged: their callbacks cannot be
 // serialized, so checkpointing code must reject (or rebuild) them.
 func (e *Engine[T]) PendingEvents() []PendingEvent[T] {
-	out := make([]PendingEvent[T], 0, len(e.pq))
+	out := make([]PendingEvent[T], 0, e.Pending())
 	for i := range e.pq {
 		ev := &e.pq[i]
 		out = append(out, PendingEvent[T]{At: ev.at, Seq: ev.seq, Tag: ev.tag, Closure: ev.closure})
+	}
+	if e.cal != nil {
+		for si := range e.cal.slots {
+			b := &e.cal.slots[si]
+			for i := b.head; i < len(b.items); i++ {
+				ev := &b.items[i]
+				out = append(out, PendingEvent[T]{At: ev.at, Seq: ev.seq, Tag: ev.tag, Closure: ev.closure})
+			}
+		}
 	}
 	slices.SortFunc(out, func(a, b PendingEvent[T]) int {
 		if a.At != b.At {
@@ -192,6 +209,9 @@ func (e *Engine[T]) Reset(now units.Seconds, seq uint64) {
 	e.now = now
 	e.seq = seq
 	clear(e.fns)
+	if e.cal != nil {
+		e.cal.reset()
+	}
 }
 
 // InjectTag restores one checkpointed tag event with its original
@@ -205,7 +225,7 @@ func (e *Engine[T]) InjectTag(at units.Seconds, seq uint64, tag T) error {
 	if seq > e.seq {
 		return fmt.Errorf("simulator: injected seq %d beyond counter %d", seq, e.seq)
 	}
-	e.push(node[T]{at: at, seq: seq, tag: tag})
+	e.enq(node[T]{at: at, seq: seq, tag: tag})
 	return nil
 }
 
@@ -225,17 +245,17 @@ func (e *Engine[T]) Inject(at units.Seconds, seq uint64, tag T, fn Callback) err
 		e.fns = make(map[uint64]Callback)
 	}
 	e.fns[seq] = fn
-	e.push(node[T]{at: at, seq: seq, tag: tag, closure: true})
+	e.enq(node[T]{at: at, seq: seq, tag: tag, closure: true})
 	return nil
 }
 
 // Step fires the earliest event, advancing the clock. It returns false
 // when the queue is empty.
 func (e *Engine[T]) Step() bool {
-	if len(e.pq) == 0 {
+	if e.Pending() == 0 {
 		return false
 	}
-	ev := e.pop()
+	ev := e.popMin()
 	e.now = ev.at
 	if ev.closure {
 		fn := e.fns[ev.seq]
@@ -259,7 +279,11 @@ func (e *Engine[T]) Run() {
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
 // Events scheduled beyond t stay queued.
 func (e *Engine[T]) RunUntil(t units.Seconds) {
-	for len(e.pq) > 0 && e.pq[0].at <= t {
+	for {
+		at, _, ok := e.peekMin()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
