@@ -202,13 +202,6 @@ func BenchmarkSimulationRunLarge(b *testing.B) {
 		if size.short {
 			workerSweep = []int{1, 8}
 		}
-		if size.procs >= 1_000_000 {
-			// The sharded tier still materializes full per-pass orders
-			// (see ROADMAP: lazy fair order for the parallel tier), so
-			// its million-proc cell runs hours, not minutes. Keep the
-			// tier serial until that lands so the nightly budget holds.
-			workerSweep = []int{1}
-		}
 		for _, workers := range workerSweep {
 			name := fmt.Sprintf("procs=%d/workers=%d", size.procs, workers)
 			b.Run(name, func(b *testing.B) {

@@ -42,6 +42,16 @@ type Benchmark struct {
 	AllocsPerOp      float64  `json:"allocs_per_op"`
 	MaxNsRegress     *float64 `json:"max_ns_regress,omitempty"`
 	MaxAllocsRegress *float64 `json:"max_allocs_regress,omitempty"`
+	// SpeedupVsWorkers1 is computed, never hand-written: for a
+	// benchmark named .../workers=N (N > 1) whose /workers=1 sibling
+	// appears in the same document, it is sibling ns/op divided by this
+	// benchmark's ns/op — above 1.0 means the parallel tier wins.
+	// MinSpeedupVsWorkers1 is a baseline budget: with -enforce-speedup
+	// the gate fails when the measured speedup falls below it. The
+	// budget is only meaningful on multi-core runners, so CI passes the
+	// flag conditionally on the runner's core count.
+	SpeedupVsWorkers1    *float64 `json:"speedup_vs_workers1,omitempty"`
+	MinSpeedupVsWorkers1 *float64 `json:"min_speedup_vs_workers1,omitempty"`
 }
 
 // File is the emitted document. Goos/Goarch/CPU are informational —
@@ -60,10 +70,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 
 func main() {
 	var (
-		out       = flag.String("o", "", "write JSON here instead of stdout")
-		baseline  = flag.String("baseline", "", "gate mode: compare stdin against this benchjson file")
-		maxNs     = flag.Float64("max-ns-regress", 0.10, "gate mode: fail when ns/op grows by more than this fraction")
-		maxAllocs = flag.Float64("max-allocs-regress", 0.10, "gate mode: fail when allocs/op grows by more than this fraction")
+		out        = flag.String("o", "", "write JSON here instead of stdout")
+		baseline   = flag.String("baseline", "", "gate mode: compare stdin against this benchjson file")
+		maxNs      = flag.Float64("max-ns-regress", 0.10, "gate mode: fail when ns/op grows by more than this fraction")
+		maxAllocs  = flag.Float64("max-allocs-regress", 0.10, "gate mode: fail when allocs/op grows by more than this fraction")
+		enforceSpd = flag.Bool("enforce-speedup", false, "gate mode: fail when a measured speedup_vs_workers1 falls below the baseline's min_speedup_vs_workers1 (only meaningful on multi-core runners)")
 	)
 	flag.Parse()
 
@@ -76,6 +87,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(2)
 	}
+	fillSpeedups(cur)
 
 	if *baseline != "" {
 		base, err := readFile(*baseline)
@@ -83,7 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		if gate(os.Stdout, base, cur, *maxNs, *maxAllocs) {
+		if gate(os.Stdout, base, cur, *maxNs, *maxAllocs, *enforceSpd) {
 			os.Exit(1)
 		}
 		return
@@ -191,6 +203,46 @@ func parseRaw(r io.Reader) (*File, error) {
 	return f, nil
 }
 
+// workersName splits a ".../workers=N" benchmark name into its tier
+// prefix and worker count; ok is false for names without the suffix.
+func workersName(name string) (prefix string, workers int, ok bool) {
+	m := workersRe.FindStringSubmatch(name)
+	if m == nil {
+		return "", 0, false
+	}
+	w, err := strconv.Atoi(m[2])
+	if err != nil {
+		return "", 0, false
+	}
+	return m[1], w, true
+}
+
+var workersRe = regexp.MustCompile(`^(.+)/workers=(\d+)$`)
+
+// fillSpeedups computes speedup_vs_workers1 for every multi-worker
+// benchmark whose workers=1 sibling was measured in the same document.
+// The ratio is derived, never copied from a baseline, so a stale
+// hand-edited value can't leak into the gate.
+func fillSpeedups(f *File) {
+	w1 := map[string]float64{}
+	for _, b := range f.Benchmarks {
+		if prefix, w, ok := workersName(b.Name); ok && w == 1 && b.NsPerOp > 0 {
+			w1[prefix] = b.NsPerOp
+		}
+	}
+	for i := range f.Benchmarks {
+		b := &f.Benchmarks[i]
+		prefix, w, ok := workersName(b.Name)
+		if !ok || w == 1 || b.NsPerOp <= 0 {
+			continue
+		}
+		if base, ok := w1[prefix]; ok {
+			s := base / b.NsPerOp
+			b.SpeedupVsWorkers1 = &s
+		}
+	}
+}
+
 func median(v []float64) float64 {
 	if len(v) == 0 {
 		return 0
@@ -218,7 +270,10 @@ func readFile(path string) (*File, error) {
 // baseline override the flag defaults. Benchmarks present on only
 // one side are reported but never fail the gate, so adding or retiring
 // a benchmark doesn't require touching the baseline in the same change.
-func gate(w io.Writer, base, cur *File, maxNs, maxAllocs float64) bool {
+// Speedup ratios versus the workers=1 sibling are always reported;
+// enforceSpd additionally fails entries below the baseline's
+// min_speedup_vs_workers1 budget.
+func gate(w io.Writer, base, cur *File, maxNs, maxAllocs float64, enforceSpd bool) bool {
 	baseBy := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -252,6 +307,20 @@ func gate(w io.Writer, base, cur *File, maxNs, maxAllocs float64) bool {
 		}
 		if allocDelta > allocBudget {
 			fmt.Fprintf(w, "       %s: allocs/op regressed %+.1f%%, budget %+.0f%%\n", c.Name, 100*allocDelta, 100*allocBudget)
+		}
+		if c.SpeedupVsWorkers1 != nil {
+			got := *c.SpeedupVsWorkers1
+			switch {
+			case b.MinSpeedupVsWorkers1 == nil:
+				fmt.Fprintf(w, "       %s: %.2fx vs workers=1\n", c.Name, got)
+			case enforceSpd && got < *b.MinSpeedupVsWorkers1:
+				failed = true
+				fmt.Fprintf(w, "       %s: %.2fx vs workers=1, below the %.2fx floor — FAIL\n", c.Name, got, *b.MinSpeedupVsWorkers1)
+			case enforceSpd:
+				fmt.Fprintf(w, "       %s: %.2fx vs workers=1 (floor %.2fx) ok\n", c.Name, got, *b.MinSpeedupVsWorkers1)
+			default:
+				fmt.Fprintf(w, "       %s: %.2fx vs workers=1 (floor %.2fx not enforced on this runner)\n", c.Name, got, *b.MinSpeedupVsWorkers1)
+			}
 		}
 	}
 	for name := range baseBy {

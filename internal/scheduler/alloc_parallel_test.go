@@ -1,6 +1,9 @@
 package scheduler
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // warmParSim is warmSim with the sharded parallel tier engaged. The
 // parallel kernels bind their closures at construction and ping-pong
@@ -30,37 +33,128 @@ func warmParSim(t *testing.T, workers int) *sim {
 	return s
 }
 
+// TestParallelKernelsAllocFree sweeps every committed worker count:
+// the shard arenas are per-worker, so a hidden allocation in one
+// kernel would scale with the fleet at exactly the worker counts the
+// benchmarks gate.
 func TestParallelKernelsAllocFree(t *testing.T) {
-	s := warmParSim(t, 4)
-	now := s.eng.Now()
-	if s.par == nil {
-		t.Fatal("parallel tier not engaged")
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := warmParSim(t, workers)
+			now := s.eng.Now()
+			if s.par == nil {
+				t.Fatal("parallel tier not engaged")
+			}
+			j := s.states[len(s.states)-1].job
+			measure(t, "selectProcs(parallel)", func() {
+				s.fairValid = false
+				_ = s.selectProcs(j, now)
+			})
+			measure(t, "match(parallel,deficit)", func() {
+				s.curWind = s.dc.Demand() / 2
+				_ = s.match(now)
+			})
+			measure(t, "match(parallel,surplus)", func() {
+				s.curWind = s.dc.Demand() * 2
+				_ = s.match(now)
+			})
+			measure(t, "rebalance(parallel)", func() {
+				s.fairValid = false
+				s.rebalance(now)
+			})
+			measure(t, "qualityMetrics(parallel)", func() {
+				_, _, _ = s.qualityMetrics()
+			})
+			measure(t, "leastUsedOrder(parallel)", func() {
+				s.fairValid = false
+				_ = s.leastUsedOrder(now)
+			})
+			measure(t, "refreshEffOrder(parallel)", func() {
+				s.refreshEffOrder()
+			})
+		})
 	}
-	j := s.states[len(s.states)-1].job
-	measure(t, "selectProcs(parallel)", func() {
-		s.fairValid = false
-		_ = s.selectProcs(j, now)
-	})
-	measure(t, "match(parallel,deficit)", func() {
-		s.curWind = s.dc.Demand() / 2
-		_ = s.match(now)
-	})
-	measure(t, "match(parallel,surplus)", func() {
-		s.curWind = s.dc.Demand() * 2
-		_ = s.match(now)
-	})
-	measure(t, "rebalance(parallel)", func() {
-		s.fairValid = false
-		s.rebalance(now)
-	})
-	measure(t, "qualityMetrics(parallel)", func() {
-		_, _, _ = s.qualityMetrics()
-	})
-	measure(t, "leastUsedOrder(parallel)", func() {
-		s.fairValid = false
-		_ = s.leastUsedOrder(now)
-	})
-	measure(t, "refreshEffOrder(parallel)", func() {
-		s.refreshEffOrder()
-	})
+}
+
+// TestParallelIncrementalRepairAllocFree is the sharded mirror of
+// TestIncrementalRepairAllocFree: the per-shard dirty repair of the
+// retained fair lists, the shared efficiency repair, and the slack
+// direction flip must all stay allocation-free once the shard arenas
+// have reached capacity — these are the steady-state per-pass paths
+// the lazy parallel tier runs at fleet scale.
+func TestParallelIncrementalRepairAllocFree(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := warmParSim(t, workers)
+			if s.par == nil {
+				t.Fatal("parallel tier not engaged")
+			}
+			busy := -1
+			for busy < 0 {
+				for i := range s.dc.Procs {
+					if s.dc.IsBusy(i) {
+						busy = i
+						break
+					}
+				}
+				if busy < 0 && !s.eng.Step() {
+					t.Fatal("event queue drained before any processor went busy")
+				}
+			}
+			now := s.eng.Now()
+			fairRepair := func() {
+				// The same-instant preempt/enqueue round-trip leaves the
+				// cluster unchanged but fair-dirties one processor, so
+				// every call drives one shard through repairShard while
+				// the others take the clean fast path.
+				if sl := s.dc.Preempt(busy, now); sl != nil {
+					s.dc.Enqueue(sl, now)
+				}
+				s.fairValid = false
+				_ = s.leastUsedOrder(now)
+			}
+			fairRepair() // warm: full shard rebuild sizes the arenas
+			fairRepair() // warm: first repair sizes the patch scratch
+			measure(t, "fairPass(sharded repair)", fairRepair)
+
+			effRepair := func() {
+				s.markEffDirty(3)
+				s.refreshEffOrder()
+			}
+			effRepair()
+			effRepair()
+			measure(t, "repairEffOrder(parallel)", effRepair)
+
+			slackFlip := func() {
+				_ = s.sortRunningBySlack(now, true)
+				_ = s.sortRunningBySlack(now, false)
+			}
+			slackFlip()
+			slackFlip()
+			measure(t, "sortRunningBySlack(parallel flip)", slackFlip)
+		})
+	}
+}
+
+// TestBatchDispatchAllocFree pins the scheduler-facing batch loop:
+// once warm, driving the simulation through ProcessEventBatch-sized
+// engine calls must allocate no more than the single-step loop it
+// replaced (the handlers themselves own any event scheduling, which
+// reuses pooled nodes). The engine-internal batch buffer is guarded
+// separately in internal/simulator.
+func TestBatchDispatchAllocFree(t *testing.T) {
+	s := warmParSim(t, 4)
+	// Steady state: each call fires at most one same-timestamp batch.
+	// The warm sim still has half its jobs queued, so the queue cannot
+	// drain inside the 101 measured calls (each batch is bounded by
+	// the handful of events sharing one instant).
+	batch := func() {
+		if s.eng.StepBatch(s.batchHalt) == 0 {
+			t.Fatal("event queue drained during the measurement")
+		}
+	}
+	batch()
+	if allocs := testing.AllocsPerRun(100, batch); allocs > 0.2 {
+		t.Errorf("batch dispatch allocated %v times per call in steady state, want ~0", allocs)
+	}
 }

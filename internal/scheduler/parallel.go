@@ -16,20 +16,33 @@ import (
 // embarrassingly parallel stage across fixed shards of the proc (or
 // job) population:
 //
+//   - sharded incremental maintenance of the retained fair order: each
+//     shard keeps its own versioned idle lists and busy carry (the
+//     serial tier's fairIdle/idleExtra/busyKeys machinery restricted to
+//     the shard's id range), repairs them in parallel around the
+//     cluster's dirty feed, and the order materializes lazily by an
+//     argmin merge over the shard heads — a pass costs
+//     O((busy + dirty + consumed prefix)/workers + merge), not
+//     O(fleet log fleet);
 //   - per-shard fills of flat structure-of-arrays snapshots
 //     (utilization, availability) indexed by processor id;
 //   - per-shard sorts of the pointer-free sort keys from the serial
 //     tier (utilKey, slackEntry, effKey), merged by an
-//     order-preserving pairwise merge tree;
+//     order-preserving pairwise merge tree — the efficiency order's
+//     full-rebuild path and the slack order's churn path, both of
+//     which now also feed the serial tier's incremental repair caches
+//     so the common pass is a cheap repair, not a rebuild;
 //   - a block-cyclic parallel find-first for rebalance target search.
 //
 // Every comparator involved is a strict total order (see the serial
-// kernels), so a shard sort + stable merge yields the unique sorted
-// permutation — the same bytes the serial full sort produces — for any
-// worker count. Shard boundaries and merge pairing depend only on
-// (n, Workers); reductions that are sensitive to float association
-// (wait sums, the sorted slowdown sum) stay serial in a fixed order.
-// Worker count therefore never leaks into results or checkpoints.
+// kernels), so a shard repair + lazy merge — like a shard sort + stable
+// merge — yields the unique sorted permutation, the same bytes the
+// serial tier produces, for any worker count. Shard boundaries, the
+// per-shard full-vs-repair choice, and merge pairing depend only on
+// (n, Workers) and affect performance alone; reductions that are
+// sensitive to float association (wait sums, the sorted slowdown sum)
+// stay serial in a fixed order. Worker count therefore never leaks
+// into results or checkpoints.
 //
 // All kernels and the rebalance predicate are bound once at
 // construction and pass their arguments through parState fields, so
@@ -46,14 +59,51 @@ type parWorker struct {
 	estFn func(*cluster.Slice, units.Seconds)
 }
 
+// fairShard is one shard's slice of the retained fair-order state: the
+// serial tier's incremental machinery (sim.fairIdle / idleExtra /
+// busyKeys and their scratch) restricted to the processor ids in
+// [lo, hi). Shards are fixed at construction from the same
+// shard.Range partition Pool.Run dispatches, so a worker only ever
+// touches its own arena — and the shared per-id arrays (fairVer,
+// dirtyMark) at its own disjoint id range. Everything here is derived
+// cache, rebuilt from the cluster on demand; checkpoints never see it.
+type fairShard struct {
+	idle    []idleEntry // main idle list; may carry stale entries
+	extra   []idleEntry // sorted overlay of re-keyed idle entries
+	scratch []idleEntry // overlay merge scratch
+	patch   []idleEntry // per-pass freshly idle keys
+	carry   []int32     // busy processors in last pass's order
+	busy    []utilKey
+	busy2   []utilKey
+	bpatch  []utilKey
+	dirty   []int32   // this pass's dirty ids within [lo, hi)
+	keys    []utilKey // full-pass key scratch, retained sorted
+	stale   int       // stale entries abandoned since the last full pass
+	listsOK bool
+	// Pass cursors into idle/extra/busy, plus the cached merge head:
+	// the least not-yet-consumed (u, id) of the shard's three sources,
+	// or headSrc == 0 when the shard is exhausted.
+	ii, ei, bi int
+	headU      units.Seconds
+	headID     int32
+	headSrc    int8 // 0 none, 1 main idle, 2 overlay, 3 busy
+}
+
 // parState carries the worker pool, per-worker arenas, SoA snapshots
-// and prebound kernels for one simulation. It holds no simulation
-// state of its own — everything here is per-call scratch — so
-// checkpoint and restore never touch it.
+// and prebound kernels for one simulation. Everything here is either
+// per-call scratch or derived cache (the fair shards) — never
+// authoritative simulation state — so checkpoint and restore never
+// touch it.
 type parState struct {
 	s    *sim
 	pool *shard.Pool
 	w    []parWorker
+
+	// Sharded retained fair order (see fairShard) plus the pass inputs
+	// published to the repair kernel.
+	fairSh        []fairShard
+	dirtyAll      []int32
+	dirtyOverflow bool
 
 	// avail[id] is a per-phase snapshot of dc.AvailableAt(id, now),
 	// refreshed after every mutation inside the phase, replacing the
@@ -73,8 +123,7 @@ type parState struct {
 
 	// Kernels and the rebalance predicate, bound once so per-event
 	// dispatch does not allocate closures.
-	utilFillK  func(int, int, int)
-	fairKeyK   func(int, int, int)
+	fairRepK   func(int, int, int)
 	runColK    func(int, int, int)
 	slackKeyK  func(int, int, int)
 	fbColK     func(int, int, int)
@@ -84,7 +133,6 @@ type parState struct {
 	effKeyK    func(int, int, int)
 	rebalPred  func(int) bool
 
-	fairMerge  *shard.Merger[utilKey]
 	slackMerge *shard.Merger[slackEntry]
 	effMerge   *shard.Merger[effKey]
 	slowMerge  *shard.Merger[float64]
@@ -103,11 +151,13 @@ func newParState(s *sim, workers int) *parState {
 	n := len(s.dc.Procs)
 	p.avail = make([]units.Seconds, n)
 	s.utilBuf = make([]units.Seconds, n)
-	s.fairKeys = make([]utilKey, n)
-	s.fairOrder = make([]int, n)
-	for i := range s.fairOrder {
-		s.fairOrder[i] = i
-	}
+	// The sharded fair order shares the serial tier's per-id validity
+	// stamps and the fairOrder memo; the lists themselves live per
+	// shard so repairs write disjoint arenas.
+	s.fairOrder = make([]int, 0, n)
+	s.fairVer = make([]int32, n)
+	s.dirtyMark = make([]int64, n)
+	p.fairSh = make([]fairShard, workers)
 	s.effKeys = make([]effKey, n)
 	s.slowsBuf = make([]float64, len(s.states))
 	for i := range p.w {
@@ -122,8 +172,7 @@ func newParState(s *sim, workers int) *parState {
 			}
 		}
 	}
-	p.utilFillK = p.utilFill
-	p.fairKeyK = p.fairKeyFill
+	p.fairRepK = p.fairShardPass
 	p.runColK = p.runCollect
 	p.slackKeyK = p.slackKeyFill
 	p.fbColK = p.fbCollect
@@ -132,7 +181,6 @@ func newParState(s *sim, workers int) *parState {
 	p.slowsFillK = p.slowsFill
 	p.effKeyK = p.effKeyFill
 	p.rebalPred = p.rebalTarget
-	p.fairMerge = shard.NewMerger(p.pool, utilAsc)
 	p.slackMerge = shard.NewMerger(p.pool, func(a, b slackEntry) int {
 		if p.desc {
 			return slackDesc(a, b)
@@ -193,41 +241,241 @@ func cmpFloat(a, b float64) int {
 }
 
 // --- least-used (fair) order ---------------------------------------
+//
+// The sharded mirror of the serial tier's incremental fair order
+// (ensureFairPass / repairFairPass / extendFairMemo in sim.go). Each
+// fairShard retains the idle lists and busy carry for its id range;
+// fairPass repairs (or rebuilds) every shard in parallel, and the order
+// materializes lazily: parExtendFair takes the argmin over the shard
+// heads — at most Workers compares per emission — so a placement pass
+// consumes only the prefix it needs. Every per-shard source is sorted
+// under the strict (u, id) order and the shards' id ranges are
+// disjoint, so the merged emission sequence is the unique global sorted
+// permutation regardless of where the shard boundaries fall.
 
-func (p *parState) utilFill(_, lo, hi int) {
-	p.s.dc.UtilShard(p.s.utilBuf, p.now, lo, hi)
-}
-
-func (p *parState) fairKeyFill(_, lo, hi int) {
+// fairPass runs one sharded pass: publish the pass instant and the
+// cluster's dirty feed, repair every shard in parallel, then refresh
+// the merge heads. Caller (ensureFairPass) handles the pass cache and
+// the dirty-feed reset.
+func (p *parState) fairPass(now units.Seconds, dirty []int32, overflow bool) {
 	s := p.s
-	for i := lo; i < hi; i++ {
-		id := s.fairOrder[i]
-		s.fairKeys[i] = utilKey{u: s.utilBuf[id], id: id}
+	s.dirtyEpoch++ // one epoch per pass, shared by every shard
+	p.now = now
+	p.dirtyAll = dirty
+	p.dirtyOverflow = overflow
+	p.pool.Run(len(s.dc.Procs), p.fairRepK)
+	p.dirtyAll = nil
+	for i := range p.fairSh {
+		p.shardHead(&p.fairSh[i])
 	}
-	slices.SortFunc(s.fairKeys[lo:hi], utilAsc)
 }
 
-// parLeastUsedOrder is the sharded leastUsedOrder: parallel utilization
-// fill by id range, parallel key fill + shard sort by position range
-// (seeded from the previous order, same as the serial tier), then the
-// merge tree. (u, id) is strict, so the merged permutation equals the
-// serial full sort.
-func (s *sim) parLeastUsedOrder(now units.Seconds) []int {
-	if s.fairValid && s.fairOrderAt == now {
-		return s.fairOrder
+// fairShardPass is the per-shard kernel: bucketize the dirty feed to
+// the shard's id range, then repair the retained lists when the dirt is
+// below the serial tier's thresholds (scaled to the shard) or rebuild
+// them wholesale. The full-vs-repair choice is per shard and purely a
+// performance decision — both paths rederive the identical sorted
+// sources.
+func (p *parState) fairShardPass(sh, lo, hi int) {
+	fs := &p.fairSh[sh]
+	// Every shard scans the whole dirty feed for its own ids: O(dirty)
+	// per worker in wall clock, with no serial partition step.
+	d := fs.dirty[:0]
+	if !p.dirtyOverflow {
+		for _, id := range p.dirtyAll {
+			if int(id) >= lo && int(id) < hi {
+				d = append(d, id)
+			}
+		}
 	}
-	p := s.par
-	n := len(s.dc.Procs)
-	p.now = now
-	p.pool.Run(n, p.utilFillK)
-	p.pool.Run(n, p.fairKeyK)
-	merged := p.fairMerge.Merge(s.fairKeys, p.shardStarts(n))
-	for i := range merged {
-		s.fairOrder[i] = merged[i].id
+	fs.dirty = d
+	n := hi - lo
+	staleMax := n / 32
+	if staleMax < 1024 {
+		staleMax = 1024
 	}
-	s.fairOrderAt = now
-	s.fairValid = true
-	return s.fairOrder
+	if fs.listsOK && !p.dirtyOverflow && len(d) <= n/8 &&
+		fs.stale+len(d) <= staleMax {
+		p.repairShard(fs)
+	} else {
+		p.fullShard(fs, lo, hi)
+	}
+	fs.ii, fs.ei, fs.bi = 0, 0, 0
+}
+
+// fullShard mirrors fullFairPass on [lo, hi): one sort of the shard's
+// keys — re-keyed in the previous pass's nearly sorted order — then the
+// idle/busy partition that seeds the retained lists, shedding stale
+// entries and the overlay.
+func (p *parState) fullShard(fs *fairShard, lo, hi int) {
+	s, now := p.s, p.now
+	s.dc.UtilShard(s.utilBuf, now, lo, hi)
+	keys := fs.keys
+	if len(keys) != hi-lo {
+		keys = keys[:0]
+		for id := lo; id < hi; id++ {
+			keys = append(keys, utilKey{id: id})
+		}
+	}
+	for i := range keys {
+		keys[i].u = s.utilBuf[keys[i].id]
+	}
+	slices.SortFunc(keys, utilAsc)
+	fs.keys = keys
+	fs.idle = fs.idle[:0]
+	fs.extra = fs.extra[:0]
+	fs.stale = 0
+	fs.carry = fs.carry[:0]
+	fs.busy = fs.busy[:0]
+	for _, k := range keys {
+		if s.dc.IsBusy(k.id) {
+			fs.carry = append(fs.carry, int32(k.id))
+			fs.busy = append(fs.busy, k)
+		} else {
+			fs.idle = append(fs.idle, idleEntry{u: k.u, id: int32(k.id), ver: s.fairVer[k.id]})
+		}
+	}
+	fs.listsOK = true
+}
+
+// repairShard mirrors repairFairPass on the shard's id range: bump the
+// dirty stamps (the shard's ids alone — the shared fairVer/dirtyMark
+// writes are disjoint across workers), re-key the busy carry with the
+// ulp-flip extraction, and fold the freshly idle keys into the overlay.
+// See the serial twin for the correctness argument; every key computed
+// here equals the one fullShard would compute.
+func (p *parState) repairShard(fs *fairShard) {
+	s, now := p.s, p.now
+	for _, id := range fs.dirty {
+		s.dirtyMark[id] = s.dirtyEpoch
+		s.fairVer[id]++
+	}
+	fs.stale += len(fs.dirty)
+
+	busy := fs.busy[:0]
+	bpatch := fs.bpatch[:0]
+	for _, id := range fs.carry {
+		if s.dirtyMark[id] == s.dirtyEpoch {
+			continue
+		}
+		k := utilKey{u: s.dc.UtilAt(int(id), now), id: int(id)}
+		if n := len(busy); n > 0 && utilAsc(k, busy[n-1]) < 0 {
+			bpatch = append(bpatch, k)
+		} else {
+			busy = append(busy, k)
+		}
+	}
+	patch := fs.patch[:0]
+	for _, id := range fs.dirty {
+		if s.dc.IsBusy(int(id)) {
+			bpatch = append(bpatch, utilKey{u: s.dc.UtilAt(int(id), now), id: int(id)})
+		} else {
+			patch = append(patch, idleEntry{u: s.dc.UtilTimeOf(int(id)), id: id, ver: s.fairVer[id]})
+		}
+	}
+	slices.SortFunc(bpatch, utilAsc)
+	if len(bpatch) > 0 {
+		merged := fs.busy2[:0]
+		bj := 0
+		for _, k := range busy {
+			for bj < len(bpatch) && utilAsc(bpatch[bj], k) < 0 {
+				merged = append(merged, bpatch[bj])
+				bj++
+			}
+			merged = append(merged, k)
+		}
+		merged = append(merged, bpatch[bj:]...)
+		busy, fs.busy2 = merged, busy[:0]
+	}
+	fs.busy = busy
+	fs.bpatch = bpatch[:0]
+
+	fs.carry = fs.carry[:0]
+	for _, k := range busy {
+		fs.carry = append(fs.carry, int32(k.id))
+	}
+
+	if len(patch) > 0 {
+		slices.SortFunc(patch, idleAsc)
+		merged := fs.scratch[:0]
+		j := 0
+		for _, k := range fs.extra {
+			for j < len(patch) && idleAsc(patch[j], k) < 0 {
+				merged = append(merged, patch[j])
+				j++
+			}
+			merged = append(merged, k)
+		}
+		merged = append(merged, patch[j:]...)
+		fs.extra, fs.scratch = merged, fs.extra[:0]
+	}
+	fs.patch = patch[:0]
+}
+
+// shardHead refreshes the shard's cached merge head: the least (u, id)
+// among its three sources, skipping idle entries whose version stamp is
+// stale — exactly extendFairMemo's 3-way compare, cached so the global
+// argmin below touches one struct per shard.
+func (p *parState) shardHead(fs *fairShard) {
+	ver := p.s.fairVer
+	for fs.ii < len(fs.idle) && fs.idle[fs.ii].ver != ver[fs.idle[fs.ii].id] {
+		fs.ii++
+	}
+	for fs.ei < len(fs.extra) && fs.extra[fs.ei].ver != ver[fs.extra[fs.ei].id] {
+		fs.ei++
+	}
+	fs.headSrc = 0
+	if fs.ii < len(fs.idle) {
+		e := fs.idle[fs.ii]
+		fs.headU, fs.headID, fs.headSrc = e.u, e.id, 1
+	}
+	if fs.ei < len(fs.extra) {
+		if e := fs.extra[fs.ei]; fs.headSrc == 0 || e.u < fs.headU || (e.u == fs.headU && e.id < fs.headID) {
+			fs.headU, fs.headID, fs.headSrc = e.u, e.id, 2
+		}
+	}
+	if fs.bi < len(fs.busy) {
+		if k := fs.busy[fs.bi]; fs.headSrc == 0 || k.u < fs.headU || (k.u == fs.headU && int32(k.id) < fs.headID) {
+			fs.headU, fs.headID, fs.headSrc = k.u, int32(k.id), 3
+		}
+	}
+}
+
+// parExtendFair appends the next processor in global (u, id) order to
+// the fairOrder memo: a linear argmin over the shard heads (id ranges
+// are disjoint, so ties resolve within a single shard's 3-way compare),
+// then one cursor advance and head refresh on the taken shard. Returns
+// false once every shard is exhausted.
+func (p *parState) parExtendFair() bool {
+	best := -1
+	var (
+		bu  units.Seconds
+		bid int32
+	)
+	for i := range p.fairSh {
+		fs := &p.fairSh[i]
+		if fs.headSrc == 0 {
+			continue
+		}
+		if best < 0 || fs.headU < bu || (fs.headU == bu && fs.headID < bid) {
+			best, bu, bid = i, fs.headU, fs.headID
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	fs := &p.fairSh[best]
+	switch fs.headSrc {
+	case 1:
+		fs.ii++
+	case 2:
+		fs.ei++
+	default:
+		fs.bi++
+	}
+	p.s.fairOrder = append(p.s.fairOrder, int(bid))
+	p.shardHead(fs)
+	return true
 }
 
 // --- efficiency order refresh --------------------------------------
@@ -236,33 +484,65 @@ func (p *parState) effKeyFill(_, lo, hi int) {
 	s := p.s
 	for i := lo; i < hi; i++ {
 		id := s.effPref[i]
-		s.effKeys[i] = effKey{rank: s.know.EffRank(id), pos: int32(i), id: int32(id)}
+		r := s.know.EffRank(id)
+		// effPref is a permutation, so the scattered rank-cache writes
+		// hit disjoint ids across position shards.
+		s.effRank[id] = r
+		s.effKeys[i] = effKey{rank: r, pos: int32(i), id: int32(id)}
 	}
 	slices.SortFunc(s.effKeys[lo:hi], effCmp)
 }
 
-// parRefreshEffOrder re-sorts the efficiency preference with parallel
+// parFullEffOrder is the sharded twin of fullEffOrder: parallel
 // (rank, pos) key fills and the merge tree; positions are a
 // permutation, so the key order is strict and the result matches the
-// serial refreshEffOrder.
-func (s *sim) parRefreshEffOrder() {
+// serial full rebuild. Like its twin it refreshes the rank/position
+// caches, so subsequent refreshes with a small dirty set take the
+// serial repairEffOrder merge walk instead of rebuilding the fleet.
+func (s *sim) parFullEffOrder() {
 	p := s.par
 	n := len(s.effPref)
+	if s.effRank == nil {
+		s.effRank = make([]float64, n)
+		s.effPos = make([]int32, n)
+		s.effPref2 = make([]int, 0, n)
+		s.effPatch = make([]effKey, 0, n/8+8)
+	}
 	s.ensureKnow()
 	p.pool.Run(n, p.effKeyK)
 	merged := p.effMerge.Merge(s.effKeys, p.shardStarts(n))
 	for i := range merged {
-		s.effPref[i] = int(merged[i].id)
+		id := int(merged[i].id)
+		s.effPref[i] = id
+		s.effPos[id] = int32(i)
 	}
+	s.effCacheOK = true
 }
 
 // --- matching sort --------------------------------------------------
 
+// runCollect is sortRunningBySlack's newcomer scan, sharded: each
+// worker walks its id range of the per-processor running view and
+// collects the slices that started since the previous pass (stamp
+// epoch mismatch; the stamps are read-only during the phase). The main
+// goroutine concatenates the arenas in shard order — the identical
+// id-ascending sequence the serial scan emits — so the retained-order
+// repair downstream sees the same patch either way.
 func (p *parState) runCollect(sh, lo, hi int) {
+	s := p.s
 	w := &p.w[sh]
-	w.run = p.s.dc.RunningShard(w.run[:0], lo, hi)
+	w.run = w.run[:0]
+	cur := s.dc.CurrentView()
+	for id := lo; id < hi; id++ {
+		if sl := cur[id]; sl != nil && s.runStamp[sl.Serial] != s.runEpoch {
+			w.run = append(w.run, sl)
+		}
+	}
 }
 
+// slackKeyFill keys and shard-sorts a position range of the running
+// list for sortRunningBySlack's full-rebuild path; the merge tree then
+// yields the unique (slack, procID) permutation.
 func (p *parState) slackKeyFill(_, lo, hi int) {
 	s, now := p.s, p.now
 	for i := lo; i < hi; i++ {
@@ -276,37 +556,22 @@ func (p *parState) slackKeyFill(_, lo, hi int) {
 	}
 }
 
-// parSortRunningBySlack collects the running slices per id-range shard
-// (concatenated in shard order, i.e. processor order), fills and
-// shard-sorts the slack keys, merges, and applies the permutation.
-// (slack, procID) is strict over running slices — one per processor —
-// so the sorted output is the same list the serial tier produces; the
-// serial tier's carry-over machinery (runSorted, runStamp) is simply
-// unused in this tier.
-func (s *sim) parSortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice {
+// parSlackRebuild fills and shard-sorts the slack keys of the combined
+// running list and merges them — the parallel form of the serial
+// full-rebuild sort inside sortRunningBySlack, used past the churn
+// threshold. The returned keys may alias the merger's scratch; the
+// caller applies the permutation immediately.
+func (s *sim) parSlackRebuild(running []*cluster.Slice, now units.Seconds, desc bool) []slackEntry {
 	p := s.par
-	n := len(s.dc.Procs)
-	p.pool.Run(n, p.runColK)
-	running := p.running[:0]
-	for i := range p.w {
-		running = append(running, p.w[i].run...)
-	}
-	p.running = running
 	m := len(running)
 	if cap(s.slackBuf) < m {
-		s.slackBuf = make([]slackEntry, m)
-	} else {
-		s.slackBuf = s.slackBuf[:m]
+		s.slackBuf = make([]slackEntry, 0, m+64)
 	}
+	s.slackBuf = s.slackBuf[:m]
 	p.now, p.desc = now, desc
+	p.running = running
 	p.pool.Run(m, p.slackKeyK)
-	merged := p.slackMerge.Merge(s.slackBuf, p.shardStarts(m))
-	scratch := append(s.runBuf[:0], running...)
-	s.runBuf = scratch
-	for i := range merged {
-		running[i] = scratch[merged[i].idx]
-	}
-	return running
+	return p.slackMerge.Merge(s.slackBuf, p.shardStarts(m))
 }
 
 // --- placement fallback collect ------------------------------------

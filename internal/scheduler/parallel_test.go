@@ -2,9 +2,13 @@ package scheduler
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"reflect"
+	"slices"
 	"testing"
 
+	"iscope/internal/scheduler/testgrid"
 	"iscope/internal/units"
 )
 
@@ -26,7 +30,9 @@ func TestWorkersExcludedFromCfgHash(t *testing.T) {
 // a checkpoint taken mid-run under one worker count must resume under
 // any other worker count to the byte-identical final Result. Every
 // (save, resume) ordered pair over {serial, 2, 4, 8} is exercised,
-// with rebalancing and online profiling live so the parallel kernels
+// with rebalancing, online profiling, a dense fault storm, and the
+// hostile sensor environment live so the parallel kernels — and the
+// dirty-burst repair paths faults and telemetry drive them through —
 // all run on both sides of the snapshot.
 func TestCheckpointInterchangeAcrossWorkers(t *testing.T) {
 	fleet := testFleet(t, 16)
@@ -36,12 +42,18 @@ func TestCheckpointInterchangeAcrossWorkers(t *testing.T) {
 	if !ok {
 		t.Fatal("ScanFair scheme missing")
 	}
+	faults := testgrid.DenseFaults()
+	// Pin the horizon so the fault and sensor plans never depend on
+	// which side of the snapshot compiles them.
+	faults.Horizon = units.Days(2)
 	base := RunConfig{
 		Seed:            3,
 		Jobs:            jobs,
 		Wind:            w,
 		EnableRebalance: true,
 		Online:          &OnlineProfiling{},
+		Faults:          faults,
+		Telemetry:       testgrid.HostileTelemetry(5),
 	}
 	counts := []int{0, 2, 4, 8}
 
@@ -96,6 +108,76 @@ func TestCheckpointInterchangeAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("resume under workers=%d diverged from the uninterrupted run", resume)
 		}
+	}
+}
+
+// TestShardedFairOrderRandomized is the property test for the lazy
+// sharded fair order: after arbitrary event stepping and arbitrary
+// dirty bursts — including oversized ones that force the full-pass
+// fallback — the fully drained order at every committed worker count
+// must equal the ground-truth (utilization, id) sort element for
+// element. workers=1 pins the serial retained order against the same
+// reference, so the sharded repair+merge path and the serial repair
+// path are both held to the identical permutation.
+func TestShardedFairOrderRandomized(t *testing.T) {
+	fleet := testFleet(t, 256)
+	jobs := testJobs(t, 23, 120, 0.3)
+	w := testWind(t, fleet, 700)
+	sch, ok := SchemeByName("ScanFair")
+	if !ok {
+		t.Fatal("ScanFair scheme missing")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := RunConfig{Seed: 5, Jobs: jobs, Wind: w, EnableRebalance: true, Workers: workers}
+			s, err := newSim(fleet, sch, cfg, false)
+			if err != nil {
+				t.Fatalf("newSim: %v", err)
+			}
+			t.Cleanup(s.close)
+			rnd := rand.New(rand.NewSource(int64(1000 + workers)))
+			var ref []utilKey
+			var utilBuf []units.Seconds
+			for round := 0; round < 60 && s.jobsLeft > 0; round++ {
+				for i := 1 + rnd.Intn(40); i > 0 && s.jobsLeft > 0; i-- {
+					if !s.eng.Step() {
+						break
+					}
+				}
+				now := s.eng.Now()
+				// A same-instant preempt/enqueue round-trip leaves
+				// utilization untouched but fair-dirties the processor;
+				// the occasional oversized burst pushes past the repair
+				// thresholds into the compacting full pass.
+				burst := rnd.Intn(8)
+				if rnd.Intn(10) == 0 {
+					burst = len(s.dc.Procs) / 4
+				}
+				for k := 0; k < burst; k++ {
+					id := rnd.Intn(len(s.dc.Procs))
+					if sl := s.dc.Preempt(id, now); sl != nil {
+						s.dc.Enqueue(sl, now)
+					}
+				}
+				s.fairValid = false
+				got := s.leastUsedOrder(now)
+				utilBuf = s.dc.UtilTimesInto(utilBuf[:0], now)
+				ref = ref[:0]
+				for id, u := range utilBuf {
+					ref = append(ref, utilKey{u: u, id: id})
+				}
+				slices.SortFunc(ref, utilAsc)
+				if len(got) != len(ref) {
+					t.Fatalf("round %d: order has %d entries, fleet has %d", round, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i].id {
+						t.Fatalf("round %d: order[%d] = %d, want %d (u=%v)",
+							round, i, got[i], ref[i].id, ref[i].u)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -286,6 +286,12 @@ type sim struct {
 	mon    *invariants.Monitor
 	invErr error
 
+	// batchHalt is the engine's mid-batch stop predicate, bound once at
+	// construction so the hot loop passes a preallocated closure. It is
+	// true exactly when a single-step driver would abandon the queue for
+	// good: every job finished, or a fail-fast invariant latched.
+	batchHalt func() bool
+
 	workDone   units.Seconds // completed slice work at the top level
 	slicesDone int
 
@@ -496,9 +502,10 @@ func Run(fleet *Fleet, scheme Scheme, cfg RunConfig) (*Result, error) {
 
 // RunCtx simulates one scheme under a context. It is a thin driver
 // over the step primitives (see Stepper): build the stepper with the
-// whole trace pre-injected and the stream sealed, fire events until
+// whole trace pre-injected and the stream sealed, fire events (one
+// same-timestamp batch per engine call, see ProcessEventBatch) until
 // every job finishes, assemble the result. Cancellation is
-// cooperative: the event loop checks the context between events, and a
+// cooperative: the event loop checks the context between batches, and a
 // canceled run writes a final snapshot to the checkpoint sink (when
 // one is configured) before returning the context's error, so the work
 // done so far can be resumed.
@@ -520,8 +527,8 @@ func RunCtx(ctx context.Context, fleet *Fleet, scheme Scheme, cfg RunConfig) (*R
 			}
 			return nil, cause
 		}
-		fired, err := st.ProcessNextEvent()
-		if err != nil || !fired {
+		fired, err := st.ProcessEventBatch()
+		if err != nil || fired == 0 {
 			break
 		}
 	}
@@ -780,6 +787,8 @@ func newSim(fleet *Fleet, scheme Scheme, cfg RunConfig, streaming bool) (*sim, e
 	if cfg.Resume == nil && cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
 		_ = s.eng.AfterTag(cfg.Checkpoint.Every, eventTag{Kind: tagCheckpoint})
 	}
+
+	s.batchHalt = func() bool { return s.jobsLeft == 0 || s.invErr != nil }
 
 	// The parallel tier attaches last, after every error return: a
 	// failed construction must not leak worker goroutines. Naive mode
@@ -1190,14 +1199,13 @@ func (s *sim) efficiencyOrder() []int {
 // effPref is already sorted under (cached rank, position) and the few
 // dirty chips merge back in.
 func (s *sim) refreshEffOrder() {
-	if s.par != nil {
-		s.parRefreshEffOrder()
-		s.effCacheOK = false
-		s.resetEffDirty()
-		return
-	}
 	if s.effCacheOK && !s.effDirtyOverflow && len(s.effDirty) <= len(s.effPref)/8 {
+		// The repair walk is shared by both tiers: the scan DB moves one
+		// chip at a time, so the patch merge is linear in the fleet and
+		// needs no parallel help.
 		s.repairEffOrder()
+	} else if s.par != nil {
+		s.parFullEffOrder()
 	} else {
 		s.fullEffOrder()
 	}
@@ -1339,13 +1347,21 @@ func (s *sim) leastUsedOrder(now units.Seconds) []int {
 	if s.cfg.naive {
 		return s.naiveLeastUsedOrder(now)
 	}
-	if s.par != nil {
-		return s.parLeastUsedOrder(now)
-	}
 	s.ensureFairPass(now)
-	for s.extendFairMemo() {
+	for s.extendFair() {
 	}
 	return s.fairOrder
+}
+
+// extendFair appends the next processor of the frozen pass's order to
+// the fairOrder memo through whichever tier maintains the retained
+// sources — the serial 3-way merge or the parallel tier's sharded
+// argmin. Both emit the identical (u, id) sequence.
+func (s *sim) extendFair() bool {
+	if s.par != nil {
+		return s.par.parExtendFair()
+	}
+	return s.extendFairMemo()
 }
 
 // ensureFairPass begins a fair-order pass for the given instant unless
@@ -1356,11 +1372,22 @@ func (s *sim) leastUsedOrder(now units.Seconds) []int {
 // which caches the fully sorted permutation per event time). Dirty
 // work beyond the thresholds, invalid retained lists, or too many
 // accumulated stale entries fall back to the compacting full pass.
+// With the parallel tier attached the pass runs sharded (see
+// parState.fairPass): same sources, same thresholds per shard, repairs
+// executed concurrently over disjoint id ranges.
 func (s *sim) ensureFairPass(now units.Seconds) {
 	if s.fairValid && s.fairOrderAt == now {
 		return
 	}
 	dirty, overflow := s.dc.FairDirty()
+	if s.par != nil {
+		s.par.fairPass(now, dirty, overflow)
+		s.dc.ResetFairDirty()
+		s.fairOrderAt = now
+		s.fairValid = true
+		s.fairOrder = s.fairOrder[:0]
+		return
+	}
 	n := len(s.dc.Procs)
 	staleMax := n / 32
 	if staleMax < 1024 {
@@ -1568,12 +1595,13 @@ func (s *sim) extendFairMemo() bool {
 	return true
 }
 
-// candIter streams a candidate order. For the serial fair-abundant
-// path it materializes the order lazily through the pass memo — every
-// iterator at the same instant replays the shared prefix, and only the
-// frontier consumer extends it — so a placement pass over a mostly-
-// idle million-processor fleet touches dozens of entries, not the
-// fleet. All other policies and tiers wrap the eagerly built slice.
+// candIter streams a candidate order. For the fair-abundant path —
+// serial or parallel — it materializes the order lazily through the
+// pass memo: every iterator at the same instant replays the shared
+// prefix, and only the frontier consumer extends it, so a placement
+// pass over a mostly-idle million-processor fleet touches dozens of
+// entries, not the fleet. All other policies wrap the eagerly built
+// slice.
 type candIter struct {
 	s     *sim
 	fixed []int
@@ -1582,7 +1610,7 @@ type candIter struct {
 }
 
 func (s *sim) candidateIter(now units.Seconds, abundant bool) candIter {
-	if abundant && s.scheme.Policy == FairPolicy && !s.cfg.naive && s.par == nil {
+	if abundant && s.scheme.Policy == FairPolicy && !s.cfg.naive {
 		s.ensureFairPass(now)
 		return candIter{s: s, lazy: true}
 	}
@@ -1600,7 +1628,7 @@ func (it *candIter) next() (int, bool) {
 	}
 	s := it.s
 	for it.pos >= len(s.fairOrder) {
-		if !s.extendFairMemo() {
+		if !s.extendFair() {
 			return 0, false
 		}
 	}
@@ -1990,9 +2018,6 @@ func (s *sim) anyBelowAssigned() bool {
 // during the sort, so it is precomputed once per slice into the keyed
 // scratch buffer instead of twice per comparison.
 func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice {
-	if s.par != nil {
-		return s.parSortRunningBySlack(now, desc)
-	}
 	if len(s.runKeys) != len(s.runSorted) {
 		// Keys not tracked for the carried list (fresh run, or a restore
 		// rebuilt the serial index). Dropping the carry is safe: the
@@ -2044,11 +2069,24 @@ func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice 
 		}
 		s.lastSlackDesc = desc
 	}
-	// Slices that started running since the previous pass.
-	for _, cur := range s.dc.CurrentView() {
-		if cur != nil && s.runStamp[cur.Serial] != s.runEpoch {
-			patchK = append(patchK, slackEntry{slack: slack(cur, now), idx: int32(len(patchS)), procID: int32(cur.ProcID)})
-			patchS = append(patchS, cur)
+	// Slices that started running since the previous pass. The parallel
+	// tier shards the per-processor scan — the dominant O(fleet) part of
+	// a retained pass — and concatenates the worker arenas in shard
+	// order, which is id order, so the patch sequence is identical.
+	if p := s.par; p != nil {
+		p.pool.Run(len(s.dc.Procs), p.runColK)
+		for i := range p.w {
+			for _, cur := range p.w[i].run {
+				patchK = append(patchK, slackEntry{slack: slack(cur, now), idx: int32(len(patchS)), procID: int32(cur.ProcID)})
+				patchS = append(patchS, cur)
+			}
+		}
+	} else {
+		for _, cur := range s.dc.CurrentView() {
+			if cur != nil && s.runStamp[cur.Serial] != s.runEpoch {
+				patchK = append(patchK, slackEntry{slack: slack(cur, now), idx: int32(len(patchS)), procID: int32(cur.ProcID)})
+				patchS = append(patchS, cur)
+			}
 		}
 	}
 	s.runBuf = patchS
@@ -2056,25 +2094,34 @@ func (s *sim) sortRunningBySlack(now units.Seconds, desc bool) []*cluster.Slice 
 
 	if len(patchK) > baseN/4+8 {
 		// Too much churn for a merge to win: rebuild wholesale from the
-		// combined candidate list, exactly the retained full path.
+		// combined candidate list, exactly the retained full path. The
+		// parallel tier shard-sorts the keys and merges; (slack, procID)
+		// is strict, so either path emits the unique sorted permutation.
 		running := append(baseS[:baseN], patchS...)
 		s.runSorted = running
-		keys := s.slackBuf[:0]
-		for i, sl := range running {
-			keys = append(keys, slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)})
-		}
-		s.slackBuf = keys
-		if desc {
-			slices.SortFunc(keys, slackDesc)
+		var keys []slackEntry
+		if s.par != nil && len(running) > 0 {
+			keys = s.parSlackRebuild(running, now, desc)
 		} else {
-			slices.SortFunc(keys, slackAsc)
+			kb := s.slackBuf[:0]
+			for i, sl := range running {
+				kb = append(kb, slackEntry{slack: slack(sl, now), idx: int32(i), procID: int32(sl.ProcID)})
+			}
+			s.slackBuf = kb
+			if desc {
+				slices.SortFunc(kb, slackDesc)
+			} else {
+				slices.SortFunc(kb, slackAsc)
+			}
+			keys = kb
 		}
 		// Apply the sorted permutation through a scratch copy (the
 		// in-place running slice is both source and destination).
 		scratch := append(s.runSorted2[:0], running...)
 		s.runSorted2 = scratch[:0]
 		outK := s.runKeys2[:0]
-		for i, k := range keys {
+		for _, k := range keys {
+			i := len(outK)
 			running[i] = scratch[k.idx]
 			outK = append(outK, runKey{slack: k.slack, procID: k.procID, gen: int32(running[i].Gen)})
 		}

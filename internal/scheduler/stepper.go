@@ -98,6 +98,27 @@ func (st *Stepper) ProcessNextEvent() (fired bool, err error) {
 	return st.s.eng.Step(), nil
 }
 
+// ProcessEventBatch fires the earliest pending event and then the rest
+// of its same-timestamp calendar run in one engine call, eliminating
+// the per-event heap/ring re-probing of a ProcessNextEvent loop. It
+// returns the number of events fired (zero when the queue is empty).
+// The fired sequence is bit-identical to calling ProcessNextEvent that
+// many times: newly scheduled events — even at the same timestamp —
+// carry larger sequence numbers and sort after the whole run. The
+// dispatch stops mid-batch as soon as the run is terminally done (last
+// job finished, or a fail-fast invariant latched — surfaced as an error
+// on the next call), the states in which a single-step driver would
+// strand the same events in the queue forever.
+func (st *Stepper) ProcessEventBatch() (fired int, err error) {
+	if st.result != nil {
+		return 0, fmt.Errorf("scheduler: step after the result was assembled")
+	}
+	if st.s.invErr != nil {
+		return 0, st.s.invErr
+	}
+	return st.s.eng.StepBatch(st.s.batchHalt), nil
+}
+
 // AdvanceTo fires every event with timestamp <= t in order, stopping
 // early when the run finishes (matching the batch loop, which stops
 // the instant the last job completes and leaves stale events queued)

@@ -34,3 +34,35 @@ func TestCalendarPushPopAllocFree(t *testing.T) {
 		t.Errorf("calendar push/pop allocated %v times per cycle in steady state, want 0", allocs)
 	}
 }
+
+// TestStepBatchAllocFree pins the same-timestamp batch dispatch: once
+// the retained batch buffer has reached capacity, popping an entire
+// equal-timestamp run out of the front bucket and firing it must not
+// touch the heap. Half the events share one timestamp (the batch run)
+// and half are spread out (single-step fallbacks), so every cycle
+// exercises both sides of StepBatch.
+func TestStepBatchAllocFree(t *testing.T) {
+	grid := units.Seconds(600)
+	e := NewCalendarWithCapacity[int](grid, 64)
+	e.SetDispatcher(func(tag int, now units.Seconds) {})
+
+	cycle := func() {
+		base := e.Now()
+		for i := 15; i >= 0; i-- {
+			// One 16-event run at a shared timestamp...
+			if err := e.ScheduleTag(base+1e-6, i); err != nil {
+				t.Fatal(err)
+			}
+			// ...and 16 singletons behind it.
+			if err := e.ScheduleTag(base+2e-6+units.Seconds(i)*1e-6, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e.StepBatch(nil) > 0 {
+		}
+	}
+	cycle() // warm: grow the bucket and batch slices to capacity
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("batch dispatch allocated %v times per cycle in steady state, want 0", allocs)
+	}
+}

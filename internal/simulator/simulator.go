@@ -72,6 +72,15 @@ type Engine[T any] struct {
 	// overflow heap for events beyond the ring horizon. Pop order is
 	// identical either way.
 	cal *calendar[T]
+	// batch is the equal-timestamp run StepBatch is currently
+	// dispatching, already removed from the queue structures; batchPos
+	// indexes the event being fired. The not-yet-fired remainder
+	// (batch[batchPos+1:]) is still pending simulation work, so Pending
+	// and PendingEvents account for it — a checkpoint taken by an event
+	// in the middle of a batch must see its successors exactly as a
+	// single-step driver would.
+	batch    []node[T]
+	batchPos int
 }
 
 // New returns an engine with the clock at zero.
@@ -91,13 +100,23 @@ func (e *Engine[T]) SetDispatcher(fn Dispatcher[T]) { e.fire = fn }
 // Now returns the current virtual time.
 func (e *Engine[T]) Now() units.Seconds { return e.now }
 
-// Pending returns the number of scheduled events.
+// Pending returns the number of scheduled events, including the
+// not-yet-fired remainder of a batch dispatch in progress.
 func (e *Engine[T]) Pending() int {
-	n := len(e.pq)
+	n := len(e.pq) + e.batchLeft()
 	if e.cal != nil {
 		n += e.cal.count
 	}
 	return n
+}
+
+// batchLeft is the number of events of the in-flight StepBatch run that
+// have not fired yet (zero outside a batch dispatch).
+func (e *Engine[T]) batchLeft() int {
+	if n := len(e.batch) - e.batchPos - 1; n > 0 {
+		return n
+	}
+	return 0
 }
 
 // Schedule enqueues fn at virtual time at. Scheduling in the past is an
@@ -174,6 +193,10 @@ func (e *Engine[T]) PeekNext() (at units.Seconds, seq uint64, ok bool) {
 // serialized, so checkpointing code must reject (or rebuild) them.
 func (e *Engine[T]) PendingEvents() []PendingEvent[T] {
 	out := make([]PendingEvent[T], 0, e.Pending())
+	for i := e.batchPos + 1; i < len(e.batch); i++ {
+		ev := &e.batch[i]
+		out = append(out, PendingEvent[T]{At: ev.at, Seq: ev.seq, Tag: ev.tag, Closure: ev.closure})
+	}
 	for i := range e.pq {
 		ev := &e.pq[i]
 		out = append(out, PendingEvent[T]{At: ev.at, Seq: ev.seq, Tag: ev.tag, Closure: ev.closure})
@@ -209,6 +232,9 @@ func (e *Engine[T]) Reset(now units.Seconds, seq uint64) {
 	e.now = now
 	e.seq = seq
 	clear(e.fns)
+	clear(e.batch)
+	e.batch = e.batch[:0]
+	e.batchPos = 0
 	if e.cal != nil {
 		e.cal.reset()
 	}
@@ -268,6 +294,105 @@ func (e *Engine[T]) Step() bool {
 	}
 	e.fire(ev.tag, e.now)
 	return true
+}
+
+// StepBatch fires the earliest pending event and then the rest of its
+// same-timestamp calendar run in one call, advancing the clock. It
+// returns the number of events fired (zero when the queue is empty).
+//
+// The run is the maximal prefix of the candidate ring bucket whose
+// events share the front event's timestamp and sort strictly before the
+// overflow-heap top under the engine's (at, seq) order. Because seq is
+// monotone, any event scheduled by one of the run's handlers — even at
+// the very same timestamp — sorts after every event already in the run,
+// so dispatching the whole run without re-probing the heap and ring
+// between events fires the exact sequence a Step loop would. The run is
+// copied to an engine-owned scratch slice before the first handler
+// executes: handlers may enqueue into the same bucket and grow its item
+// array mid-dispatch.
+//
+// halt, when non-nil, is checked after every event; a true return stops
+// the dispatch and discards the run's not-yet-fired remainder. Callers
+// therefore must halt only when the simulation is permanently done with
+// the queue (the last job finished, or a fail-fast invariant latched) —
+// exactly the states in which a Step loop would strand the same events
+// in the queue forever. While a batch is in flight, its unfired
+// remainder still counts as pending (see Pending/PendingEvents), so a
+// checkpoint emitted mid-batch snapshots the same queue a single-step
+// driver would. StepBatch must not be re-entered from a handler, like
+// Step itself.
+//
+// Engines without a calendar backend (and calendar engines whose ring
+// is momentarily empty, or whose next event lives in the overflow heap)
+// degrade to a single Step — correctness never depends on batching.
+func (e *Engine[T]) StepBatch(halt func() bool) int {
+	c := e.cal
+	if c == nil || c.count == 0 {
+		if e.Step() {
+			return 1
+		}
+		return 0
+	}
+	b := c.findMin(c.gi(e.now))
+	t := b.top()
+	if len(e.pq) > 0 && e.less(&e.pq[0], t) {
+		// The overflow heap holds the earliest event (a formerly
+		// beyond-horizon event whose time has come). Rare; fire it
+		// alone rather than batching across backends.
+		e.Step()
+		return 1
+	}
+	// Extend the run: same timestamp, still ahead of the heap top.
+	at := t.at
+	end := b.head + 1
+	if len(e.pq) > 0 {
+		hp := &e.pq[0] // stable: nothing pushes until dispatch below
+		for end < len(b.items) && b.items[end].at == at && e.less(&b.items[end], hp) {
+			end++
+		}
+	} else {
+		for end < len(b.items) && b.items[end].at == at {
+			end++
+		}
+	}
+	run := append(e.batch[:0], b.items[b.head:end]...)
+	e.batch = run
+	// Detach the run from the bucket before any handler executes.
+	var zero node[T]
+	for i := b.head; i < end; i++ {
+		b.items[i] = zero
+	}
+	b.head = end
+	c.count -= len(run)
+	if b.head == len(b.items) {
+		b.head = 0
+		b.items = b.items[:0]
+		b.sorted = true
+	}
+	fired := 0
+	for i := range run {
+		e.batchPos = i
+		ev := &run[i]
+		e.now = ev.at
+		if ev.closure {
+			fn := e.fns[ev.seq]
+			delete(e.fns, ev.seq)
+			fn(e.now)
+		} else {
+			if e.fire == nil {
+				panic("simulator: tag event fired with no dispatcher installed")
+			}
+			e.fire(ev.tag, e.now)
+		}
+		fired++
+		if halt != nil && halt() {
+			break
+		}
+	}
+	clear(e.batch) // release tags for GC, if T holds pointers
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+	return fired
 }
 
 // Run fires events until the queue is empty.

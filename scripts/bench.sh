@@ -1,18 +1,18 @@
 #!/usr/bin/env bash
 # Runs the benchmark-regression suite and converts the results to the
-# BENCH_PR9.json format (see DESIGN.md, "Benchmark baseline format").
+# BENCH_PR10.json format (see DESIGN.md, "Benchmark baseline format").
 #
 # Usage:
-#   scripts/bench.sh                    # writes BENCH_PR9_after.json
-#   OUT=BENCH_PR9.json scripts/bench.sh # choose the output file
+#   scripts/bench.sh                    # writes BENCH_PR10_after.json
+#   OUT=BENCH_PR10.json scripts/bench.sh # choose the output file
 #   COUNT=10 scripts/bench.sh           # more repetitions
 #   FULL=1 scripts/bench.sh             # include the 48,000- and 1,000,000-proc tiers
-#   BASELINE=BENCH_PR9.json scripts/bench.sh   # also gate vs baseline
+#   BASELINE=BENCH_PR10.json scripts/bench.sh   # also gate vs baseline
 #
 # Environment:
 #   COUNT    benchmark repetitions per name (default 5)
 #   BENCH    benchmark selector regex (default: the gated names)
-#   OUT      output JSON path (default BENCH_PR9_after.json)
+#   OUT      output JSON path (default BENCH_PR10_after.json)
 #   RAW      keep the raw `go test` output here (default: tempfile, printed)
 #   FULL     when set, drop -short so the 48,000- and 1,000,000-proc sub-benchmarks run
 #            (the nightly workflow's mode; they take minutes per rep)
@@ -22,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCH="${BENCH:-^(BenchmarkScanChip|BenchmarkSimulationRun|BenchmarkFleetGeneration|BenchmarkSimulationRunLarge)\$}"
-OUT="${OUT:-BENCH_PR9_after.json}"
+OUT="${OUT:-BENCH_PR10_after.json}"
 RAW="${RAW:-$(mktemp /tmp/bench_raw.XXXXXX.txt)}"
 SHORT="-short"
 if [[ -n "${FULL:-}" ]]; then
